@@ -1,0 +1,99 @@
+#include "bench/harness.h"
+
+namespace ow::bench {
+
+Trace MakeEvalTrace(std::uint64_t seed, Nanos duration, double pps,
+                    std::size_t flows) {
+  TraceConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = duration;
+  cfg.packets_per_sec = pps;
+  cfg.num_flows = flows;
+  TraceGenerator gen(cfg);
+  return gen.GenerateEvaluationTrace();
+}
+
+const char* MechanismName(Mechanism m) {
+  switch (m) {
+    case Mechanism::kItw: return "ITW";
+    case Mechanism::kIsw: return "ISW";
+    case Mechanism::kTw1: return "TW1";
+    case Mechanism::kTw2: return "TW2";
+    case Mechanism::kOtw: return "OTW";
+    case Mechanism::kOsw: return "OSW";
+  }
+  return "?";
+}
+
+WindowSpec TumblingSpec(const EvalParams& p) {
+  WindowSpec spec;
+  spec.type = WindowType::kTumbling;
+  spec.window_size = p.window_size;
+  spec.slide = p.window_size;
+  spec.subwindow_size = p.subwindow_size;
+  return spec;
+}
+
+WindowSpec SlidingSpec(const EvalParams& p) {
+  WindowSpec spec;
+  spec.type = WindowType::kSliding;
+  spec.window_size = p.window_size;
+  spec.slide = p.slide;
+  spec.subwindow_size = p.subwindow_size;
+  return spec;
+}
+
+std::vector<BaselineWindowResult> ToBaselineResults(const RunResult& result,
+                                                    Nanos subwindow_size) {
+  std::vector<BaselineWindowResult> out;
+  out.reserve(result.windows.size());
+  for (const auto& w : result.windows) {
+    out.push_back({Nanos(w.span.first) * subwindow_size,
+                   Nanos(w.span.last + 1) * subwindow_size, w.detected});
+  }
+  return out;
+}
+
+std::vector<BaselineWindowResult> RunQueryMechanism(Mechanism m,
+                                                    const QueryDef& def,
+                                                    const Trace& trace,
+                                                    const EvalParams& params) {
+  switch (m) {
+    case Mechanism::kItw:
+      return RunIdealTumbling(def, trace, params.window_size);
+    case Mechanism::kIsw:
+      return RunIdealSliding(def, trace, params.window_size, params.slide);
+    case Mechanism::kTw1:
+      return RunTumblingBaseline(TumblingBaselineKind::kTw1, def, trace,
+                                 params.window_size, params.window_cells,
+                                 params.cr_time);
+    case Mechanism::kTw2:
+      return RunTumblingBaseline(TumblingBaselineKind::kTw2, def, trace,
+                                 params.window_size, params.window_cells,
+                                 params.cr_time);
+    case Mechanism::kOtw:
+    case Mechanism::kOsw: {
+      // Paper §9.1: each sub-window gets 1/4 of the original window memory.
+      auto app =
+          std::make_shared<QueryAdapter>(def, params.window_cells / 4);
+      const WindowSpec spec =
+          m == Mechanism::kOtw ? TumblingSpec(params) : SlidingSpec(params);
+      const RunResult result = RunOmniWindow(
+          trace, app, RunConfig::Make(spec),
+          [&](const KeyValueTable& table) { return app->Detect(table); });
+      return ToBaselineResults(result, params.subwindow_size);
+    }
+  }
+  return {};
+}
+
+PrecisionRecall ScoreQueryMechanism(Mechanism m, const QueryDef& def,
+                                    const Trace& trace,
+                                    const EvalParams& params) {
+  const auto got = RunQueryMechanism(m, def, trace, params);
+  const auto truth =
+      RunIdealSliding(def, trace, params.window_size, params.slide);
+  return WindowedPrecisionRecall(got, truth);
+}
+
+}  // namespace ow::bench

@@ -1,0 +1,65 @@
+// Shared experiment harness for the bench/ binaries.
+//
+// Provides the six window mechanisms of the paper's evaluation —
+// ITW / ISW (ideal), TW1 / TW2 (conventional tumbling) and OTW / OSW
+// (OmniWindow tumbling/sliding) — as uniform runners over a trace, plus
+// the evaluation trace builder and precision/recall scoring against the
+// ideal sliding window (the ground truth convention of Exp#1/#2/#10).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/core/runner.h"
+#include "src/telemetry/baselines.h"
+#include "src/telemetry/query.h"
+#include "src/telemetry/sketch_apps.h"
+#include "src/trace/generator.h"
+
+namespace ow::bench {
+
+/// The window parameters of §9.1: 500 ms windows, 100 ms slide and
+/// sub-windows, 1/4 window memory per sub-window.
+struct EvalParams {
+  Nanos window_size = 500 * kMilli;
+  Nanos slide = 100 * kMilli;
+  Nanos subwindow_size = 100 * kMilli;
+  /// Whole-window state cells for the baselines; OmniWindow sub-windows get
+  /// a quarter of this.
+  std::size_t window_cells = 1 << 15;
+  /// Conventional C&R blackout (switch-OS path) for TW1.
+  Nanos cr_time = 60 * kMilli;
+};
+
+/// One standard evaluation trace (background + all anomalies + boundary
+/// bursts), deterministic in `seed`.
+Trace MakeEvalTrace(std::uint64_t seed, Nanos duration = 2 * kSecond,
+                    double pps = 60'000, std::size_t flows = 8'000);
+
+enum class Mechanism { kItw, kIsw, kTw1, kTw2, kOtw, kOsw };
+
+const char* MechanismName(Mechanism m);
+
+/// Per-window detections of `def` under mechanism `m`.
+std::vector<BaselineWindowResult> RunQueryMechanism(Mechanism m,
+                                                    const QueryDef& def,
+                                                    const Trace& trace,
+                                                    const EvalParams& params);
+
+/// Precision/recall of a mechanism against the ideal sliding window.
+PrecisionRecall ScoreQueryMechanism(Mechanism m, const QueryDef& def,
+                                    const Trace& trace,
+                                    const EvalParams& params);
+
+/// Convert OmniWindow's emitted windows to baseline-result form (time spans
+/// derived from sub-window indices).
+std::vector<BaselineWindowResult> ToBaselineResults(
+    const RunResult& result, Nanos subwindow_size);
+
+/// WindowSpec helpers.
+WindowSpec TumblingSpec(const EvalParams& p);
+WindowSpec SlidingSpec(const EvalParams& p);
+
+}  // namespace ow::bench

@@ -1,0 +1,92 @@
+// Simulator performance: packet-processing throughput of the switch model.
+//
+// Not a paper experiment — this measures THIS repository's data-plane model
+// so users can size their runs: packets/second through OmniWindowProgram
+// with a Sonata-style count query, a distinct-signature query, an MV-Sketch
+// app and FlowRadar, plus the bare pipeline dispatch cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/core/data_plane.h"
+#include "src/sketch/mv_sketch.h"
+#include "src/telemetry/flow_radar.h"
+#include "src/telemetry/query_builder.h"
+#include "src/telemetry/sketch_apps.h"
+#include "src/trace/generator.h"
+
+namespace {
+
+using namespace ow;
+
+Trace& TestTrace() {
+  static Trace trace = [] {
+    TraceConfig cfg;
+    cfg.seed = 77;
+    cfg.duration = 500 * kMilli;
+    cfg.packets_per_sec = 100'000;
+    cfg.num_flows = 10'000;
+    TraceGenerator gen(cfg);
+    return gen.GenerateBackground();
+  }();
+  return trace;
+}
+
+void DriveTrace(benchmark::State& state, AdapterPtr app) {
+  const Trace& trace = TestTrace();
+  OmniWindowConfig cfg;
+  cfg.signal.kind = SignalKind::kTimeout;
+  cfg.signal.subwindow_size = 100 * kMilli;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Switch sw(0);
+    auto program = std::make_shared<OmniWindowProgram>(cfg, app);
+    sw.SetProgram(program);
+    sw.SetControllerHandler([](const Packet&, Nanos) {});
+    for (const Packet& p : trace.packets) sw.EnqueueFromWire(p, p.ts);
+    state.ResumeTiming();
+    sw.RunUntilIdle(trace.Duration() + kSecond);
+    benchmark::DoNotOptimize(program->stats().packets_measured);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(trace.packets.size()));
+}
+
+void BM_CountQuery(benchmark::State& state) {
+  const QueryDef def = QueryBuilder("count")
+                           .KeyBy(FlowKeyKind::kDstIp)
+                           .Count()
+                           .Threshold(100)
+                           .Build();
+  DriveTrace(state, std::make_shared<QueryAdapter>(def, 1 << 14));
+}
+
+void BM_DistinctQuery(benchmark::State& state) {
+  const QueryDef def = QueryBuilder("distinct")
+                           .KeyBy(FlowKeyKind::kDstIp)
+                           .Distinct(elements::SrcIp)
+                           .Threshold(100)
+                           .Build();
+  DriveTrace(state, std::make_shared<QueryAdapter>(def, 1 << 14));
+}
+
+void BM_MvSketchApp(benchmark::State& state) {
+  DriveTrace(state, std::make_shared<FrequencySketchApp>(
+                        "mv", FlowKeyKind::kFiveTuple,
+                        FrequencyValue::kPackets, [] {
+                          return std::make_unique<MvSketch>(4, 4096);
+                        }));
+}
+
+void BM_FlowRadarApp(benchmark::State& state) {
+  DriveTrace(state, std::make_shared<FlowRadarApp>(3, 8192));
+}
+
+BENCHMARK(BM_CountQuery)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistinctQuery)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MvSketchApp)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FlowRadarApp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Quickstart: sliding-window heavy-hitter detection with OmniWindow.
+//
+// Builds a synthetic trace with a burst that straddles a tumbling-window
+// boundary (the paper's Figure 1 motivation), then runs the full OmniWindow
+// pipeline — switch data plane, AFR collection, controller merging — with a
+// 500 ms sliding window advancing 100 ms at a time. The boundary burst that
+// a tumbling window would miss shows up in the sliding results.
+#include <cstdio>
+
+#include "src/core/runner.h"
+#include "src/telemetry/query.h"
+#include "src/trace/generator.h"
+
+int main() {
+  using namespace ow;
+
+  // 1. Traffic: light background plus a burst centred on t = 500 ms.
+  TraceConfig tc;
+  tc.seed = 1;
+  tc.duration = 1'500 * kMilli;
+  tc.packets_per_sec = 20'000;
+  TraceGenerator gen(tc);
+  Trace trace = gen.GenerateBackground();
+  gen.InjectBoundaryBurst(trace, 500 * kMilli, 60 * kMilli, 160);
+  trace.SortByTime();
+  const FlowKey burst = gen.injected()[0].victim_or_actor;
+
+  // 2. Telemetry app: count packets per five-tuple, report flows > 120.
+  QueryDef def;
+  def.name = "heavy_hitter";
+  def.key_kind = FlowKeyKind::kFiveTuple;
+  def.aggregate = QueryAggregate::kCount;
+  def.threshold = 120;
+  auto app = std::make_shared<QueryAdapter>(def, 1 << 14);
+
+  // 3. Window mechanism: 500 ms sliding window, 100 ms slide, built from
+  //    100 ms sub-windows.
+  WindowSpec spec;
+  spec.type = WindowType::kSliding;
+  spec.window_size = 500 * kMilli;
+  spec.slide = 100 * kMilli;
+  spec.subwindow_size = 100 * kMilli;
+
+  // 4. Run the full pipeline.
+  const RunResult result = RunOmniWindow(
+      trace, app, RunConfig::Make(spec),
+      [&](const KeyValueTable& table) { return app->Detect(table); });
+
+  std::printf("windows emitted: %zu\n", result.windows.size());
+  std::printf("AFRs generated in the data plane: %llu\n",
+              (unsigned long long)result.data_plane.afr_generated);
+  for (const auto& w : result.windows) {
+    if (w.detected.contains(burst)) {
+      std::printf("window [sub %u..%u]: boundary burst DETECTED\n",
+                  w.span.first, w.span.last);
+    }
+  }
+  std::printf("burst flow %s across whole run: %s\n",
+              burst.ToString().c_str(),
+              result.AllDetected().contains(burst) ? "detected" : "missed");
+  return result.AllDetected().contains(burst) ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Simulated clocks.
+//
+// The repository runs entirely on simulated time: the event-driven network
+// simulator advances a global clock, and each switch additionally owns a
+// LocalClock with a configurable deviation so that Exp#9 can model PTP
+// synchronization error.
+#pragma once
+
+#include "src/common/types.h"
+
+namespace ow {
+
+/// Monotonic simulated clock. The simulation driver advances it; consumers
+/// only read.
+class SimClock {
+ public:
+  Nanos Now() const noexcept { return now_; }
+
+  /// Advance to an absolute time. Time never moves backwards.
+  void AdvanceTo(Nanos t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+  void Advance(Nanos dt) noexcept { now_ += dt; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+/// A device-local view of time: global time plus a fixed deviation, modelling
+/// residual PTP synchronization error (paper §2, C2).
+class LocalClock {
+ public:
+  LocalClock(const SimClock& global, Nanos deviation) noexcept
+      : global_(&global), deviation_(deviation) {}
+
+  Nanos Now() const noexcept { return global_->Now() + deviation_; }
+
+  Nanos deviation() const noexcept { return deviation_; }
+  void set_deviation(Nanos d) noexcept { deviation_ = d; }
+
+ private:
+  const SimClock* global_;
+  Nanos deviation_;
+};
+
+}  // namespace ow

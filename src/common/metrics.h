@@ -1,0 +1,74 @@
+// Accuracy metrics shared by the evaluation harnesses.
+//
+// Every accuracy experiment in the paper reports precision/recall against an
+// ideal (error-free, offline) computation, or relative error for estimation
+// tasks (ARE / AARE). These helpers centralize those definitions.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/flowkey.h"
+
+namespace ow {
+
+using FlowSet = std::unordered_set<FlowKey, FlowKeyHasher>;
+using FlowCounts = std::unordered_map<FlowKey, std::uint64_t, FlowKeyHasher>;
+
+struct PrecisionRecall {
+  double precision = 1.0;
+  double recall = 1.0;
+  std::size_t true_positives = 0;
+  std::size_t reported = 0;
+  std::size_t actual = 0;
+
+  double F1() const {
+    return (precision + recall) > 0
+               ? 2 * precision * recall / (precision + recall)
+               : 0.0;
+  }
+};
+
+/// Precision/recall of `reported` against ground truth `actual`.
+/// Follows the paper's convention: empty ground truth with empty report is
+/// perfect; reporting anything against empty truth has precision 0.
+inline PrecisionRecall ComputePrecisionRecall(const FlowSet& reported,
+                                              const FlowSet& actual) {
+  PrecisionRecall pr;
+  pr.reported = reported.size();
+  pr.actual = actual.size();
+  for (const auto& k : reported) {
+    if (actual.contains(k)) ++pr.true_positives;
+  }
+  pr.precision = reported.empty()
+                     ? (actual.empty() ? 1.0 : 1.0)
+                     : static_cast<double>(pr.true_positives) / reported.size();
+  pr.recall = actual.empty()
+                  ? 1.0
+                  : static_cast<double>(pr.true_positives) / actual.size();
+  return pr;
+}
+
+/// Average relative error of per-flow estimates vs. ground truth, over the
+/// flows present in the ground truth (paper's ARE for Q10).
+inline double AverageRelativeError(const FlowCounts& estimated,
+                                   const FlowCounts& truth) {
+  if (truth.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& [k, v] : truth) {
+    auto it = estimated.find(k);
+    const double est = it == estimated.end() ? 0.0 : double(it->second);
+    sum += std::abs(est - double(v)) / double(v);
+  }
+  return sum / double(truth.size());
+}
+
+/// Relative error of a scalar estimate (used for cardinality, Q11-style).
+inline double RelativeError(double estimate, double truth) {
+  if (truth == 0) return estimate == 0 ? 0.0 : 1.0;
+  return std::abs(estimate - truth) / truth;
+}
+
+}  // namespace ow

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random source.
+//
+// Everything stochastic in the repository (trace synthesis, latency jitter,
+// loss injection) draws from Rng so that experiments are reproducible from a
+// single seed. xoshiro256** core seeded via SplitMix64.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/hash.h"
+
+namespace ow {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDDEADBEEF1234ull) {
+    std::uint64_t s = seed;
+    for (auto& w : state_) {
+      s = Mix64(s + 0x9E3779B97F4A7C15ull);
+      w = s;
+    }
+  }
+
+  std::uint64_t NextU64() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t Uniform(std::uint64_t n) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(NextU64()) * n) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) noexcept { return NextDouble() < p; }
+
+  /// Exponentially distributed with the given mean (inter-arrival times).
+  double Exponential(double mean) noexcept {
+    // Avoid log(0): NextDouble() is in [0,1), so use 1 - u in (0,1].
+    return -mean * std::log(1.0 - NextDouble());
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ow

@@ -1,0 +1,24 @@
+// Core scalar types shared by every OmniWindow module.
+#pragma once
+
+#include <cstdint>
+
+namespace ow {
+
+/// Simulated time. All clocks in the repository tick in nanoseconds so that
+/// the event-driven network simulator, the switch model and the controller
+/// share one time base.
+using Nanos = std::int64_t;
+
+constexpr Nanos kMicro = 1'000;
+constexpr Nanos kMilli = 1'000'000;
+constexpr Nanos kSecond = 1'000'000'000;
+
+/// Sub-window sequence number carried in the OmniWindow packet header.
+/// Monotonically increasing across the lifetime of a measurement task
+/// (Lamport-style logical timestamp, see §5 of the paper).
+using SubWindowNum = std::uint32_t;
+
+constexpr SubWindowNum kInvalidSubWindow = 0xFFFFFFFFu;
+
+}  // namespace ow

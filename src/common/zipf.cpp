@@ -1,0 +1,33 @@
+#include "src/common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ow {
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) : alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (alpha <= 0) throw std::invalid_argument("ZipfSampler: alpha must be > 0");
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -alpha);
+    cdf_[i] = acc;
+  }
+  norm_ = acc;
+  for (auto& c : cdf_) c /= norm_;
+  cdf_.back() = 1.0;  // guard against FP round-off at the top
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(std::size_t rank) const {
+  return std::pow(static_cast<double>(rank + 1), -alpha_) / norm_;
+}
+
+}  // namespace ow

@@ -1,0 +1,36 @@
+// Zipf sampler for heavy-tailed flow populations.
+//
+// Real data-center traces (the paper uses CAIDA) have a small number of very
+// large flows and a long tail of mice; a Zipf(alpha) rank distribution is the
+// standard synthetic stand-in. The sampler precomputes the normalized CDF
+// once and answers each draw with a binary search.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace ow {
+
+class ZipfSampler {
+ public:
+  /// Distribution over ranks [0, n) with exponent `alpha` (> 0). alpha≈1.0
+  /// approximates packet-per-flow skew in WAN traces.
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Draw a rank; rank 0 is the most popular.
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t n() const noexcept { return cdf_.size(); }
+
+  /// Probability mass of a given rank.
+  double Pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+  double alpha_;
+  double norm_;
+};
+
+}  // namespace ow

@@ -1,0 +1,98 @@
+#include "src/controller/key_value_table.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ow {
+
+KeyValueTable::KeyValueTable(std::size_t capacity) {
+  if (capacity < 8) capacity = 8;
+  capacity = std::bit_ceil(capacity);
+  slots_.resize(capacity);
+  mask_ = capacity - 1;
+}
+
+std::size_t KeyValueTable::Probe(const FlowKey& key) const {
+  return static_cast<std::size_t>(key.Hash(0x7AB1E0FFull)) & mask_;
+}
+
+KvSlot* KeyValueTable::Find(const FlowKey& key) {
+  std::size_t i = Probe(key);
+  for (std::size_t n = 0; n <= mask_; ++n, i = (i + 1) & mask_) {
+    KvSlot& s = slots_[i];
+    if (s.state == KvSlot::State::kEmpty) return nullptr;
+    if (s.state == KvSlot::State::kLive && s.key == key) return &s;
+  }
+  return nullptr;
+}
+
+const KvSlot* KeyValueTable::Find(const FlowKey& key) const {
+  return const_cast<KeyValueTable*>(this)->Find(key);
+}
+
+KvSlot& KeyValueTable::FindOrInsert(const FlowKey& key, bool& created) {
+  std::size_t i = Probe(key);
+  KvSlot* first_tombstone = nullptr;
+  for (std::size_t n = 0; n <= mask_; ++n, i = (i + 1) & mask_) {
+    KvSlot& s = slots_[i];
+    if (s.state == KvSlot::State::kLive && s.key == key) {
+      created = false;
+      return s;
+    }
+    if (s.state == KvSlot::State::kTombstone && !first_tombstone) {
+      first_tombstone = &s;
+    }
+    if (s.state == KvSlot::State::kEmpty) {
+      KvSlot& target = first_tombstone ? *first_tombstone : s;
+      if (used_ + 1 > slots_.size() - slots_.size() / 8 && !first_tombstone) {
+        throw std::length_error("KeyValueTable: load factor exceeded");
+      }
+      if (!first_tombstone) ++used_;
+      target = KvSlot{};
+      target.key = key;
+      target.state = KvSlot::State::kLive;
+      ++live_;
+      created = true;
+      return target;
+    }
+  }
+  throw std::length_error("KeyValueTable: full");
+}
+
+bool KeyValueTable::Erase(const FlowKey& key) {
+  KvSlot* s = Find(key);
+  if (!s) return false;
+  s->state = KvSlot::State::kTombstone;
+  --live_;
+  return true;
+}
+
+void KeyValueTable::Clear() {
+  for (auto& s : slots_) s = KvSlot{};
+  live_ = 0;
+  used_ = 0;
+}
+
+std::size_t KeyValueTable::SlotIndex(const KvSlot& slot) const {
+  return static_cast<std::size_t>(&slot - slots_.data());
+}
+
+std::size_t KeyValueTable::AttrOffsetBytes(std::size_t slot_index,
+                                           std::size_t attr) const {
+  return slot_index * sizeof(KvSlot) + offsetof(KvSlot, attrs) + attr * 8;
+}
+
+void KeyValueTable::ForEach(const std::function<void(KvSlot&)>& fn) {
+  for (auto& s : slots_) {
+    if (s.state == KvSlot::State::kLive) fn(s);
+  }
+}
+
+void KeyValueTable::ForEach(
+    const std::function<void(const KvSlot&)>& fn) const {
+  for (const auto& s : slots_) {
+    if (s.state == KvSlot::State::kLive) fn(s);
+  }
+}
+
+}  // namespace ow

@@ -1,0 +1,81 @@
+// Controller flow key-value table.
+//
+// Stand-in for the DPDK rte_hash table the paper's controller uses to store
+// merged AFRs (§4.2, §8). Open addressing with linear probing over a flat
+// slot array, which gives the property the RDMA optimization needs: every
+// (key, attribute) pair has a STABLE byte offset that can be handed to the
+// switch as an RDMA WRITE / FETCH_ADD destination (§7). Deletion uses
+// tombstones for the same reason — live slots never move.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/common/flowkey.h"
+
+namespace ow {
+
+struct KvSlot {
+  FlowKey key;
+  std::array<std::uint64_t, 4> attrs{};
+  std::uint8_t num_attrs = 0;
+  std::uint32_t last_subwindow = 0;  ///< most recent sub-window contributing
+  enum class State : std::uint8_t { kEmpty, kLive, kTombstone };
+  State state = State::kEmpty;
+};
+
+class KeyValueTable {
+ public:
+  /// Capacity is rounded up to a power of two. The table refuses inserts
+  /// beyond a 7/8 load factor (throws) rather than rehashing, because
+  /// rehashing would invalidate RDMA-registered offsets.
+  explicit KeyValueTable(std::size_t capacity);
+
+  /// Find the slot for `key`, or nullptr.
+  KvSlot* Find(const FlowKey& key);
+  const KvSlot* Find(const FlowKey& key) const;
+
+  /// Find or create the slot for `key`. `created` reports which happened.
+  KvSlot& FindOrInsert(const FlowKey& key, bool& created);
+
+  /// Tombstone the slot for `key`. Returns true if it was live.
+  bool Erase(const FlowKey& key);
+
+  /// Drop all entries (tombstones included).
+  void Clear();
+
+  std::size_t size() const noexcept { return live_; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Stable slot index for RDMA address publication; only valid while the
+  /// slot is live.
+  std::size_t SlotIndex(const KvSlot& slot) const;
+
+  /// Byte offset of `attrs[attr]` of slot `slot_index` within the table's
+  /// backing array — the address the controller installs into the switch's
+  /// address MAT.
+  std::size_t AttrOffsetBytes(std::size_t slot_index, std::size_t attr) const;
+
+  /// Raw backing array access for RDMA MR mirroring.
+  KvSlot* data() noexcept { return slots_.data(); }
+  std::size_t backing_bytes() const noexcept {
+    return slots_.size() * sizeof(KvSlot);
+  }
+
+  /// Visit every live slot.
+  void ForEach(const std::function<void(KvSlot&)>& fn);
+  void ForEach(const std::function<void(const KvSlot&)>& fn) const;
+
+ private:
+  std::size_t Probe(const FlowKey& key) const;
+
+  std::vector<KvSlot> slots_;
+  std::size_t mask_;
+  std::size_t live_ = 0;
+  std::size_t used_ = 0;  // live + tombstones
+};
+
+}  // namespace ow

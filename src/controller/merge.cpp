@@ -1,0 +1,119 @@
+#include "src/controller/merge.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/hash.h"
+
+namespace ow {
+
+void ApplyMerge(MergeKind kind, KvSlot& slot, bool created,
+                const FlowRecord& rec) {
+  if (created) {
+    slot.attrs = rec.attrs;
+    slot.num_attrs = rec.num_attrs;
+    slot.last_subwindow = rec.subwindow;
+    if (kind == MergeKind::kExistence) {
+      slot.attrs[0] = 1;
+      slot.num_attrs = std::max<std::uint8_t>(slot.num_attrs, 1);
+    }
+    return;
+  }
+  slot.last_subwindow = std::max(slot.last_subwindow, rec.subwindow);
+  switch (kind) {
+    case MergeKind::kFrequency:
+      for (std::size_t i = 0; i < rec.num_attrs; ++i) {
+        slot.attrs[i] += rec.attrs[i];
+      }
+      break;
+    case MergeKind::kExistence:
+      slot.attrs[0] = 1;
+      break;
+    case MergeKind::kMax:
+      for (std::size_t i = 0; i < rec.num_attrs; ++i) {
+        slot.attrs[i] = std::max(slot.attrs[i], rec.attrs[i]);
+      }
+      break;
+    case MergeKind::kMin:
+      for (std::size_t i = 0; i < rec.num_attrs; ++i) {
+        slot.attrs[i] = std::min(slot.attrs[i], rec.attrs[i]);
+      }
+      break;
+    case MergeKind::kDistinction: {
+      Signature256 merged = {slot.attrs[0], slot.attrs[1], slot.attrs[2],
+                             slot.attrs[3]};
+      MergeSpreadSignature(merged, {rec.attrs[0], rec.attrs[1], rec.attrs[2],
+                                    rec.attrs[3]});
+      slot.attrs = merged;
+      slot.num_attrs = 4;
+      break;
+    }
+    case MergeKind::kXorSum:
+      slot.attrs[0] += rec.attrs[0];
+      for (std::size_t i = 1; i < 4; ++i) slot.attrs[i] ^= rec.attrs[i];
+      slot.num_attrs = 4;
+      break;
+  }
+}
+
+// ------------------------------------------------------------- batch kernels
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define OW_NO_VECTORIZE __attribute__((optimize("no-tree-vectorize")))
+#else
+#define OW_NO_VECTORIZE
+#endif
+
+OW_NO_VECTORIZE
+void BatchSumScalar(std::span<std::uint64_t> acc,
+                    std::span<const std::uint64_t> vals) {
+  if (acc.size() != vals.size()) {
+    throw std::invalid_argument("BatchSumScalar: size mismatch");
+  }
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    acc[i] += vals[i];
+  }
+}
+
+void BatchSumSimd(std::span<std::uint64_t> acc,
+                  std::span<const std::uint64_t> vals) {
+  if (acc.size() != vals.size()) {
+    throw std::invalid_argument("BatchSumSimd: size mismatch");
+  }
+  std::uint64_t* __restrict a = acc.data();
+  const std::uint64_t* __restrict v = vals.data();
+  const std::size_t n = acc.size();
+#pragma GCC ivdep
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] += v[i];
+  }
+}
+
+OW_NO_VECTORIZE
+void BatchMaxScalar(std::span<std::uint64_t> acc,
+                    std::span<const std::uint64_t> vals) {
+  if (acc.size() != vals.size()) {
+    throw std::invalid_argument("BatchMaxScalar: size mismatch");
+  }
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    if (vals[i] > acc[i]) acc[i] = vals[i];
+  }
+}
+
+void BatchMaxSimd(std::span<std::uint64_t> acc,
+                  std::span<const std::uint64_t> vals) {
+  if (acc.size() != vals.size()) {
+    throw std::invalid_argument("BatchMaxSimd: size mismatch");
+  }
+  std::uint64_t* __restrict a = acc.data();
+  const std::uint64_t* __restrict v = vals.data();
+  const std::size_t n = acc.size();
+#pragma GCC ivdep
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] > v[i] ? a[i] : v[i];
+  }
+}
+
+}  // namespace ow

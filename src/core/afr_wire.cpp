@@ -1,0 +1,38 @@
+#include "src/core/afr_wire.h"
+
+#include <cstring>
+
+namespace ow {
+
+// Layout: [0] marker (0xA5), [1] key kind, [2..14] key bytes, [15] key len,
+// [16..19] subwindow, [20..23] seq, [24] num_attrs, [32..63] attrs.
+void EncodeFlowRecord(const FlowRecord& rec,
+                      std::span<std::uint8_t, kAfrWireBytes> out) {
+  std::memset(out.data(), 0, kAfrWireBytes);
+  out[0] = 0xA5;
+  out[1] = static_cast<std::uint8_t>(rec.key.kind());
+  const auto kb = rec.key.bytes();
+  std::memcpy(out.data() + 2, kb.data(), kb.size());
+  out[15] = static_cast<std::uint8_t>(kb.size());
+  std::memcpy(out.data() + 16, &rec.subwindow, 4);
+  std::memcpy(out.data() + 20, &rec.seq_id, 4);
+  out[24] = rec.num_attrs;
+  std::memcpy(out.data() + 32, rec.attrs.data(), 32);
+}
+
+FlowRecord DecodeFlowRecord(std::span<const std::uint8_t, kAfrWireBytes> in) {
+  FlowRecord rec;
+  rec.key = FlowKey::FromRaw(static_cast<FlowKeyKind>(in[1]),
+                             in.subspan(2, in[15]));
+  std::memcpy(&rec.subwindow, in.data() + 16, 4);
+  std::memcpy(&rec.seq_id, in.data() + 20, 4);
+  rec.num_attrs = in[24];
+  std::memcpy(rec.attrs.data(), in.data() + 32, 32);
+  return rec;
+}
+
+bool IsEncodedRecord(std::span<const std::uint8_t, kAfrWireBytes> in) {
+  return in[0] == 0xA5;
+}
+
+}  // namespace ow

@@ -1,0 +1,27 @@
+// AFR wire encoding for the RDMA cold-key buffer.
+//
+// Cold-key AFRs are appended sequentially to a controller memory region by
+// RDMA WRITE (§7); this fixed 64-byte record layout is what the switch
+// serializes and the controller drains.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/packet.h"
+
+namespace ow {
+
+inline constexpr std::size_t kAfrWireBytes = 64;
+
+/// Serialize `rec` into exactly kAfrWireBytes at `out`.
+void EncodeFlowRecord(const FlowRecord& rec,
+                      std::span<std::uint8_t, kAfrWireBytes> out);
+
+/// Inverse of EncodeFlowRecord.
+FlowRecord DecodeFlowRecord(std::span<const std::uint8_t, kAfrWireBytes> in);
+
+/// True if the 64-byte slot at `in` holds a record (non-zero marker).
+bool IsEncodedRecord(std::span<const std::uint8_t, kAfrWireBytes> in);
+
+}  // namespace ow

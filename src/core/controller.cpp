@@ -1,0 +1,511 @@
+#include "src/core/controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "src/core/afr_wire.h"
+
+namespace ow {
+namespace {
+
+constexpr std::uint32_t kNoExplicitIndex = 0xFFFFFFFFu;
+constexpr Nanos kWireLatency = 2 * kMicro;  // controller NIC -> switch port
+
+/// Wall-clock measurement of one controller CPU operation.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  Nanos Elapsed() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+OmniWindowController::OmniWindowController(ControllerConfig cfg,
+                                           MergeKind merge_kind)
+    : cfg_(cfg), merge_kind_(merge_kind), table_(cfg.kv_capacity) {
+  cfg_.window.Validate();
+}
+
+void OmniWindowController::AttachSwitch(Switch* sw) {
+  switch_ = sw;
+  sw->SetControllerHandler(
+      [this](const Packet& p, Nanos arrival) { OnPacket(p, arrival); });
+}
+
+std::shared_ptr<RdmaContext> OmniWindowController::InitRdma(RdmaNic& nic) {
+  rdma_ctx_ = std::make_shared<RdmaContext>();
+  rdma_ctx_->nic = &nic;
+  // Hot-key attr mirror: one 32-byte attr block per hot slot.
+  table_mr_ = &nic.RegisterMemory(std::max<std::size_t>(
+      32 * 1024, cfg_.kv_capacity * 4));  // capacity/8 hot slots
+  buffer_mr_ = &nic.RegisterMemory(cfg_.rdma_buffer_bytes);
+  rdma_ctx_->table_rkey = table_mr_->rkey();
+  rdma_ctx_->buffer_rkey = buffer_mr_->rkey();
+  rdma_ctx_->buffer_bytes = buffer_mr_->size();
+  return rdma_ctx_;
+}
+
+SubWindowTiming& OmniWindowController::TimingFor(SubWindowNum sw) {
+  for (auto& t : timings_) {
+    if (t.subwindow == sw) return t;
+  }
+  timings_.push_back(SubWindowTiming{.subwindow = sw});
+  return timings_.back();
+}
+
+void OmniWindowController::OnPacket(const Packet& p, Nanos arrival) {
+  if (!p.ow.present) return;
+  switch (p.ow.flag) {
+    case OwFlag::kTrigger: {
+      const SubWindowNum sw = p.ow.subwindow_num;
+      PendingSubWindow& pending = pending_[sw];
+      pending.subwindow = sw;
+      pending.expected_dataplane = p.ow.payload;
+      StartCollection(pending, arrival);
+      // A new termination is the natural point to chase losses of OLDER
+      // sub-windows. Skip the immediately preceding one: consecutive
+      // terminations can arrive back to back (idle-gap catch-up) while its
+      // collection is still queued, and chasing it would only inject
+      // no-op requests.
+      for (auto& [old_sw, old_pending] : pending_) {
+        if (old_sw + 1 < sw && old_pending.collection_started &&
+            old_pending.retransmit_attempts < kMaxRetransmitAttempts &&
+            !IsComplete(old_pending)) {
+          RequestRetransmissions(old_pending, arrival);
+        }
+      }
+      MaybeFinalize(arrival);
+      return;
+    }
+    case OwFlag::kSpilledKey: {
+      const SubWindowNum sw = p.ow.subwindow_num;
+      if (spilled_seen_[sw].insert(p.ow.injected_key).second) {
+        spilled_[sw].push_back(p.ow.injected_key);
+        ++stats_.spilled_keys_stored;
+      }
+      return;
+    }
+    case OwFlag::kAfrReport: {
+      const SubWindowNum sw = p.ow.subwindow_num;
+      auto it = pending_.find(sw);
+      if (it == pending_.end()) return;  // already finalized (stale dup)
+      PendingSubWindow& pending = it->second;
+      SubWindowTiming& t = TimingFor(sw);
+      if (p.ow.afrs.empty()) {
+        // Completion notification. payload = the final enumerated count
+        // (non-RDMA), or the buffer record count (RDMA, where it also
+        // marks the memory regions drainable).
+        if (cfg_.rdma) {
+          pending.rdma_done = true;
+        } else {
+          pending.expected_dataplane =
+              std::max(pending.expected_dataplane, p.ow.payload);
+          pending.count_final = true;
+        }
+      }
+      for (const FlowRecord& rec : p.ow.afrs) {
+        t.o1_collect += cfg_.costs.per_rx_packet;
+        if (rec.seq_id != kNoExplicitIndex) {
+          if (!pending.seqs_seen.insert(rec.seq_id).second) {
+            ++stats_.duplicate_afrs;
+            continue;
+          }
+        } else {
+          if (!pending.injected_keys_seen.insert(rec.key).second) {
+            ++stats_.duplicate_afrs;
+            continue;
+          }
+        }
+        pending.records.push_back(rec);
+        ++stats_.afrs_received;
+      }
+      MaybeFinalize(arrival);
+      return;
+    }
+    case OwFlag::kLatencySpike: {
+      // §5: copies of packets delayed beyond the preserve horizon. The
+      // controller "processes them as needed": for invertible (frequency)
+      // statistics it folds them into the not-yet-finalized sub-window so
+      // the packet is not lost to measurement.
+      ++stats_.spike_packets;
+      const SubWindowNum sw = p.ow.payload;
+      auto it = pending_.find(sw);
+      if (it != pending_.end() && merge_kind_ == MergeKind::kFrequency) {
+        FlowRecord rec;
+        rec.key = p.ow.injected_key;
+        rec.attrs[0] = 1;  // one packet's worth of frequency
+        rec.num_attrs = 1;
+        rec.subwindow = sw;
+        rec.seq_id = 0xFFFFFFFFu;
+        it->second.records.push_back(rec);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void OmniWindowController::StartCollection(PendingSubWindow& pending,
+                                           Nanos now) {
+  if (pending.collection_started) return;
+  pending.collection_started = true;
+  const SubWindowNum sw = pending.subwindow;
+  const auto& spilled = spilled_[sw];
+  pending.expected_injected = std::uint32_t(spilled.size());
+  SubWindowTiming& t = TimingFor(sw);
+
+  if (!switch_) return;
+
+  // Return the trigger after the grace period (Figure 3 step 2).
+  Nanos tx_time = now + cfg_.grace_period;
+  Packet ret;
+  ret.ow.present = true;
+  ret.ow.app_id = cfg_.app_id;
+  ret.ow.flag = OwFlag::kTrigger;
+  ret.ow.subwindow_num = sw;
+  ret.ow.payload = pending.expected_injected;
+  switch_->EnqueueFromController(ret, tx_time + kWireLatency);
+
+  // Inject controller-resident flowkeys, one packet each, paced at the
+  // controller's TX cost (CPC-style path). With RDMA the cost depends on
+  // who resolves write addresses: the switch's address MAT (cheap batched
+  // TX) or the controller itself (per-key table lookup, the CPC* case).
+  Nanos per_tx = cfg_.costs.per_tx_packet;
+  if (cfg_.rdma) {
+    per_tx = cfg_.rdma_controller_resolves_addresses
+                 ? cfg_.costs.per_tx_packet + cfg_.costs.per_tx_addr_lookup
+                 : cfg_.costs.per_tx_packet_rdma;
+  }
+  for (const FlowKey& key : spilled) {
+    tx_time += per_tx;
+    t.o1_collect += per_tx;
+    Packet inj;
+    inj.ow.present = true;
+    inj.ow.app_id = cfg_.app_id;
+    inj.ow.flag = OwFlag::kFlowkeyInject;
+    inj.ow.subwindow_num = sw;
+    inj.ow.injected_key = key;
+    switch_->EnqueueFromController(inj, tx_time + kWireLatency);
+  }
+
+  // Inject the collection packets that enumerate the data-plane key array.
+  for (std::size_t i = 0; i < cfg_.collection_packets; ++i) {
+    tx_time += per_tx;
+    t.o1_collect += per_tx;
+    Packet col;
+    col.ow.present = true;
+    col.ow.app_id = cfg_.app_id;
+    col.ow.flag = OwFlag::kCollection;
+    col.ow.subwindow_num = sw;
+    col.ow.payload = kNoExplicitIndex;
+    switch_->EnqueueFromController(col, tx_time + kWireLatency);
+  }
+}
+
+bool OmniWindowController::IsComplete(const PendingSubWindow& p) const {
+  if (!p.collection_started) return false;
+  if (cfg_.rdma) return p.rdma_done;
+  if (!p.count_final) return false;
+  if (p.injected_keys_seen.size() < p.expected_injected) return false;
+  if (p.seqs_seen.size() < p.expected_dataplane) return false;
+  // seqs_seen may contain indices >= expected (keys added between
+  // termination and collection start); require full coverage of [0, n).
+  std::uint32_t covered = 0;
+  for (std::uint32_t s : p.seqs_seen) {
+    if (s == covered) {
+      ++covered;
+    } else if (s > covered) {
+      break;
+    }
+  }
+  return covered >= p.expected_dataplane;
+}
+
+void OmniWindowController::MaybeFinalize(Nanos now) {
+  while (true) {
+    auto it = pending_.find(next_to_finalize_);
+    if (it == pending_.end() || !IsComplete(it->second)) return;
+    FinalizeSubWindow(it->second, now);
+    spilled_.erase(next_to_finalize_);
+    spilled_seen_.erase(next_to_finalize_);
+    pending_.erase(it);
+    ++next_to_finalize_;
+  }
+}
+
+void OmniWindowController::FinalizeSubWindow(PendingSubWindow& pending,
+                                             Nanos now) {
+  if (cfg_.rdma) DrainRdma(pending);
+  SubWindowTiming& t = TimingFor(pending.subwindow);
+  if (transform_) {
+    // §8: construct AFRs from migrated state (e.g. FlowRadar decode).
+    WallTimer timer;
+    pending.records = transform_(std::move(pending.records));
+    t.o3_merge += timer.Elapsed();
+  }
+
+  // O2: key-value table inserts.
+  std::vector<std::pair<KvSlot*, bool>> slots;
+  slots.reserve(pending.records.size());
+  {
+    WallTimer timer;
+    for (const FlowRecord& rec : pending.records) {
+      bool created = false;
+      KvSlot& slot = table_.FindOrInsert(rec.key, created);
+      slots.emplace_back(&slot, created);
+    }
+    t.o2_insert += timer.Elapsed();
+  }
+  // O3: merge attribute values.
+  {
+    WallTimer timer;
+    for (std::size_t i = 0; i < pending.records.size(); ++i) {
+      ApplyMerge(merge_kind_, *slots[i].first, slots[i].second,
+                 pending.records[i]);
+    }
+    t.o3_merge += timer.Elapsed();
+  }
+  if (cfg_.rdma) UpdateHotKeys(pending);
+  history_.emplace_back(pending.subwindow, std::move(pending.records));
+  ++stats_.subwindows_finalized;
+  EmitWindowsAfter(pending.subwindow, now);
+}
+
+void OmniWindowController::EmitWindowsAfter(SubWindowNum sw, Nanos now) {
+  const std::size_t W = cfg_.window.SubWindowsPerWindow();
+  const std::size_t S = cfg_.window.SubWindowsPerSlide();
+  const bool sliding = cfg_.window.type == WindowType::kSliding;
+
+  bool emit = false;
+  if (sliding) {
+    emit = (sw + 1 >= W) && ((sw + 1 - W) % S == 0);
+  } else {
+    emit = ((sw + 1) % W == 0);
+  }
+  if (!emit) return;
+
+  SubWindowTiming& t = TimingFor(sw);
+  const SubWindowSpan span{SubWindowNum(sw + 1 - W), sw};
+  // O4: process the merged result.
+  {
+    WallTimer timer;
+    if (handler_) {
+      handler_(WindowResult{span, &table_, now});
+    }
+    t.o4_process += timer.Elapsed();
+  }
+  ++stats_.windows_emitted;
+
+  // O5 / O6: retire sub-windows that no future window needs.
+  {
+    WallTimer timer;
+    if (sliding) {
+      EvictFromTable(SubWindowNum(sw + 1 - W + S));
+    } else {
+      table_.Clear();
+      table_floor_ = sw + 1;
+    }
+    TrimHistory();
+    t.o5_evict += timer.Elapsed();
+  }
+}
+
+void OmniWindowController::EvictFromTable(SubWindowNum keep_from) {
+  std::vector<FlowRecord> evicted;
+  for (const auto& [hsw, recs] : history_) {
+    if (hsw >= table_floor_ && hsw < keep_from) {
+      evicted.insert(evicted.end(), recs.begin(), recs.end());
+    }
+  }
+  table_floor_ = std::max(table_floor_, keep_from);
+  if (evicted.empty()) return;
+
+  if (merge_kind_ == MergeKind::kFrequency) {
+    // Frequency merges invert: subtract and drop emptied slots.
+    for (const FlowRecord& rec : evicted) {
+      KvSlot* slot = table_.Find(rec.key);
+      if (!slot) continue;
+      bool all_zero = true;
+      for (std::size_t i = 0; i < rec.num_attrs; ++i) {
+        slot->attrs[i] -= std::min(slot->attrs[i], rec.attrs[i]);
+      }
+      for (std::size_t i = 0; i < slot->num_attrs; ++i) {
+        if (slot->attrs[i] != 0) all_zero = false;
+      }
+      if (all_zero) table_.Erase(rec.key);
+    }
+    return;
+  }
+
+  // Non-invertible merges: rebuild the affected keys from the sub-windows
+  // still reflected in the table.
+  std::set<FlowKey> affected;
+  for (const FlowRecord& rec : evicted) affected.insert(rec.key);
+  for (const FlowKey& key : affected) table_.Erase(key);
+  for (const auto& [hsw, recs] : history_) {
+    if (hsw < table_floor_) continue;
+    for (const FlowRecord& rec : recs) {
+      if (!affected.contains(rec.key)) continue;
+      bool created = false;
+      KvSlot& slot = table_.FindOrInsert(rec.key, created);
+      ApplyMerge(merge_kind_, slot, created, rec);
+    }
+  }
+}
+
+void OmniWindowController::TrimHistory() {
+  // Keep what future windows need plus the user-requested retention.
+  const std::size_t needed =
+      cfg_.window.SubWindowsPerWindow() + cfg_.retain_subwindows;
+  while (history_.size() > needed &&
+         history_.front().first < table_floor_) {
+    history_.pop_front();
+  }
+}
+
+bool OmniWindowController::QueryRange(SubWindowSpan span,
+                                      KeyValueTable& out) const {
+  // Verify full coverage of the span in retained history.
+  std::set<SubWindowNum> have;
+  for (const auto& [hsw, recs] : history_) {
+    (void)recs;
+    have.insert(hsw);
+  }
+  for (SubWindowNum sw = span.first; sw <= span.last; ++sw) {
+    if (!have.contains(sw)) return false;
+  }
+  out.Clear();
+  for (const auto& [hsw, recs] : history_) {
+    if (!span.Contains(hsw)) continue;
+    for (const FlowRecord& rec : recs) {
+      bool created = false;
+      KvSlot& slot = out.FindOrInsert(rec.key, created);
+      ApplyMerge(merge_kind_, slot, created, rec);
+    }
+  }
+  return true;
+}
+
+std::optional<SubWindowSpan> OmniWindowController::RetainedSpan() const {
+  if (history_.empty()) return std::nullopt;
+  return SubWindowSpan{history_.front().first, history_.back().first};
+}
+
+void OmniWindowController::RequestRetransmissions(PendingSubWindow& pending,
+                                                  Nanos now) {
+  if (!switch_) return;
+  ++pending.retransmit_attempts;
+  Nanos tx_time = now;
+  // Missing data-plane sequence numbers.
+  for (std::uint32_t s = 0; s < pending.expected_dataplane; ++s) {
+    if (pending.seqs_seen.contains(s)) continue;
+    tx_time += cfg_.costs.per_tx_packet;
+    Packet col;
+    col.ow.present = true;
+    col.ow.app_id = cfg_.app_id;
+    col.ow.flag = OwFlag::kCollection;
+    col.ow.subwindow_num = pending.subwindow;
+    col.ow.payload = s;
+    switch_->EnqueueFromController(col, tx_time + kWireLatency);
+    ++stats_.retransmissions_requested;
+  }
+  // Missing injected keys.
+  for (const FlowKey& key : spilled_[pending.subwindow]) {
+    if (pending.injected_keys_seen.contains(key)) continue;
+    tx_time += cfg_.costs.per_tx_packet;
+    Packet inj;
+    inj.ow.present = true;
+    inj.ow.app_id = cfg_.app_id;
+    inj.ow.flag = OwFlag::kFlowkeyInject;
+    inj.ow.subwindow_num = pending.subwindow;
+    inj.ow.injected_key = key;
+    switch_->EnqueueFromController(inj, tx_time + kWireLatency);
+    ++stats_.retransmissions_requested;
+  }
+}
+
+void OmniWindowController::DrainRdma(PendingSubWindow& pending) {
+  if (!buffer_mr_ || !table_mr_) return;
+  // Cold-key buffer: decode sequential 64-byte records.
+  auto bytes = buffer_mr_->bytes();
+  for (std::size_t off = 0; off + kAfrWireBytes <= bytes.size();
+       off += kAfrWireBytes) {
+    std::span<const std::uint8_t, kAfrWireBytes> slot(
+        bytes.data() + off, kAfrWireBytes);
+    if (!IsEncodedRecord(slot)) break;
+    pending.records.push_back(DecodeFlowRecord(slot));
+    ++stats_.afrs_received;
+    std::fill(bytes.begin() + off, bytes.begin() + off + kAfrWireBytes, 0);
+  }
+  // Hot-key mirror: one 32-byte attr block per hot slot.
+  for (const auto& [key, slot_index] : hot_slots_) {
+    const std::size_t off = slot_index * 32;
+    bool any = false;
+    std::array<std::uint64_t, 4> attrs{};
+    for (std::size_t i = 0; i < 4; ++i) {
+      attrs[i] = table_mr_->ReadU64(off + i * 8);
+      if (attrs[i] != 0) any = true;
+    }
+    if (!any) continue;
+    FlowRecord rec;
+    rec.key = key;
+    rec.attrs = attrs;
+    rec.num_attrs = 4;
+    rec.subwindow = pending.subwindow;
+    rec.seq_id = kNoExplicitIndex;
+    pending.records.push_back(rec);
+    ++stats_.afrs_received;
+    for (std::size_t i = 0; i < 4; ++i) table_mr_->WriteU64(off + i * 8, 0);
+  }
+}
+
+void OmniWindowController::UpdateHotKeys(const PendingSubWindow& pending) {
+  if (!rdma_ctx_ || !table_mr_) return;
+  const std::size_t max_hot = table_mr_->size() / 32;
+  for (const FlowRecord& rec : pending.records) {
+    const std::uint32_t count = ++hot_counts_[rec.key];
+    if (count >= cfg_.hot_key_threshold && !hot_slots_.contains(rec.key) &&
+        next_hot_slot_ < max_hot) {
+      const std::size_t slot = next_hot_slot_++;
+      hot_slots_[rec.key] = slot;
+      rdma_ctx_->address_mat.Install(rec.key, slot * 32);
+    }
+  }
+}
+
+bool OmniWindowController::Flush(Nanos now) {
+  bool asked = false;
+  for (auto& [sw, pending] : pending_) {
+    if (pending.collection_started &&
+        pending.retransmit_attempts < kMaxRetransmitAttempts &&
+        !IsComplete(pending)) {
+      RequestRetransmissions(pending, now);
+      asked = true;
+    }
+  }
+  if (asked) return false;
+  // Force-finalize whatever remains, in order.
+  while (!pending_.empty()) {
+    auto it = pending_.begin();
+    if (it->first != next_to_finalize_ && it->first > next_to_finalize_) {
+      next_to_finalize_ = it->first;
+    }
+    FinalizeSubWindow(it->second, now);
+    spilled_.erase(it->first);
+    spilled_seen_.erase(it->first);
+    pending_.erase(it);
+    ++next_to_finalize_;
+  }
+  return true;
+}
+
+}  // namespace ow

@@ -1,0 +1,210 @@
+// OmniWindow controller (§4.2, §7, §8).
+//
+// The control-plane half of the collaborative architecture. It
+//  * reacts to sub-window termination triggers by returning the trigger
+//    after a grace period (out-of-order tolerance) and injecting collection
+//    packets plus any controller-resident flowkeys,
+//  * collects AFR reports (or drains RDMA memory regions), checks
+//    completeness against per-sub-window sequence numbers and requests
+//    retransmissions for losses,
+//  * merges sub-windows into the user's windows — tumbling, sliding or
+//    variable size — in a flow key-value table, and
+//  * invokes the application's window handler with each completed window.
+//
+// Controller CPU work (table insert, merge, window processing, eviction) is
+// real computation measured with a wall clock; network/IO costs come from
+// the DPDK cost model in simulated time. Both feed Exp#4.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/common/packet.h"
+#include "src/controller/dpdk_model.h"
+#include "src/controller/key_value_table.h"
+#include "src/controller/merge.h"
+#include "src/core/data_plane.h"
+#include "src/core/window.h"
+#include "src/switchsim/pipeline.h"
+
+namespace ow {
+
+struct ControllerConfig {
+  WindowSpec window;
+  /// Wait after a trigger before starting collection, so late (out-of-order)
+  /// packets can still land in the terminated sub-window (§5).
+  Nanos grace_period = 2 * kMilli;
+  /// Collection packets injected per C&R round (the paper uses <= 20;
+  /// Exp#6/#8 sweep 3/4/8/16).
+  std::size_t collection_packets = 16;
+  std::size_t kv_capacity = 1 << 17;
+  DpdkCosts costs;
+  bool rdma = false;
+  std::size_t rdma_buffer_bytes = 8u << 20;
+  /// RDMA variant where the CONTROLLER resolves each injected key's
+  /// key-value-table address before injection (the CPC* path of Exp#6)
+  /// instead of letting the switch's address MAT do it. Adds the lookup
+  /// cost to every injected packet.
+  bool rdma_controller_resolves_addresses = false;
+  /// A key becomes "hot" (address-MAT resident) after appearing in this
+  /// many distinct sub-windows (§7).
+  std::uint32_t hot_key_threshold = 2;
+  /// Sub-windows of AFR history to retain beyond what the window type
+  /// needs (G1: administrators can re-merge arbitrary spans — e.g. the
+  /// whole lifetime of a suspicious flow — via QueryRange). 0 keeps only
+  /// what sliding/tumbling assembly requires.
+  std::size_t retain_subwindows = 0;
+  /// App identity stamped on every injected packet, so a MultiAppProgram
+  /// pipeline can route it to the right sub-program.
+  std::uint8_t app_id = 0;
+};
+
+/// One completed window handed to the application.
+struct WindowResult {
+  SubWindowSpan span;
+  const KeyValueTable* table = nullptr;
+  Nanos completed_at = 0;  ///< simulated time
+};
+
+/// Exp#4 per-sub-window controller time breakdown. O1 is simulated
+/// (network/IO model); O2–O5 are measured wall time of the real work.
+struct SubWindowTiming {
+  SubWindowNum subwindow = 0;
+  Nanos o1_collect = 0;
+  Nanos o2_insert = 0;
+  Nanos o3_merge = 0;
+  Nanos o4_process = 0;
+  Nanos o5_evict = 0;
+  Nanos Total() const {
+    return o1_collect + o2_insert + o3_merge + o4_process + o5_evict;
+  }
+};
+
+class OmniWindowController {
+ public:
+  using WindowHandler = std::function<void(const WindowResult&)>;
+
+  OmniWindowController(ControllerConfig cfg, MergeKind merge_kind);
+
+  /// Wire this controller to `sw`: the switch's controller-bound packets
+  /// flow into OnPacket, and injections go back via EnqueueFromController.
+  void AttachSwitch(Switch* sw);
+
+  /// Set up the RDMA context shared with `prog` (§7). Must be called before
+  /// traffic when ControllerConfig::rdma is set.
+  std::shared_ptr<RdmaContext> InitRdma(RdmaNic& nic);
+
+  void SetWindowHandler(WindowHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  /// Transform applied to a sub-window's raw records before merging (§8:
+  /// apps like FlowRadar migrate whole state and the controller
+  /// "constructs AFRs" from it — e.g. decodes cells into per-flow records
+  /// — before the normal merge). Runs once per finalized sub-window.
+  using SubWindowTransform =
+      std::function<std::vector<FlowRecord>(std::vector<FlowRecord>&&)>;
+  void SetSubWindowTransform(SubWindowTransform transform) {
+    transform_ = std::move(transform);
+  }
+
+  /// Entry point for every switch-to-controller packet.
+  void OnPacket(const Packet& p, Nanos arrival);
+
+  /// End-of-run cleanup. First call: issues retransmissions for incomplete
+  /// sub-windows and returns false (drive the switch with RunUntilIdle,
+  /// then call again). Once nothing is missing (or nothing can be
+  /// recovered), force-finalizes the remainder and returns true.
+  bool Flush(Nanos now);
+
+  const std::vector<SubWindowTiming>& timings() const { return timings_; }
+  const KeyValueTable& table() const { return table_; }
+
+  /// Merge an arbitrary retained span of sub-windows into a fresh table
+  /// (variable window sizes, requirement G1). Returns false if any
+  /// sub-window of the span has been finalized-and-released already or is
+  /// not finalized yet; configure `retain_subwindows` to keep more history.
+  bool QueryRange(SubWindowSpan span, KeyValueTable& out) const;
+
+  /// Sub-window span currently available to QueryRange (empty if none).
+  std::optional<SubWindowSpan> RetainedSpan() const;
+
+  struct Stats {
+    std::uint64_t afrs_received = 0;
+    std::uint64_t subwindows_finalized = 0;
+    std::uint64_t windows_emitted = 0;
+    std::uint64_t spilled_keys_stored = 0;
+    std::uint64_t retransmissions_requested = 0;
+    std::uint64_t spike_packets = 0;
+    std::uint64_t duplicate_afrs = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct PendingSubWindow {
+    SubWindowNum subwindow = 0;
+    std::uint32_t expected_dataplane = 0;  ///< from the trigger payload
+    std::uint32_t expected_injected = 0;
+    std::vector<FlowRecord> records;
+    std::set<std::uint32_t> seqs_seen;
+    std::set<FlowKey> injected_keys_seen;
+    bool collection_started = false;
+    std::uint8_t retransmit_attempts = 0;
+    bool rdma_done = false;
+    /// The switch's completion notification carried the FINAL enumerated
+    /// count; before it arrives, coverage of the trigger-time count is not
+    /// sufficient (keys may have been added before collection started).
+    bool count_final = false;
+  };
+  /// Retransmission rounds per sub-window before giving up (reports AND
+  /// their retransmissions can both be lost).
+  static constexpr std::uint8_t kMaxRetransmitAttempts = 8;
+
+  void StartCollection(PendingSubWindow& pending, Nanos now);
+  bool IsComplete(const PendingSubWindow& pending) const;
+  void MaybeFinalize(Nanos now);
+  void FinalizeSubWindow(PendingSubWindow& pending, Nanos now);
+  void EmitWindowsAfter(SubWindowNum sw, Nanos now);
+  void EvictFromTable(SubWindowNum keep_from);
+  void TrimHistory();
+  void RequestRetransmissions(PendingSubWindow& pending, Nanos now);
+  void DrainRdma(PendingSubWindow& pending);
+  void UpdateHotKeys(const PendingSubWindow& pending);
+  SubWindowTiming& TimingFor(SubWindowNum sw);
+
+  ControllerConfig cfg_;
+  MergeKind merge_kind_;
+  Switch* switch_ = nullptr;
+  WindowHandler handler_;
+  SubWindowTransform transform_;
+
+  KeyValueTable table_;
+  /// Finalized sub-window records retained while a window may still need
+  /// them (sliding-window eviction rebuilds, O6 release).
+  std::deque<std::pair<SubWindowNum, std::vector<FlowRecord>>> history_;
+  std::map<SubWindowNum, PendingSubWindow> pending_;
+  /// Controller-resident (spilled) keys per sub-window awaiting injection.
+  std::map<SubWindowNum, std::vector<FlowKey>> spilled_;
+  std::map<SubWindowNum, std::set<FlowKey, std::less<FlowKey>>> spilled_seen_;
+  SubWindowNum next_to_finalize_ = 0;
+  /// Sub-windows below this are no longer reflected in table_.
+  SubWindowNum table_floor_ = 0;
+
+  // RDMA state (§7).
+  std::shared_ptr<RdmaContext> rdma_ctx_;
+  MemoryRegion* table_mr_ = nullptr;   ///< hot-key attr mirror
+  MemoryRegion* buffer_mr_ = nullptr;  ///< cold-key append buffer
+  std::map<FlowKey, std::uint32_t> hot_counts_;
+  std::map<FlowKey, std::size_t> hot_slots_;  ///< key -> mirror slot index
+  std::size_t next_hot_slot_ = 0;
+
+  std::vector<SubWindowTiming> timings_;
+  Stats stats_;
+};
+
+}  // namespace ow

@@ -1,0 +1,75 @@
+#include "src/core/network_runner.h"
+
+namespace ow {
+
+NetworkRunResult RunOmniWindowLine(
+    const Trace& trace,
+    const std::function<AdapterPtr(std::size_t switch_index)>& make_app,
+    NetworkRunConfig cfg,
+    std::function<FlowSet(const KeyValueTable&)> detect) {
+  cfg.base.controller.window = cfg.base.window;
+  cfg.base.data_plane.signal.subwindow_size = cfg.base.window.subwindow_size;
+
+  Network net;
+  std::vector<Switch*> switches;
+  std::vector<std::shared_ptr<OmniWindowProgram>> programs;
+  std::vector<std::unique_ptr<OmniWindowController>> controllers;
+  NetworkRunResult result;
+  result.per_switch.resize(cfg.num_switches);
+
+  for (std::size_t i = 0; i < cfg.num_switches; ++i) {
+    Switch* sw = net.AddSwitch(cfg.base.switch_timings);
+    OmniWindowConfig dp = cfg.base.data_plane;
+    dp.first_hop = (i == 0);
+    auto program = std::make_shared<OmniWindowProgram>(dp, make_app(i));
+    sw->SetProgram(program);
+    auto controller = std::make_unique<OmniWindowController>(
+        cfg.base.controller, program->app().merge_kind());
+    controller->AttachSwitch(sw);
+    controller->SetWindowHandler(
+        [&result, i, &detect](const WindowResult& w) {
+          EmittedWindow ew;
+          ew.span = w.span;
+          ew.completed_at = w.completed_at;
+          if (detect) ew.detected = detect(*w.table);
+          result.per_switch[i].windows.push_back(std::move(ew));
+        });
+    switches.push_back(sw);
+    programs.push_back(std::move(program));
+    controllers.push_back(std::move(controller));
+  }
+  std::vector<Link*> links;
+  for (std::size_t i = 0; i + 1 < cfg.num_switches; ++i) {
+    links.push_back(net.Connect(switches[i], switches[i + 1], cfg.link,
+                                cfg.link_seed + i));
+  }
+
+  for (const Packet& p : trace.packets) {
+    switches[0]->EnqueueFromWire(p, p.ts);
+  }
+  Packet sentinel;
+  sentinel.ts = trace.Duration() + cfg.base.window.subwindow_size;
+  switches[0]->EnqueueFromWire(sentinel, sentinel.ts);
+
+  const Nanos horizon = trace.Duration() + 10 * kSecond;
+  net.RunUntilQuiescent(horizon);
+  // Bounded flush rounds: retransmission requests schedule switch events,
+  // so drive the network between rounds.
+  for (int round = 0; round < 16; ++round) {
+    bool all_done = true;
+    for (auto& controller : controllers) {
+      if (!controller->Flush(trace.Duration())) all_done = false;
+    }
+    if (all_done) break;
+    net.RunUntilQuiescent(horizon);
+  }
+
+  for (std::size_t i = 0; i < cfg.num_switches; ++i) {
+    result.per_switch[i].data_plane = programs[i]->stats();
+    result.per_switch[i].controller = controllers[i]->stats();
+  }
+  for (Link* link : links) result.link_dropped += link->dropped();
+  return result;
+}
+
+}  // namespace ow

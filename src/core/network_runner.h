@@ -1,0 +1,47 @@
+// Multi-switch (line topology) harness.
+//
+// Deploys OmniWindow on a chain of switches: the first hop runs signals and
+// stamps sub-window numbers, every later hop follows the embedded numbers
+// (§5). Each switch gets its own telemetry app instance and controller, as
+// in a network-wide deployment; the result carries per-switch windows so
+// callers can check cross-switch consistency (Exp#9-style setups, the
+// ConsistencyAcrossTwoSwitches test, the out-of-order ablation).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/net/network.h"
+
+namespace ow {
+
+struct NetworkRunConfig {
+  RunConfig base;
+  std::size_t num_switches = 2;
+  LinkParams link;  ///< between consecutive switches
+  std::uint64_t link_seed = 0x11417C5ull;
+};
+
+struct SwitchRun {
+  std::vector<EmittedWindow> windows;
+  OmniWindowProgram::Stats data_plane;
+  OmniWindowController::Stats controller;
+};
+
+struct NetworkRunResult {
+  std::vector<SwitchRun> per_switch;
+  std::uint64_t link_dropped = 0;  ///< total drops across inner links
+};
+
+/// Replay `trace` through a chain of `cfg.num_switches` switches.
+/// `make_app` builds the per-switch app (called once per switch, in path
+/// order); `detect` extracts each completed window's detections.
+NetworkRunResult RunOmniWindowLine(
+    const Trace& trace,
+    const std::function<AdapterPtr(std::size_t switch_index)>& make_app,
+    NetworkRunConfig cfg,
+    std::function<FlowSet(const KeyValueTable&)> detect = {});
+
+}  // namespace ow

@@ -1,0 +1,71 @@
+#include "src/core/runner.h"
+
+namespace ow {
+
+RunConfig RunConfig::Make(WindowSpec spec) {
+  RunConfig cfg;
+  cfg.window = spec;
+  cfg.data_plane.signal.kind = SignalKind::kTimeout;
+  cfg.data_plane.signal.subwindow_size = spec.subwindow_size;
+  cfg.controller.window = spec;
+  return cfg;
+}
+
+FlowSet RunResult::AllDetected() const {
+  FlowSet all;
+  for (const auto& w : windows) {
+    all.insert(w.detected.begin(), w.detected.end());
+  }
+  return all;
+}
+
+RunResult RunOmniWindow(const Trace& trace, AdapterPtr app, RunConfig cfg,
+                        std::function<FlowSet(const KeyValueTable&)> detect) {
+  cfg.controller.window = cfg.window;
+  cfg.data_plane.signal.subwindow_size = cfg.window.subwindow_size;
+
+  Switch sw(/*id=*/0, cfg.switch_timings);
+  auto program = std::make_shared<OmniWindowProgram>(cfg.data_plane, app);
+  sw.SetProgram(program);
+
+  OmniWindowController controller(cfg.controller, app->merge_kind());
+  controller.AttachSwitch(&sw);
+
+  RdmaNic nic;
+  if (cfg.controller.rdma || cfg.data_plane.rdma) {
+    program->SetRdmaContext(controller.InitRdma(nic));
+  }
+
+  RunResult result;
+  controller.SetWindowHandler([&](const WindowResult& w) {
+    EmittedWindow ew;
+    ew.span = w.span;
+    ew.completed_at = w.completed_at;
+    if (detect) ew.detected = detect(*w.table);
+    result.windows.push_back(std::move(ew));
+  });
+
+  for (const Packet& p : trace.packets) {
+    sw.EnqueueFromWire(p, p.ts);
+  }
+  // Sentinel packet past the last boundary so the timeout signal terminates
+  // the trailing sub-windows (a quiet wire fires no signals).
+  Packet sentinel;
+  sentinel.ts = trace.Duration() + cfg.window.subwindow_size;
+  sw.EnqueueFromWire(sentinel, sentinel.ts);
+
+  const Nanos horizon = trace.Duration() + 10 * kSecond;
+  sw.RunUntilIdle(horizon);
+  // Final flush: chase losses (bounded retransmission rounds), then
+  // force-finalize whatever remains.
+  while (!controller.Flush(trace.Duration())) {
+    sw.RunUntilIdle(horizon);
+  }
+
+  result.data_plane = program->stats();
+  result.controller = controller.stats();
+  result.timings = controller.timings();
+  return result;
+}
+
+}  // namespace ow

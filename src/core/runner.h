@@ -1,0 +1,57 @@
+// Single-switch end-to-end harness.
+//
+// Wires a Switch + OmniWindowProgram + OmniWindowController together,
+// replays a trace and returns every emitted window along with the
+// detections the caller's query extracts from the merged table. This is the
+// canonical "run OmniWindow over a trace" entry point used by the examples,
+// the accuracy experiments and the integration tests. Multi-switch
+// deployments compose the same pieces by hand over Network (see Exp#9).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/core/controller.h"
+#include "src/core/data_plane.h"
+#include "src/core/window.h"
+#include "src/trace/trace.h"
+
+namespace ow {
+
+struct RunConfig {
+  WindowSpec window;
+  OmniWindowConfig data_plane;
+  ControllerConfig controller;
+  SwitchTimings switch_timings;
+
+  /// Convenience constructor keeping the window spec and signal period in
+  /// sync.
+  static RunConfig Make(WindowSpec spec);
+};
+
+struct EmittedWindow {
+  SubWindowSpan span;
+  FlowSet detected;
+  Nanos completed_at = 0;
+};
+
+struct RunResult {
+  std::vector<EmittedWindow> windows;
+  OmniWindowProgram::Stats data_plane;
+  OmniWindowController::Stats controller;
+  std::vector<SubWindowTiming> timings;
+
+  /// Union of detections across all windows.
+  FlowSet AllDetected() const;
+};
+
+/// Replay `trace` through OmniWindow with `app` plugged in. `detect` maps
+/// each completed window's merged table to the detection set (pass {} to
+/// record empty sets and rely on timings/stats only).
+RunResult RunOmniWindow(
+    const Trace& trace, AdapterPtr app, RunConfig cfg,
+    std::function<FlowSet(const KeyValueTable&)> detect = {});
+
+}  // namespace ow

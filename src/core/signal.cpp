@@ -1,0 +1,52 @@
+#include "src/core/signal.h"
+
+namespace ow {
+
+SignalGenerator::SignalGenerator(SignalConfig cfg) : cfg_(std::move(cfg)) {}
+
+std::uint32_t SignalGenerator::Advance(const Packet& p, Nanos now) {
+  switch (cfg_.kind) {
+    case SignalKind::kTimeout: {
+      if (epoch_start_ < 0) {
+        epoch_start_ = now - now % cfg_.subwindow_size;
+        return 0;
+      }
+      std::uint32_t fired = 0;
+      while (now >= epoch_start_ + cfg_.subwindow_size) {
+        epoch_start_ += cfg_.subwindow_size;
+        ++fired;
+      }
+      return fired;
+    }
+    case SignalKind::kCounter: {
+      if (cfg_.counter_predicate && !cfg_.counter_predicate(p)) return 0;
+      if (++counter_ >= cfg_.counter_threshold) {
+        counter_ = 0;
+        return 1;
+      }
+      return 0;
+    }
+    case SignalKind::kSession: {
+      const Nanos prev = last_packet_;
+      last_packet_ = now;
+      if (prev >= 0 && now - prev >= cfg_.session_gap) return 1;
+      return 0;
+    }
+    case SignalKind::kUserDefined: {
+      if (p.iteration == kNoIteration) return 0;
+      if (last_iteration_ == kNoIteration) {
+        last_iteration_ = p.iteration;
+        return 0;
+      }
+      if (p.iteration > last_iteration_) {
+        const std::uint32_t fired = p.iteration - last_iteration_;
+        last_iteration_ = p.iteration;
+        return fired;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+}  // namespace ow

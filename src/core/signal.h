@@ -1,0 +1,64 @@
+// Sub-window termination signals (paper §5).
+//
+// A sub-window ends when a signal fires. OmniWindow supports four signal
+// kinds; all are evaluated per packet in the data plane of the FIRST-HOP
+// switch only (downstream switches follow the embedded Lamport sub-window
+// number instead of their own signals):
+//
+//  * timeout      — the local clock passed the sub-window deadline;
+//  * counter      — a predicate-matched packet counter reached a threshold;
+//  * session      — no traffic for a configurable gap;
+//  * user-defined — a monotonically increasing number embedded in packets
+//                   (e.g. a training-iteration id) changed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/packet.h"
+#include "src/common/types.h"
+
+namespace ow {
+
+enum class SignalKind : std::uint8_t {
+  kTimeout = 0,
+  kCounter = 1,
+  kSession = 2,
+  kUserDefined = 3,
+};
+
+struct SignalConfig {
+  SignalKind kind = SignalKind::kTimeout;
+  Nanos subwindow_size = 100 * kMilli;  ///< timeout signal period
+  std::uint64_t counter_threshold = 10'000;  ///< counter signal
+  std::function<bool(const Packet&)> counter_predicate;  ///< default: all
+  Nanos session_gap = 50 * kMilli;      ///< session signal idle gap
+};
+
+/// Per-switch signal state machine. Feed every packet through Advance();
+/// it returns how many sub-window terminations the packet implies (usually
+/// 0 or 1; timeout signals can skip several sub-windows over idle gaps).
+class SignalGenerator {
+ public:
+  explicit SignalGenerator(SignalConfig cfg);
+
+  /// Evaluate signals for a packet arriving at local time `now`. Returns
+  /// the number of sub-windows that terminate at this packet.
+  std::uint32_t Advance(const Packet& p, Nanos now);
+
+  /// Hardware resource cost of the signal feature (Exp#5): one 32-bit
+  /// state register plus compare/increment logic.
+  static constexpr std::size_t kSramBytes = 32 * 1024;
+  static constexpr int kSalus = 1;
+  static constexpr int kVliw = 3;
+  static constexpr int kGateways = 2;
+
+ private:
+  SignalConfig cfg_;
+  Nanos epoch_start_ = -1;      // timeout: current sub-window start
+  std::uint64_t counter_ = 0;   // counter signal accumulator
+  Nanos last_packet_ = -1;      // session signal
+  std::uint32_t last_iteration_ = kNoIteration;  // user-defined signal
+};
+
+}  // namespace ow

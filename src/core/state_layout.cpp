@@ -1,0 +1,36 @@
+#include "src/core/state_layout.h"
+
+#include <stdexcept>
+
+namespace ow {
+
+RegionedArray::RegionedArray(std::string name, std::size_t entries_per_region,
+                             std::size_t entry_bytes)
+    : entries_(entries_per_region),
+      array_(std::move(name), 2 * entries_per_region, entry_bytes),
+      offsets_("offset_mat") {
+  offsets_.Install(0, 0);
+  offsets_.Install(1, entries_per_region);
+}
+
+std::size_t RegionedArray::PhysicalIndexChecked(int region,
+                                                std::size_t index) const {
+  if (region < 0 || region > 1) {
+    throw std::out_of_range("RegionedArray: bad region");
+  }
+  if (index >= entries_) {
+    throw std::out_of_range("RegionedArray: index out of region");
+  }
+  return std::size_t(offsets_.Lookup(region)) + index;
+}
+
+ResourceUsage RegionedArray::Resources(int stage) const {
+  ResourceUsage u;
+  u.stages.insert(stage);
+  u.sram_bytes = array_.MemoryBytes();
+  u.salus = 1;  // flattened layout: one SALU serves both regions
+  u.vliw = 1;   // the base+index address add
+  return u;
+}
+
+}  // namespace ow

@@ -1,0 +1,79 @@
+// Shared memory regions with SALU optimization (paper §6).
+//
+// Only one sub-window is actively measured at any time; the previous one is
+// being collected and reset. OmniWindow therefore keeps exactly TWO memory
+// regions per logical state array and alternates sub-windows between them.
+// Naively that doubles SALU usage (each register array needs its own SALU),
+// so the regions are CONCATENATED into one physical register array and a
+// match-action table supplies the region's base offset: address = offset +
+// index, computed before the single SALU access. RegionedArray packages
+// that layout: one RegisterArray of 2×N entries, one offset MAT, one SALU.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/switchsim/mat.h"
+#include "src/switchsim/register_array.h"
+#include "src/switchsim/resources.h"
+
+namespace ow {
+
+class RegionedArray {
+ public:
+  /// Two regions of `entries_per_region` cells each, flattened into one
+  /// register array named `name`.
+  RegionedArray(std::string name, std::size_t entries_per_region,
+                std::size_t entry_bytes = 4);
+
+  /// Region used by sub-window `n` (regions alternate).
+  static int RegionOf(SubWindowNum n) noexcept { return int(n % 2); }
+
+  /// Data-plane RMW in region `region` at `index`: the offset MAT lookup
+  /// plus ONE SALU access on the flattened array.
+  template <typename Fn>
+  std::uint64_t ReadModifyWrite(int region, std::size_t index, Fn&& next) {
+    return array_.ReadModifyWrite(PhysicalIndex(region, index),
+                                  std::forward<Fn>(next));
+  }
+
+  std::uint64_t Read(int region, std::size_t index) {
+    return array_.Read(PhysicalIndex(region, index));
+  }
+
+  void Write(int region, std::size_t index, std::uint64_t value) {
+    array_.Write(PhysicalIndex(region, index), value);
+  }
+
+  /// Control-plane (no pass restriction) accessors used by queries issued
+  /// from recirculating collection packets — these still go through the
+  /// pipeline but target the non-active region.
+  std::uint64_t ControlRead(int region, std::size_t index) const {
+    return array_.ControlRead(PhysicalIndexChecked(region, index));
+  }
+  void ControlWrite(int region, std::size_t index, std::uint64_t value) {
+    array_.ControlWrite(PhysicalIndexChecked(region, index), value);
+  }
+
+  std::size_t entries_per_region() const noexcept { return entries_; }
+  RegisterArray& register_array() noexcept { return array_; }
+
+  /// Resource charge for this layout: one SALU regardless of region count
+  /// (the point of the flattened layout), SRAM for both regions, and the
+  /// address-location MAT cost is charged separately by the program under
+  /// the "Address location" feature.
+  ResourceUsage Resources(int stage) const;
+
+ private:
+  std::size_t PhysicalIndex(int region, std::size_t index) const {
+    // MAT lookup: region -> base offset. Then base + index.
+    return std::size_t(offsets_.Lookup(region)) + index;
+  }
+  std::size_t PhysicalIndexChecked(int region, std::size_t index) const;
+
+  std::size_t entries_;
+  RegisterArray array_;
+  MatchActionTable<int, std::uint64_t> offsets_;
+};
+
+}  // namespace ow

@@ -1,0 +1,68 @@
+// Window specifications.
+//
+// OmniWindow's central idea (§3): the data plane measures in fine-grained
+// sub-windows; the controller merges sub-windows into the window the user
+// asked for. A WindowSpec describes the user-facing window; SubWindowSpan
+// is the controller-side recipe saying which sub-windows compose it.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "src/common/types.h"
+
+namespace ow {
+
+enum class WindowType : std::uint8_t {
+  kTumbling = 0,  ///< back-to-back, no overlap
+  kSliding = 1,   ///< moves by `slide` each step, windows overlap
+  kSession = 2,   ///< terminated by traffic gaps (session signal)
+  kUserDefined = 3,  ///< boundaries embedded in packets (e.g. DML iteration)
+};
+
+struct WindowSpec {
+  WindowType type = WindowType::kTumbling;
+  Nanos window_size = 500 * kMilli;
+  Nanos slide = 100 * kMilli;          ///< sliding only
+  Nanos subwindow_size = 100 * kMilli;
+
+  /// Number of sub-windows composing one full window.
+  std::size_t SubWindowsPerWindow() const {
+    if (subwindow_size <= 0 || window_size % subwindow_size != 0) {
+      throw std::invalid_argument(
+          "WindowSpec: window_size must be a positive multiple of "
+          "subwindow_size");
+    }
+    return std::size_t(window_size / subwindow_size);
+  }
+
+  /// Sub-windows per slide step (sliding windows move this many sub-windows
+  /// at a time).
+  std::size_t SubWindowsPerSlide() const {
+    if (type != WindowType::kSliding) return SubWindowsPerWindow();
+    if (slide <= 0 || slide % subwindow_size != 0) {
+      throw std::invalid_argument(
+          "WindowSpec: slide must be a positive multiple of subwindow_size");
+    }
+    return std::size_t(slide / subwindow_size);
+  }
+
+  void Validate() const {
+    (void)SubWindowsPerWindow();
+    (void)SubWindowsPerSlide();
+  }
+};
+
+/// A contiguous range of sub-windows [first, last] forming one complete
+/// window after merging.
+struct SubWindowSpan {
+  SubWindowNum first = 0;
+  SubWindowNum last = 0;
+
+  std::size_t count() const noexcept { return last - first + 1; }
+  bool Contains(SubWindowNum n) const noexcept {
+    return n >= first && n <= last;
+  }
+};
+
+}  // namespace ow

@@ -1,0 +1,48 @@
+#include "src/dml/iteration_app.h"
+
+namespace ow {
+
+IterationTimeApp::IterationTimeApp(std::size_t cells_per_region)
+    : cells_(cells_per_region),
+      first_("dml_first_ts", cells_per_region, 8),
+      last_("dml_last_ts", cells_per_region, 8) {}
+
+std::size_t IterationTimeApp::CellOf(const FlowKey& key) const {
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(key.Hash(0xD311A99ull)) * cells_) >>
+      64);
+}
+
+void IterationTimeApp::Update(const Packet& p, int region) {
+  const std::size_t cell = CellOf(p.Key(FlowKeyKind::kSrcIp));
+  const std::uint64_t ts = std::uint64_t(p.ts) + 1;  // +1: 0 means "unset"
+  first_.ReadModifyWrite(region, cell,
+                         [&](std::uint64_t v) { return v == 0 ? ts : v; });
+  last_.Write(region, cell, ts);
+}
+
+FlowRecord IterationTimeApp::Query(const FlowKey& key, int region,
+                                   SubWindowNum subwindow) const {
+  FlowRecord rec;
+  rec.key = key;
+  rec.subwindow = subwindow;
+  const std::size_t cell = CellOf(key);
+  const std::uint64_t first = first_.ControlRead(region, cell);
+  const std::uint64_t last = last_.ControlRead(region, cell);
+  rec.attrs[0] = first == 0 ? 0 : first - 1;
+  rec.attrs[1] = last == 0 ? 0 : last - 1;
+  rec.num_attrs = 2;
+  return rec;
+}
+
+void IterationTimeApp::ResetSlice(int region, std::size_t index) {
+  first_.ControlWrite(region, index, 0);
+  last_.ControlWrite(region, index, 0);
+}
+
+void IterationTimeApp::ChargeResources(ResourceLedger& ledger) const {
+  ledger.Charge("App:dml_iteration_time", first_.Resources(6));
+  ledger.Charge("App:dml_iteration_time", last_.Resources(7));
+}
+
+}  // namespace ow

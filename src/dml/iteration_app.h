@@ -1,0 +1,46 @@
+// Iteration-time telemetry app (Exp#3).
+//
+// Measures, per worker and per training iteration, the time between the
+// first and the last gradient packet the switch saw — entirely in the data
+// plane. Deployed under a user-defined window signal: each iteration number
+// embedded in packets opens a new sub-window, and every sub-window is its
+// own window (W = 1), so no cross-sub-window merging is involved.
+#pragma once
+
+#include <memory>
+
+#include "src/core/adapter.h"
+#include "src/core/state_layout.h"
+
+namespace ow {
+
+class IterationTimeApp final : public TelemetryAppAdapter {
+ public:
+  explicit IterationTimeApp(std::size_t cells_per_region = 256);
+
+  std::string name() const override { return "dml_iteration_time"; }
+  FlowKeyKind key_kind() const override { return FlowKeyKind::kSrcIp; }
+  /// Windows are single sub-windows; merge kind is irrelevant but kMax is
+  /// the natural fit for timestamps.
+  MergeKind merge_kind() const override { return MergeKind::kMax; }
+
+  void Update(const Packet& p, int region) override;
+  /// AFR: attrs[0] = first packet timestamp, attrs[1] = last.
+  FlowRecord Query(const FlowKey& key, int region,
+                   SubWindowNum subwindow) const override;
+  void ResetSlice(int region, std::size_t index) override;
+  std::size_t NumResetSlices() const override { return cells_; }
+  void ChargeResources(ResourceLedger& ledger) const override;
+  std::vector<RegisterArray*> Registers() override {
+    return {&first_.register_array(), &last_.register_array()};
+  }
+
+ private:
+  std::size_t CellOf(const FlowKey& key) const;
+
+  std::size_t cells_;
+  RegionedArray first_;
+  RegionedArray last_;
+};
+
+}  // namespace ow

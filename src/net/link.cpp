@@ -1,0 +1,22 @@
+#include "src/net/link.h"
+
+namespace ow {
+
+void Link::Transmit(Packet p, Nanos now) {
+  ++transmitted_;
+  if (params_.loss_rate > 0 && rng_.Bernoulli(params_.loss_rate)) {
+    ++dropped_;
+    return;
+  }
+  Nanos delay = params_.latency;
+  if (params_.jitter > 0) {
+    delay += Nanos(rng_.Uniform(std::uint64_t(params_.jitter)));
+  }
+  if (params_.spike_rate > 0 && rng_.Bernoulli(params_.spike_rate)) {
+    delay += params_.spike_extra;
+    ++spiked_;
+  }
+  deliver_(std::move(p), now + delay);
+}
+
+}  // namespace ow

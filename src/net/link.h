@@ -1,0 +1,49 @@
+// Network links.
+//
+// A Link connects a packet producer to a consumer with configurable
+// propagation latency, jitter, random loss, and rare latency spikes (the
+// delayed packets §5 of the paper handles via preserved sub-windows). Links
+// are deterministic given their seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/packet.h"
+#include "src/common/rng.h"
+
+namespace ow {
+
+struct LinkParams {
+  Nanos latency = 2 * kMicro;       ///< base one-way propagation + switching
+  Nanos jitter = 500;               ///< uniform extra delay in [0, jitter)
+  double loss_rate = 0.0;           ///< independent per-packet loss
+  double spike_rate = 0.0;          ///< probability of a latency spike
+  Nanos spike_extra = 200 * kMicro; ///< extra delay on a spike
+};
+
+class Link {
+ public:
+  using Deliver = std::function<void(Packet, Nanos)>;
+
+  Link(LinkParams params, Deliver deliver, std::uint64_t seed = 0x117C)
+      : params_(params), deliver_(std::move(deliver)), rng_(seed) {}
+
+  /// Transmit `p` at time `now`; the consumer sees it after the link delay
+  /// (or never, on loss).
+  void Transmit(Packet p, Nanos now);
+
+  std::uint64_t transmitted() const noexcept { return transmitted_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t spiked() const noexcept { return spiked_; }
+
+ private:
+  LinkParams params_;
+  Deliver deliver_;
+  Rng rng_;
+  std::uint64_t transmitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t spiked_ = 0;
+};
+
+}  // namespace ow

@@ -1,0 +1,66 @@
+#include "src/net/network.h"
+
+#include <stdexcept>
+
+namespace ow {
+
+Switch* Network::AddSwitch(SwitchTimings timings, Nanos clock_deviation) {
+  auto node = std::make_unique<Node>(
+      Node{std::make_unique<Switch>(int(nodes_.size()), timings),
+           LocalClock(clock_, clock_deviation)});
+  Switch* sw = node->sw.get();
+  nodes_.push_back(std::move(node));
+  return sw;
+}
+
+LocalClock& Network::ClockOf(const Switch* sw) {
+  for (auto& node : nodes_) {
+    if (node->sw.get() == sw) return node->clock;
+  }
+  throw std::invalid_argument("Network::ClockOf: unknown switch");
+}
+
+Link* Network::Connect(Switch* a, Switch* b, LinkParams params,
+                       std::uint64_t seed) {
+  auto link = std::make_unique<Link>(
+      params,
+      [b](Packet p, Nanos arrival) { b->EnqueueFromWire(std::move(p), arrival); },
+      seed);
+  Link* raw = link.get();
+  a->SetForwardHandler(
+      [raw](const Packet& p, Nanos now) { raw->Transmit(p, now); });
+  links_.push_back(std::move(link));
+  return raw;
+}
+
+Link* Network::ConnectToSink(Switch* a, LinkParams params, Link::Deliver sink,
+                             std::uint64_t seed) {
+  auto link = std::make_unique<Link>(params, std::move(sink), seed);
+  Link* raw = link.get();
+  a->SetForwardHandler(
+      [raw](const Packet& p, Nanos now) { raw->Transmit(p, now); });
+  links_.push_back(std::move(link));
+  return raw;
+}
+
+Nanos Network::RunUntilQuiescent(Nanos max_time) {
+  Nanos last = -1;
+  while (true) {
+    Switch* earliest = nullptr;
+    Nanos t = -1;
+    for (auto& node : nodes_) {
+      const Nanos nt = node->sw->NextEventTime();
+      if (nt >= 0 && nt <= max_time && (t < 0 || nt < t)) {
+        t = nt;
+        earliest = node->sw.get();
+      }
+    }
+    if (!earliest) break;
+    earliest->RunUntil(t);
+    clock_.AdvanceTo(t);
+    last = t;
+  }
+  return last;
+}
+
+}  // namespace ow

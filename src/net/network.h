@@ -1,0 +1,56 @@
+// Multi-switch network orchestration.
+//
+// Network owns a set of switches and drives them in global time order:
+// repeatedly pick the device with the earliest pending event and process
+// exactly that timestamp. Because every handler schedules downstream
+// arrivals strictly later (links have positive latency), processing the
+// globally-earliest event first preserves causality without a shared event
+// queue. This is the substrate for the network-wide experiments (Exp#9's
+// two-switch LossRadar deployment, consistency-model propagation).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/net/link.h"
+#include "src/switchsim/pipeline.h"
+
+namespace ow {
+
+class Network {
+ public:
+  /// Create a switch owned by the network. `clock_deviation` models residual
+  /// PTP error for this device (Exp#9).
+  Switch* AddSwitch(SwitchTimings timings = {}, Nanos clock_deviation = 0);
+
+  /// Per-switch local clock (global simulated time + deviation).
+  LocalClock& ClockOf(const Switch* sw);
+
+  /// Wire a's forwarded packets into b over a link. Returns the link for
+  /// stats inspection. Only one downstream per switch (linear topologies).
+  Link* Connect(Switch* a, Switch* b, LinkParams params,
+                std::uint64_t seed = 0x117C);
+
+  /// Wire a's forwarded packets to a sink callback over a link (last hop).
+  Link* ConnectToSink(Switch* a, LinkParams params, Link::Deliver sink,
+                      std::uint64_t seed = 0x5117C);
+
+  /// Drive all switches until no device has a pending event at or before
+  /// `max_time`. Returns the timestamp of the last processed event (-1 if
+  /// nothing ran).
+  Nanos RunUntilQuiescent(Nanos max_time);
+
+  SimClock& clock() noexcept { return clock_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Switch> sw;
+    LocalClock clock;
+  };
+  SimClock clock_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace ow

@@ -1,0 +1,48 @@
+// Bloom filter.
+//
+// Used by OmniWindow's flowkey tracking (Algorithm 1) to deduplicate
+// flowkeys before spilling them to the controller, and reusable as a
+// membership structure by telemetry queries (distinct operators).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/flowkey.h"
+#include "src/common/hash.h"
+
+namespace ow {
+
+class BloomFilter {
+ public:
+  /// `bits` cells, `k` hash functions. `bits` is rounded up to a multiple
+  /// of 64.
+  BloomFilter(std::size_t bits, std::size_t k,
+              std::uint64_t seed = 0xB100F11Edull);
+
+  void Insert(const FlowKey& key);
+  bool Contains(const FlowKey& key) const;
+
+  /// Insert and report whether the key was (probably) already present.
+  /// Single pass over the k cells — mirrors the one-pass test-and-set the
+  /// data plane performs.
+  bool TestAndSet(const FlowKey& key);
+
+  void Reset();
+
+  std::size_t bit_count() const noexcept { return bits_; }
+  std::size_t MemoryBytes() const noexcept { return words_.size() * 8; }
+  std::size_t NumSalus() const noexcept { return hashes_.size(); }
+
+  /// Expected false-positive rate after `n` insertions.
+  double ExpectedFpp(std::size_t n) const;
+
+ private:
+  std::size_t BitIndex(std::size_t i, const FlowKey& key) const;
+
+  std::size_t bits_;
+  HashFamily hashes_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ow

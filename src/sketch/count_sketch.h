@@ -1,0 +1,46 @@
+// Count Sketch (Charikar, Chen & Farach-Colton, 2002).
+//
+// Like Count-Min but each update is multiplied by a per-row random sign, so
+// collisions cancel in expectation and the MEDIAN of row estimates is an
+// unbiased estimator (two-sided error, unlike Count-Min's overestimate).
+// UnivMon builds on Count Sketch at every level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/sketch/sketch.h"
+
+namespace ow {
+
+class CountSketch final : public FrequencySketch {
+ public:
+  CountSketch(std::size_t depth, std::size_t width,
+              std::uint64_t seed = 0xC047C4ull);
+
+  static CountSketch WithMemory(std::size_t memory_bytes, std::size_t depth,
+                                std::uint64_t seed = 0xC047C4ull);
+
+  void Update(const FlowKey& key, std::uint64_t inc) override;
+  /// Median of signed row estimates, clamped at zero (frequencies are
+  /// non-negative).
+  std::uint64_t Estimate(const FlowKey& key) const override;
+  void Reset() override;
+
+  std::size_t MemoryBytes() const override { return rows_.size() * width_ * 8; }
+  std::size_t NumSalus() const override { return rows_.size(); }
+
+  std::size_t depth() const noexcept { return rows_.size(); }
+  std::size_t width() const noexcept { return width_; }
+
+ private:
+  std::int64_t Sign(std::size_t row, const FlowKey& key) const;
+
+  std::size_t width_;
+  HashFamily hashes_;
+  HashFamily signs_;
+  std::vector<std::vector<std::int64_t>> rows_;
+};
+
+}  // namespace ow

@@ -1,0 +1,73 @@
+// Elastic Sketch (Yang et al., SIGCOMM 2018) — basic version.
+//
+// Separates elephants from mice: a HEAVY part of vote-based buckets holds
+// candidate heavy flows exactly; a LIGHT part (counter array) absorbs
+// evicted and small flows. On an update that misses the resident key, the
+// negative vote grows; when negative/positive exceeds the eviction ratio λ
+// the resident is displaced to the light part and the newcomer takes the
+// bucket. Heavy keys are directly enumerable, which is why Elastic-style
+// solutions only need OmniWindow's flowkey tracker for their light part.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/sketch/sketch.h"
+
+namespace ow {
+
+class ElasticSketch final : public InvertibleSketch {
+ public:
+  /// `heavy_buckets` vote buckets plus a light counter array of
+  /// `light_counters` cells (single hashed row, 16-bit saturating counters
+  /// as in the paper's light part).
+  ElasticSketch(std::size_t heavy_buckets, std::size_t light_counters,
+                double eviction_ratio = 8.0,
+                std::uint64_t seed = 0xE1A57Full);
+
+  /// Geometry from a memory budget: ~25% heavy / 75% light (the paper's
+  /// recommended split). Heavy bucket = key(16) + votes(12) ≈ 28 B; light
+  /// counter = 2 B.
+  static ElasticSketch WithMemory(std::size_t memory_bytes,
+                                  std::size_t depth_unused = 0,
+                                  std::uint64_t seed = 0xE1A57Full);
+
+  void Update(const FlowKey& key, std::uint64_t inc) override;
+  std::uint64_t Estimate(const FlowKey& key) const override;
+  void Reset() override;
+
+  std::vector<FlowKey> Candidates() const override;
+
+  std::size_t MemoryBytes() const override {
+    return heavy_.size() * kHeavyBucketBytes + light_.size() * 2;
+  }
+  // Heavy key/votes/flag registers + the light array.
+  std::size_t NumSalus() const override { return 4; }
+
+  std::size_t heavy_buckets() const noexcept { return heavy_.size(); }
+  std::size_t light_counters() const noexcept { return light_.size(); }
+
+  static constexpr std::size_t kHeavyBucketBytes = 28;
+  static constexpr std::uint64_t kLightMax = 0xFFFF;  // 16-bit saturation
+
+ private:
+  struct Bucket {
+    FlowKey key;
+    std::uint64_t pos = 0;   // resident flow's count since taking over
+    std::uint64_t neg = 0;   // other flows' votes
+    bool occupied = false;
+    bool ever_evicted = false;  // resident arrived after an eviction: its
+                                // early packets live in the light part
+  };
+
+  void LightAdd(const FlowKey& key, std::uint64_t inc);
+  std::uint64_t LightEstimate(const FlowKey& key) const;
+
+  double ratio_;
+  HashFamily hashes_;  // [0]: heavy index, [1]: light index
+  std::vector<Bucket> heavy_;
+  std::vector<std::uint16_t> light_;
+};
+
+}  // namespace ow

@@ -1,0 +1,57 @@
+// HashPipe (Sivaraman et al., SOSR 2017).
+//
+// Heavy-hitter detection entirely in the data plane: a pipeline of d tables
+// of (key, count) slots. Stage 1 always inserts the incoming key (evicting
+// the resident entry, which is carried to the next stage); later stages keep
+// whichever of the carried/resident entries has the larger count. Matches
+// the single-pass, one-access-per-stage restriction of RMT hardware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/sketch/sketch.h"
+
+namespace ow {
+
+class HashPipe final : public InvertibleSketch {
+ public:
+  HashPipe(std::size_t stages, std::size_t slots_per_stage,
+           std::uint64_t seed = 0x4A5C41B1Eull);
+
+  /// Geometry from a memory budget. Slot = key(16) + count(8) = 24 bytes.
+  static HashPipe WithMemory(std::size_t memory_bytes, std::size_t stages,
+                             std::uint64_t seed = 0x4A5C41B1Eull);
+
+  void Update(const FlowKey& key, std::uint64_t inc) override;
+  std::uint64_t Estimate(const FlowKey& key) const override;
+  void Reset() override;
+
+  std::vector<FlowKey> Candidates() const override;
+
+  std::size_t MemoryBytes() const override {
+    return tables_.size() * slots_ * kSlotBytes;
+  }
+  // Key and count are separate register arrays per stage.
+  std::size_t NumSalus() const override { return tables_.size() * 2; }
+
+  std::size_t stages() const noexcept { return tables_.size(); }
+  std::size_t slots() const noexcept { return slots_; }
+
+  static constexpr std::size_t kSlotBytes = 24;
+
+ private:
+  struct Slot {
+    FlowKey key;
+    std::uint64_t count = 0;
+    bool occupied = false;
+  };
+
+  std::size_t slots_;
+  HashFamily hashes_;
+  std::vector<std::vector<Slot>> tables_;
+};
+
+}  // namespace ow

@@ -1,0 +1,64 @@
+#include "src/sketch/hyperloglog.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace ow {
+
+HyperLogLog::HyperLogLog(unsigned precision) : p_(precision) {
+  if (precision < 4 || precision > 18) {
+    throw std::invalid_argument("HyperLogLog: precision must be in [4, 18]");
+  }
+  regs_.assign(std::size_t(1) << precision, 0);
+}
+
+HyperLogLog HyperLogLog::WithMemory(std::size_t memory_bytes) {
+  unsigned p = 4;
+  while (p < 18 && (std::size_t(1) << (p + 1)) <= memory_bytes) ++p;
+  return HyperLogLog(p);
+}
+
+void HyperLogLog::Add(std::uint64_t element_hash) {
+  const std::size_t idx = element_hash >> (64 - p_);
+  const std::uint64_t rest = element_hash << p_;
+  const std::uint8_t rank =
+      std::uint8_t(std::min(64 - int(p_), std::countl_zero(rest | 1ull) + 1));
+  regs_[idx] = std::max(regs_[idx], rank);
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = double(regs_.size());
+  double inv_sum = 0;
+  std::size_t zeros = 0;
+  for (std::uint8_t r : regs_) {
+    inv_sum += std::ldexp(1.0, -int(r));
+    if (r == 0) ++zeros;
+  }
+  const double alpha =
+      m <= 16 ? 0.673 : (m <= 32 ? 0.697 : (m <= 64 ? 0.709
+                                                    : 0.7213 / (1 + 1.079 / m)));
+  const double raw = alpha * m * m / inv_sum;
+  // Small-range correction: fall back to linear counting while registers
+  // still contain zeros and the raw estimate is small.
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / double(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::Reset() {
+  std::fill(regs_.begin(), regs_.end(), 0);
+}
+
+void HyperLogLog::MergeFrom(const HyperLogLog& other) {
+  if (other.p_ != p_) {
+    throw std::invalid_argument("HyperLogLog::MergeFrom: precision mismatch");
+  }
+  for (std::size_t i = 0; i < regs_.size(); ++i) {
+    regs_[i] = std::max(regs_[i], other.regs_[i]);
+  }
+}
+
+}  // namespace ow

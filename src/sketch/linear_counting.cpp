@@ -1,0 +1,36 @@
+#include "src/sketch/linear_counting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ow {
+
+LinearCounting::LinearCounting(std::size_t bits)
+    : bits_((bits + 63) / 64 * 64) {
+  if (bits == 0) throw std::invalid_argument("LinearCounting: bits must be > 0");
+  words_.resize(bits_ / 64, 0);
+}
+
+void LinearCounting::Add(std::uint64_t element_hash) {
+  const std::size_t b = static_cast<std::size_t>(element_hash % bits_);
+  const std::uint64_t mask = 1ull << (b % 64);
+  if (!(words_[b / 64] & mask)) {
+    words_[b / 64] |= mask;
+    ++set_bits_;
+  }
+}
+
+double LinearCounting::Estimate() const {
+  const double m = double(bits_);
+  const double z = m - double(set_bits_);
+  if (z <= 0.5) return m * std::log(2 * m);  // saturated bitmap
+  return m * std::log(m / z);
+}
+
+void LinearCounting::Reset() {
+  std::fill(words_.begin(), words_.end(), 0);
+  set_bits_ = 0;
+}
+
+}  // namespace ow

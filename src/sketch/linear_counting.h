@@ -1,0 +1,39 @@
+// Linear Counting (Whang et al., TODS 1990).
+//
+// Cardinality estimation from the zero-bit fraction of a single bitmap:
+// n̂ = m · ln(m / z). Accurate while the bitmap load factor stays moderate;
+// used for flow-count monitoring in the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/sketch.h"
+
+namespace ow {
+
+class LinearCounting final : public CardinalityEstimator {
+ public:
+  explicit LinearCounting(std::size_t bits);
+
+  static LinearCounting WithMemory(std::size_t memory_bytes) {
+    return LinearCounting(memory_bytes * 8);
+  }
+
+  void Add(std::uint64_t element_hash) override;
+  double Estimate() const override;
+  void Reset() override;
+
+  std::size_t MemoryBytes() const override { return words_.size() * 8; }
+  std::size_t NumSalus() const override { return 1; }
+
+  std::size_t set_bits() const noexcept { return set_bits_; }
+  std::size_t bit_count() const noexcept { return bits_; }
+
+ private:
+  std::size_t bits_;
+  std::size_t set_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ow

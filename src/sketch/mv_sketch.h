@@ -1,0 +1,56 @@
+// MV-Sketch (Tang, Huang & Lee, INFOCOM 2019 / ToN 2020).
+//
+// Invertible heavy-flow sketch. Each bucket tracks a total count V, a
+// majority-vote candidate key K and an indicator count C; the candidate is
+// replaced when its indicator is voted down to zero. Heavy hitters can be
+// enumerated directly from the candidate keys, which is how the data plane
+// tracks heavy keys without a separate key store.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/sketch/sketch.h"
+
+namespace ow {
+
+class MvSketch final : public InvertibleSketch {
+ public:
+  MvSketch(std::size_t depth, std::size_t width,
+           std::uint64_t seed = 0x3141592653589793ull);
+
+  /// Geometry from a memory budget. Bucket = V(8) + C(8) + K(16) = 32 bytes.
+  static MvSketch WithMemory(std::size_t memory_bytes, std::size_t depth,
+                             std::uint64_t seed = 0x3141592653589793ull);
+
+  void Update(const FlowKey& key, std::uint64_t inc) override;
+  std::uint64_t Estimate(const FlowKey& key) const override;
+  void Reset() override;
+
+  std::vector<FlowKey> Candidates() const override;
+
+  std::size_t MemoryBytes() const override {
+    return rows_.size() * width_ * kBucketBytes;
+  }
+  // V, C and the key field are separate register arrays in hardware.
+  std::size_t NumSalus() const override { return rows_.size() * 3; }
+
+  std::size_t depth() const noexcept { return rows_.size(); }
+  std::size_t width() const noexcept { return width_; }
+
+  static constexpr std::size_t kBucketBytes = 32;
+
+ private:
+  struct Bucket {
+    std::uint64_t total = 0;      // V
+    std::int64_t indicator = 0;   // C
+    FlowKey candidate;            // K
+  };
+
+  std::size_t width_;
+  HashFamily hashes_;
+  std::vector<std::vector<Bucket>> rows_;
+};
+
+}  // namespace ow

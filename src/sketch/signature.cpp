@@ -1,0 +1,56 @@
+#include "src/sketch/signature.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "src/common/hash.h"
+
+namespace ow {
+namespace {
+
+double LinearCount(double m, double set) {
+  const double z = m - set;
+  if (z <= 0.5) return m * std::log(2 * m);  // saturated
+  if (set == 0) return 0;
+  return m * std::log(m / z);
+}
+
+}  // namespace
+
+void LcSignatureInsert(SpreadSignature& sig, std::uint64_t element_hash) {
+  const std::size_t bit = std::size_t(Mix64(element_hash) % 256);
+  sig[bit / 64] |= 1ull << (bit % 64);
+}
+
+double LcSignatureEstimate(const SpreadSignature& sig) {
+  std::size_t set = 0;
+  for (std::uint64_t w : sig) set += std::popcount(w);
+  return LinearCount(256.0, double(set));
+}
+
+void MrbSignatureInsert(SpreadSignature& sig, std::uint64_t element_hash) {
+  const std::size_t level =
+      std::min<std::size_t>(std::countl_zero(element_hash | 1ull), 3);
+  const std::size_t bit = std::size_t(Mix64(element_hash) % 64);
+  sig[level] |= 1ull << bit;
+}
+
+double MrbSignatureEstimate(const SpreadSignature& sig) {
+  constexpr double m = 64.0;
+  const std::size_t sat = std::size_t(m * 0.93);
+  auto set_bits = [&](std::size_t l) {
+    return std::size_t(std::popcount(sig[l]));
+  };
+  std::size_t base = 0;
+  while (base + 1 < 4 && set_bits(base) > sat) ++base;
+  double total = 0;
+  for (std::size_t l = base; l < 4; ++l) {
+    const std::size_t set = set_bits(l);
+    if (set == 0) continue;
+    total += LinearCount(m, double(set));
+  }
+  return total * std::pow(2.0, double(base));
+}
+
+}  // namespace ow

@@ -1,0 +1,39 @@
+// 256-bit distinct-element signatures.
+//
+// Distinction statistics cannot be merged across sub-windows as scalars
+// without double counting (the same element may appear in several
+// sub-windows). OmniWindow's AFRs therefore carry a compact distinct
+// SIGNATURE in their four attribute words; signatures OR-merge exactly, and
+// the count is estimated from the merged bitmap. Two layouts are used:
+//
+//  * LC: a flat 256-bit linear-counting bitmap (Vector Bloom Filter /
+//    query-engine distinct operators). Good to ~1.4 K distinct elements.
+//  * MRB: four 64-bit levels sampling at geometric rates (SpreadSketch) —
+//    wider range at the same size.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sketch/sketch.h"
+
+namespace ow {
+
+/// Insert an element (by hash) into a flat LC signature.
+void LcSignatureInsert(SpreadSignature& sig, std::uint64_t element_hash);
+
+/// Distinct estimate of a flat LC signature.
+double LcSignatureEstimate(const SpreadSignature& sig);
+
+/// Insert an element (by hash) into a 4-level MRB signature.
+void MrbSignatureInsert(SpreadSignature& sig, std::uint64_t element_hash);
+
+/// Distinct estimate of a 4-level MRB signature.
+double MrbSignatureEstimate(const SpreadSignature& sig);
+
+/// OR-merge: the exact union semantics the controller relies on.
+inline void MergeSpreadSignature(SpreadSignature& into,
+                                 const SpreadSignature& from) {
+  for (std::size_t i = 0; i < 4; ++i) into[i] |= from[i];
+}
+
+}  // namespace ow

@@ -1,0 +1,117 @@
+// Sketch interfaces.
+//
+// The paper integrates OmniWindow with eight sketch-based telemetry
+// algorithms (Exp#2). They fall into three behavioural families, which we
+// model as three small abstract interfaces so that the window machinery
+// (sub-window instantiation, AFR generation, C&R) is generic over them:
+//
+//  * FrequencySketch  — per-flow counters: Count-Min, SuMax, MV-Sketch,
+//    HashPipe. Queried by flowkey, which is exactly the data-plane query
+//    AFR generation performs (paper §4.1).
+//  * SpreadEstimator  — per-key distinct counting: SpreadSketch, Vector
+//    Bloom Filter (super-spreader detection, Q8).
+//  * CardinalityEstimator — stream-wide distinct counting: Linear Counting,
+//    HyperLogLog (flow cardinality monitoring).
+//
+// All sketches report MemoryBytes() and NumSalus() so the switch resource
+// ledger (Exp#5) can account for them when deployed in the pipeline model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/flowkey.h"
+
+namespace ow {
+
+/// Compact 256-bit distinct-element signature a spread sketch can export
+/// per key. Carried in an AFR's four attribute words; OR-mergeable across
+/// sub-windows (the controller's distinction-statistics merge).
+using SpreadSignature = std::array<std::uint64_t, 4>;
+
+/// Per-flow frequency estimation (packet or byte counts).
+class FrequencySketch {
+ public:
+  virtual ~FrequencySketch() = default;
+
+  /// Record `inc` units (packets or bytes) for `key`.
+  virtual void Update(const FlowKey& key, std::uint64_t inc) = 0;
+
+  /// Point query: estimated total for `key`.
+  virtual std::uint64_t Estimate(const FlowKey& key) const = 0;
+
+  /// Clear all state (the R half of C&R).
+  virtual void Reset() = 0;
+
+  /// Data-plane SRAM footprint.
+  virtual std::size_t MemoryBytes() const = 0;
+
+  /// Stateful ALUs a hardware deployment of this instance occupies (one per
+  /// independently addressed register array).
+  virtual std::size_t NumSalus() const = 0;
+};
+
+/// A frequency sketch that additionally tracks candidate heavy keys in the
+/// data plane (MV-Sketch, HashPipe). Non-invertible sketches (Count-Min)
+/// rely on OmniWindow's flowkey tracking instead.
+class InvertibleSketch : public FrequencySketch {
+ public:
+  /// Distinct candidate heavy keys currently stored in the structure.
+  virtual std::vector<FlowKey> Candidates() const = 0;
+};
+
+/// Per-key spread (distinct destination) estimation for super-spreader
+/// detection.
+class SpreadEstimator {
+ public:
+  virtual ~SpreadEstimator() = default;
+
+  /// Record that `key` contacted the element identified by `element_hash`
+  /// (e.g. hash of the destination address).
+  virtual void Update(const FlowKey& key, std::uint64_t element_hash) = 0;
+
+  /// Estimated number of distinct elements seen for `key`.
+  virtual double EstimateSpread(const FlowKey& key) const = 0;
+
+  virtual void Reset() = 0;
+  virtual std::size_t MemoryBytes() const = 0;
+  virtual std::size_t NumSalus() const = 0;
+
+  /// Candidate spreader keys tracked in the data plane (empty if the
+  /// structure is not invertible).
+  virtual std::vector<FlowKey> Candidates() const { return {}; }
+
+  /// 256-bit distinct signature for `key`, derived from the structure's
+  /// state (AFR payload for distinction statistics). All-zero if the
+  /// structure cannot export one.
+  virtual SpreadSignature Signature(const FlowKey& key) const {
+    (void)key;
+    return {};
+  }
+
+  /// Distinct-count estimate from a (possibly merged) signature produced by
+  /// this structure's Signature().
+  virtual double EstimateFromSignature(const SpreadSignature& sig) const {
+    (void)sig;
+    return 0;
+  }
+};
+
+/// Stream-wide distinct counting.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Record one element by its hash.
+  virtual void Add(std::uint64_t element_hash) = 0;
+
+  /// Estimated number of distinct elements added since the last Reset.
+  virtual double Estimate() const = 0;
+
+  virtual void Reset() = 0;
+  virtual std::size_t MemoryBytes() const = 0;
+  virtual std::size_t NumSalus() const = 0;
+};
+
+}  // namespace ow

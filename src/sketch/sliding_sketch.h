@@ -1,0 +1,146 @@
+// Sliding Sketch baseline (Gou et al., SIGKDD 2020) — "SS" in the paper.
+//
+// A general framework that retrofits sliding-window semantics onto hash
+// sketches: every bucket is extended to two zones (previous / current
+// window) and a scanning pointer sweeps the whole structure once per window
+// period, shifting each bucket it passes (current -> previous, clear
+// current). Queries combine both zones, so answers cover strictly more than
+// one window of traffic — the overestimation the paper measures in Exp#2 and
+// Exp#10. Memory per logical counter doubles, halving effective width.
+//
+// We implement the basic design for the three base sketches the evaluation
+// needs: Count-Min, SuMax and MV-Sketch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/types.h"
+#include "src/sketch/sketch.h"
+
+namespace ow {
+
+/// Scan-pointer bookkeeping shared by all sliding sketches: converts elapsed
+/// time into the number of buckets the cleaning pointer passes.
+class SlidingScanPointer {
+ public:
+  SlidingScanPointer(std::size_t total_buckets, Nanos window_period);
+
+  /// Advance simulated time; returns bucket indices do not wrap more than
+  /// once per call (callers advance at sub-window granularity). Invokes
+  /// `shift(bucket_index)` for every bucket the pointer passes.
+  template <typename ShiftFn>
+  void Advance(Nanos now, ShiftFn&& shift) {
+    if (now <= last_) return;
+    // Pointer speed: total_buckets buckets per window period.
+    const double buckets =
+        double(total_) * double(now - last_) / double(period_);
+    double todo = buckets + carry_;
+    while (todo >= 1.0) {
+      shift(pos_);
+      pos_ = (pos_ + 1) % total_;
+      todo -= 1.0;
+    }
+    carry_ = todo;
+    last_ = now;
+  }
+
+  std::size_t position() const noexcept { return pos_; }
+
+ private:
+  std::size_t total_;
+  Nanos period_;
+  Nanos last_ = 0;
+  double carry_ = 0;
+  std::size_t pos_ = 0;
+};
+
+/// Count-Min under the Sliding Sketch framework.
+class SlidingCountMin {
+ public:
+  /// Same memory budget as a plain CM of (depth × 2·width): each bucket
+  /// stores {previous, current}.
+  SlidingCountMin(std::size_t depth, std::size_t width, Nanos window_period,
+                  std::uint64_t seed = 0xC0117417ull);
+
+  void Update(const FlowKey& key, std::uint64_t inc, Nanos now);
+  std::uint64_t Estimate(const FlowKey& key, Nanos now);
+  void Reset();
+
+  std::size_t MemoryBytes() const { return rows_.size() * width_ * 16; }
+  std::size_t depth() const noexcept { return rows_.size(); }
+  std::size_t width() const noexcept { return width_; }
+
+ private:
+  void AdvanceTo(Nanos now);
+  struct Cell {
+    std::uint64_t prev = 0;
+    std::uint64_t cur = 0;
+  };
+  std::size_t width_;
+  HashFamily hashes_;
+  std::vector<std::vector<Cell>> rows_;
+  SlidingScanPointer scan_;
+};
+
+/// SuMax (conservative-update CM) under the Sliding Sketch framework.
+class SlidingSuMax {
+ public:
+  SlidingSuMax(std::size_t depth, std::size_t width, Nanos window_period,
+               std::uint64_t seed = 0x5117A0Cull);
+
+  void Update(const FlowKey& key, std::uint64_t inc, Nanos now);
+  std::uint64_t Estimate(const FlowKey& key, Nanos now);
+  void Reset();
+
+  std::size_t MemoryBytes() const { return rows_.size() * width_ * 16; }
+
+ private:
+  void AdvanceTo(Nanos now);
+  struct Cell {
+    std::uint64_t prev = 0;
+    std::uint64_t cur = 0;
+  };
+  std::size_t width_;
+  HashFamily hashes_;
+  std::vector<std::vector<Cell>> rows_;
+  SlidingScanPointer scan_;
+};
+
+/// MV-Sketch under the Sliding Sketch framework (used by Exp#10).
+class SlidingMvSketch {
+ public:
+  SlidingMvSketch(std::size_t depth, std::size_t width, Nanos window_period,
+                  std::uint64_t seed = 0x3141592653589793ull);
+
+  void Update(const FlowKey& key, std::uint64_t inc, Nanos now);
+  std::uint64_t Estimate(const FlowKey& key, Nanos now);
+  std::vector<FlowKey> Candidates() const;
+  void Reset();
+
+  std::size_t MemoryBytes() const {
+    return rows_.size() * width_ * 2 * 32;
+  }
+
+ private:
+  void AdvanceTo(Nanos now);
+  struct Zone {
+    std::uint64_t total = 0;
+    std::int64_t indicator = 0;
+    FlowKey candidate;
+  };
+  struct Cell {
+    Zone prev;
+    Zone cur;
+  };
+  static void MvUpdate(Zone& z, const FlowKey& key, std::uint64_t inc);
+  static std::uint64_t MvEstimate(const Zone& z, const FlowKey& key);
+
+  std::size_t width_;
+  HashFamily hashes_;
+  std::vector<std::vector<Cell>> rows_;
+  SlidingScanPointer scan_;
+};
+
+}  // namespace ow

@@ -1,0 +1,86 @@
+// SpreadSketch (Tang, Huang & Lee, INFOCOM 2020).
+//
+// Invertible sketch for network-wide super-spreader detection (Q8). Each of
+// the d×w buckets holds a multiresolution bitmap (distinct counter), a
+// candidate spreader key and the candidate's level. An element whose hash
+// has l leading zeros lands in bitmap level l; a key observed at a level at
+// least as high as the bucket's current level replaces the candidate, so
+// buckets converge on the highest-spread key hashed into them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/sketch/sketch.h"
+
+namespace ow {
+
+/// Multiresolution bitmap: L levels of b bits. Level l samples elements
+/// with probability 2^-l, so the structure counts distinct elements over a
+/// wide range with small memory.
+class MultiResolutionBitmap {
+ public:
+  MultiResolutionBitmap(std::size_t levels, std::size_t bits_per_level);
+
+  /// Insert an element by hash. Returns the level it landed in.
+  std::size_t Insert(std::uint64_t element_hash);
+
+  double Estimate() const;
+  void Reset();
+  std::size_t MemoryBytes() const {
+    return levels_.size() * bits_ / 8;
+  }
+
+  std::size_t SetBits(std::size_t level) const;
+
+  /// Fold the bitmap into a 4x64-bit AFR signature: word l ORs all words of
+  /// level l (levels >= 3 fold into word 3). Exact when the MRB is built
+  /// with 4 levels of 64 bits (the OmniWindow deployment geometry).
+  SpreadSignature Fold4() const;
+
+ private:
+  std::size_t bits_;
+  std::vector<std::vector<std::uint64_t>> levels_;
+};
+
+class SpreadSketch final : public SpreadEstimator {
+ public:
+  SpreadSketch(std::size_t depth, std::size_t width, std::size_t mrb_levels = 8,
+               std::size_t mrb_bits = 64,
+               std::uint64_t seed = 0x5B3EAD51ull);
+
+  /// Geometry from a memory budget: bucket = MRB + key(16) + level(4).
+  static SpreadSketch WithMemory(std::size_t memory_bytes, std::size_t depth,
+                                 std::uint64_t seed = 0x5B3EAD51ull);
+
+  void Update(const FlowKey& key, std::uint64_t element_hash) override;
+  double EstimateSpread(const FlowKey& key) const override;
+  void Reset() override;
+
+  std::vector<FlowKey> Candidates() const override;
+
+  /// AFR signature: the min-estimate bucket's MRB folded to 4x64 bits.
+  SpreadSignature Signature(const FlowKey& key) const override;
+  double EstimateFromSignature(const SpreadSignature& sig) const override;
+
+  std::size_t MemoryBytes() const override;
+  std::size_t NumSalus() const override { return rows_.size() * 3; }
+
+  std::size_t depth() const noexcept { return rows_.size(); }
+  std::size_t width() const noexcept { return width_; }
+
+ private:
+  struct Bucket {
+    MultiResolutionBitmap mrb;
+    FlowKey candidate;
+    std::int32_t level = -1;
+    Bucket(std::size_t levels, std::size_t bits) : mrb(levels, bits) {}
+  };
+
+  std::size_t width_;
+  HashFamily hashes_;
+  std::vector<std::vector<Bucket>> rows_;
+};
+
+}  // namespace ow

@@ -1,0 +1,41 @@
+// SuMax Sketch (LightGuardian, NSDI 2021).
+//
+// Count-Min variant with conservative update: an increment only raises the
+// counters that would otherwise fall below the new lower bound, which cuts
+// overestimation substantially at the same memory. Query is the row-wise
+// minimum, so like Count-Min it never underestimates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/sketch/sketch.h"
+
+namespace ow {
+
+class SuMaxSketch final : public FrequencySketch {
+ public:
+  SuMaxSketch(std::size_t depth, std::size_t width,
+              std::uint64_t seed = 0x5117A0Cull);
+
+  static SuMaxSketch WithMemory(std::size_t memory_bytes, std::size_t depth,
+                                std::uint64_t seed = 0x5117A0Cull);
+
+  void Update(const FlowKey& key, std::uint64_t inc) override;
+  std::uint64_t Estimate(const FlowKey& key) const override;
+  void Reset() override;
+
+  std::size_t MemoryBytes() const override { return rows_.size() * width_ * 8; }
+  std::size_t NumSalus() const override { return rows_.size(); }
+
+  std::size_t depth() const noexcept { return rows_.size(); }
+  std::size_t width() const noexcept { return width_; }
+
+ private:
+  std::size_t width_;
+  HashFamily hashes_;
+  std::vector<std::vector<std::uint64_t>> rows_;
+};
+
+}  // namespace ow

@@ -1,0 +1,118 @@
+#include "src/sketch/univmon.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ow {
+
+UnivMon::UnivMon(std::size_t levels, std::size_t depth, std::size_t width,
+                 std::size_t heap_k, std::uint64_t seed)
+    : depth_(depth), heap_k_(heap_k), sample_seed_(Mix64(seed ^ 0x5A11)) {
+  if (levels == 0 || depth == 0 || width == 0 || heap_k == 0) {
+    throw std::invalid_argument("UnivMon: bad geometry");
+  }
+  for (std::size_t l = 0; l < levels; ++l) {
+    sketches_.emplace_back(depth, width, seed + l * 0x9E37ull);
+  }
+  heaps_.resize(levels);
+}
+
+UnivMon UnivMon::WithMemory(std::size_t memory_bytes, std::size_t depth,
+                            std::uint64_t seed) {
+  constexpr std::size_t kLevels = 8;
+  const std::size_t width = std::max<std::size_t>(
+      1, memory_bytes / (kLevels * depth * 8));
+  return UnivMon(kLevels, depth, width, 64, seed);
+}
+
+std::size_t UnivMon::LevelOf(const FlowKey& key) const {
+  const std::uint64_t h = key.Hash(sample_seed_);
+  return std::min<std::size_t>(std::countl_zero(h | 1ull),
+                               sketches_.size() - 1);
+}
+
+void UnivMon::Update(const FlowKey& key, std::uint64_t inc) {
+  const std::size_t top = LevelOf(key);
+  // The flow is sampled into levels 0..top.
+  for (std::size_t l = 0; l <= top; ++l) {
+    sketches_[l].Update(key, inc);
+    auto& heap = heaps_[l];
+    auto it = heap.find(key);
+    if (it != heap.end()) {
+      it->second += inc;
+      continue;
+    }
+    const std::uint64_t est = sketches_[l].Estimate(key);
+    if (heap.size() < heap_k_) {
+      heap.emplace(key, est);
+      continue;
+    }
+    // Replace the smallest tracked flow if this one is now larger.
+    auto min_it = heap.begin();
+    for (auto h = heap.begin(); h != heap.end(); ++h) {
+      if (h->second < min_it->second) min_it = h;
+    }
+    if (est > min_it->second) {
+      heap.erase(min_it);
+      heap.emplace(key, est);
+    }
+  }
+}
+
+std::uint64_t UnivMon::Estimate(const FlowKey& key) const {
+  return sketches_[0].Estimate(key);
+}
+
+void UnivMon::Reset() {
+  for (auto& s : sketches_) s.Reset();
+  for (auto& h : heaps_) h.clear();
+}
+
+std::vector<FlowKey> UnivMon::Candidates() const {
+  std::unordered_set<FlowKey, FlowKeyHasher> seen;
+  for (const auto& heap : heaps_) {
+    for (const auto& [key, count] : heap) seen.insert(key);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+double UnivMon::EstimateGsum(
+    const std::function<double(double)>& g) const {
+  const std::size_t L = sketches_.size();
+  // Top level: plain sum over its heavy hitters.
+  double y = 0;
+  for (const auto& [key, count] : heaps_[L - 1]) {
+    y += g(double(sketches_[L - 1].Estimate(key)));
+  }
+  // Recurse downward: Y_l = 2 Y_{l+1} + sum over level-l heavies of
+  // g(f) * (1 - 2 * [sampled into level l+1]).
+  for (std::size_t l = L - 1; l-- > 0;) {
+    double yl = 2.0 * y;
+    for (const auto& [key, count] : heaps_[l]) {
+      const double gf = g(double(sketches_[l].Estimate(key)));
+      const bool sampled_up = LevelOf(key) >= l + 1;
+      yl += gf * (1.0 - 2.0 * (sampled_up ? 1.0 : 0.0));
+    }
+    y = std::max(0.0, yl);
+  }
+  return y;
+}
+
+double UnivMon::EstimateCardinality() const {
+  return EstimateGsum([](double x) { return x > 0 ? 1.0 : 0.0; });
+}
+
+double UnivMon::EstimateSecondMoment() const {
+  return EstimateGsum([](double x) { return x * x; });
+}
+
+std::size_t UnivMon::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& s : sketches_) total += s.MemoryBytes();
+  total += heaps_.size() * heap_k_ * 24;  // key + tracked count
+  return total;
+}
+
+}  // namespace ow

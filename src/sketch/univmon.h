@@ -1,0 +1,68 @@
+// UnivMon (Liu et al., SIGCOMM 2016) — universal sketching.
+//
+// L levels of Count Sketches; a flow participates in level l if its hash
+// has at least l leading zero bits (each level samples half the flows of
+// the one below). Every level tracks its top-k heavy flows. Any G-sum
+// statistic Σ g(f_i) is estimated bottom-up from the per-level heavy
+// hitters via the recursion Y_l = 2·Y_{l+1} + Σ_{heavy h at l} g(f_h)·
+// (1 − 2·sampled_{l+1}(h)). Per-flow frequency queries fall out of the
+// level-0 Count Sketch, and the level heaps give enumerable heavy keys —
+// UnivMon is one of the "only store heavy keys" systems the paper's
+// flowkey tracking complements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/sketch/count_sketch.h"
+#include "src/sketch/sketch.h"
+
+namespace ow {
+
+class UnivMon final : public InvertibleSketch {
+ public:
+  /// `levels` Count Sketches of `depth` x `width`, top-`k` heap per level.
+  UnivMon(std::size_t levels, std::size_t depth, std::size_t width,
+          std::size_t heap_k = 64, std::uint64_t seed = 0x0417140Ull);
+
+  static UnivMon WithMemory(std::size_t memory_bytes, std::size_t depth,
+                            std::uint64_t seed = 0x0417140Ull);
+
+  void Update(const FlowKey& key, std::uint64_t inc) override;
+  std::uint64_t Estimate(const FlowKey& key) const override;
+  void Reset() override;
+
+  /// Union of the per-level heavy-hitter heaps.
+  std::vector<FlowKey> Candidates() const override;
+
+  /// Estimate the G-sum Σ g(count_f) over all flows (the universal
+  /// recursion). g must be non-negative.
+  double EstimateGsum(const std::function<double(double)>& g) const;
+
+  /// Convenience G-sums: distinct flows (g = 1) and L2^2 (g = x^2).
+  double EstimateCardinality() const;
+  double EstimateSecondMoment() const;
+
+  std::size_t MemoryBytes() const override;
+  std::size_t NumSalus() const override {
+    return sketches_.size() * depth_ + sketches_.size();
+  }
+
+  std::size_t levels() const noexcept { return sketches_.size(); }
+
+ private:
+  /// Level of a flow: leading-zero count of its sampling hash, capped.
+  std::size_t LevelOf(const FlowKey& key) const;
+
+  std::size_t depth_;
+  std::size_t heap_k_;
+  std::uint64_t sample_seed_;
+  std::vector<CountSketch> sketches_;
+  /// Per-level tracked heavy candidates (flow -> exact-ish tracked count).
+  std::vector<std::map<FlowKey, std::uint64_t>> heaps_;
+};
+
+}  // namespace ow

@@ -1,0 +1,53 @@
+// Vector Bloom Filter (Liu et al., TIFS 2016).
+//
+// Superpoint detection: `k` arrays of small bitmaps. A source key selects
+// one bitmap per array; each contacted destination sets one bit in it. The
+// spread estimate is the minimum linear-counting estimate across the k
+// bitmaps. Not invertible — candidate keys come from OmniWindow's flowkey
+// tracking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/sketch/sketch.h"
+
+namespace ow {
+
+class VectorBloomFilter final : public SpreadEstimator {
+ public:
+  /// `arrays` hash arrays × `bitmaps_per_array` bitmaps × `bits_per_bitmap`
+  /// bits. The paper's configuration is 5 arrays of 4096 bitmaps.
+  VectorBloomFilter(std::size_t arrays, std::size_t bitmaps_per_array,
+                    std::size_t bits_per_bitmap = 64,
+                    std::uint64_t seed = 0xB17F11735ull);
+
+  static VectorBloomFilter WithMemory(std::size_t memory_bytes,
+                                      std::size_t arrays = 5,
+                                      std::uint64_t seed = 0xB17F11735ull);
+
+  void Update(const FlowKey& key, std::uint64_t element_hash) override;
+  double EstimateSpread(const FlowKey& key) const override;
+  void Reset() override;
+
+  /// AFR signature: first 256 bits of the min-estimate bitmap (exact when
+  /// the filter is built with 256-bit bitmaps).
+  SpreadSignature Signature(const FlowKey& key) const override;
+  double EstimateFromSignature(const SpreadSignature& sig) const override;
+
+  std::size_t MemoryBytes() const override {
+    return arrays_.size() * bitmaps_ * bits_ / 8;
+  }
+  std::size_t NumSalus() const override { return arrays_.size(); }
+
+ private:
+  double LinearCount(const std::vector<std::uint64_t>& words) const;
+  std::size_t bitmaps_;
+  std::size_t bits_;  // multiple of 64
+  HashFamily hashes_;
+  // arrays_[i][bitmap] -> words
+  std::vector<std::vector<std::vector<std::uint64_t>>> arrays_;
+};
+
+}  // namespace ow

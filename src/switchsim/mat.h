@@ -1,0 +1,59 @@
+// Match-action table.
+//
+// Exact-match MAT as used by OmniWindow for the region-offset table (§6) and
+// the RDMA address table (§7): the control plane installs entries, the data
+// plane matches a key and reads back action data, falling through to a
+// default on miss. Lookup is read-only for the data plane — MATs are not
+// stateful, which is why offset indirection saves SALUs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace ow {
+
+template <typename Key, typename Value, typename Hasher = std::hash<Key>>
+class MatchActionTable {
+ public:
+  explicit MatchActionTable(std::string name, Value default_value = {})
+      : name_(std::move(name)), default_(std::move(default_value)) {}
+
+  /// Control-plane entry install/overwrite.
+  void Install(const Key& key, Value value) {
+    entries_[key] = std::move(value);
+  }
+
+  /// Control-plane entry removal. Returns true if the entry existed.
+  bool Remove(const Key& key) { return entries_.erase(key) > 0; }
+
+  /// Data-plane lookup: action data on hit, default on miss.
+  const Value& Lookup(const Key& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? default_ : it->second;
+  }
+
+  /// Data-plane lookup distinguishing hit from miss.
+  std::optional<Value> TryLookup(const Key& key) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(const Key& key) const { return entries_.contains(key); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Approximate SRAM footprint for the resource ledger.
+  std::size_t MemoryBytes() const noexcept {
+    return entries_.size() * (sizeof(Key) + sizeof(Value));
+  }
+
+ private:
+  std::string name_;
+  Value default_;
+  std::unordered_map<Key, Value, Hasher> entries_;
+};
+
+}  // namespace ow

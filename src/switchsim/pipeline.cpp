@@ -1,0 +1,70 @@
+#include "src/switchsim/pipeline.h"
+
+#include <stdexcept>
+
+namespace ow {
+
+Switch::Switch(int id, SwitchTimings timings) : id_(id), timings_(timings) {}
+
+void Switch::SetProgram(std::shared_ptr<SwitchProgram> program) {
+  program_ = std::move(program);
+  registers_ = program_ ? program_->Registers() : std::vector<RegisterArray*>{};
+}
+
+void Switch::EnqueueFromWire(Packet p, Nanos arrival) {
+  queue_.push({arrival, next_seq_++, PacketSource::kWire, std::move(p)});
+}
+
+void Switch::EnqueueFromController(Packet p, Nanos arrival) {
+  queue_.push({arrival, next_seq_++, PacketSource::kController, std::move(p)});
+}
+
+void Switch::Dispatch(Event ev) {
+  if (!program_) {
+    throw std::logic_error("Switch " + std::to_string(id_) + ": no program");
+  }
+  for (RegisterArray* r : registers_) r->BeginPass();
+  ++total_passes_;
+  if (ev.source == PacketSource::kRecirculation) ++recirc_passes_;
+
+  PipelineActions act;
+  program_->Process(ev.packet, ev.time, ev.source, act);
+
+  for (Packet& p : act.recirculate) {
+    queue_.push({ev.time + timings_.recirc_latency, next_seq_++,
+                 PacketSource::kRecirculation, std::move(p)});
+  }
+  if (to_controller_) {
+    for (const Packet& p : act.to_controller) {
+      to_controller_(p, ev.time + timings_.to_controller_latency);
+    }
+  }
+  if (!act.drop && forward_) {
+    forward_(ev.packet, ev.time + timings_.pipeline_latency);
+  }
+}
+
+void Switch::RunUntil(Nanos t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    Dispatch(std::move(ev));
+  }
+}
+
+Nanos Switch::RunUntilIdle(Nanos max_time) {
+  Nanos last = -1;
+  while (!queue_.empty() && queue_.top().time <= max_time) {
+    Event ev = queue_.top();
+    queue_.pop();
+    last = ev.time;
+    Dispatch(std::move(ev));
+  }
+  return last;
+}
+
+Nanos Switch::NextEventTime() const {
+  return queue_.empty() ? -1 : queue_.top().time;
+}
+
+}  // namespace ow

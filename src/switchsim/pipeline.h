@@ -1,0 +1,141 @@
+// RMT switch model.
+//
+// A Switch owns an event queue of arriving packets and a SwitchProgram (the
+// P4-equivalent). Each packet makes exactly ONE pass through the program —
+// single-pass processing is the C4 constraint the paper designs around. The
+// program can request the three hardware primitives OmniWindow relies on:
+//
+//   * recirculate   — re-enqueue the packet at now + recirc_latency over the
+//                     dedicated recirculation port (used by AFR enumeration
+//                     and in-switch reset),
+//   * clone to CPU  — mirror a copy toward the controller port,
+//   * forward/drop  — normal egress.
+//
+// Before every pass the switch calls BeginPass() on each register array the
+// program declared, arming the one-SALU-access-per-pass check.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/packet.h"
+#include "src/switchsim/register_array.h"
+#include "src/switchsim/resources.h"
+
+namespace ow {
+
+/// Where a packet entered the pipeline from.
+enum class PacketSource : std::uint8_t {
+  kWire = 0,           ///< a front-panel port
+  kController = 1,     ///< the controller-facing port (injected packets)
+  kRecirculation = 2,  ///< the recirculation port
+};
+
+/// Side effects one pipeline pass may request.
+struct PipelineActions {
+  bool drop = false;
+  std::vector<Packet> recirculate;
+  std::vector<Packet> to_controller;
+};
+
+/// The data-plane program (P4 stand-in). Implementations live in src/core.
+class SwitchProgram {
+ public:
+  virtual ~SwitchProgram() = default;
+
+  /// One single pass over the pipeline. May mutate `p` (header rewrites);
+  /// unless `act.drop` is set the mutated packet is forwarded.
+  virtual void Process(Packet& p, Nanos now, PacketSource src,
+                       PipelineActions& act) = 0;
+
+  /// Register arrays the program owns; the switch arms their per-pass access
+  /// check before every Process call.
+  virtual std::vector<RegisterArray*> Registers() { return {}; }
+
+  /// Charge this program's hardware usage to `ledger` (Exp#5).
+  virtual void ChargeResources(ResourceLedger& ledger) const {
+    (void)ledger;
+  }
+};
+
+/// Latency constants of the switch model. Defaults are loosely calibrated to
+/// Tofino-class hardware so the C&R experiments land in the paper's
+/// millisecond regime (see DESIGN.md, substitution table).
+struct SwitchTimings {
+  Nanos pipeline_latency = 600;        ///< ingress -> egress
+  Nanos recirc_latency = 250;          ///< egress -> ingress via recirc port
+  Nanos to_controller_latency = 2'000; ///< egress port -> controller NIC
+};
+
+class Switch {
+ public:
+  using PacketHandler = std::function<void(const Packet&, Nanos)>;
+
+  explicit Switch(int id, SwitchTimings timings = {});
+
+  int id() const noexcept { return id_; }
+  const SwitchTimings& timings() const noexcept { return timings_; }
+
+  void SetProgram(std::shared_ptr<SwitchProgram> program);
+  SwitchProgram* program() const noexcept { return program_.get(); }
+
+  /// Delivery of forwarded packets (next hop / end host).
+  void SetForwardHandler(PacketHandler handler) {
+    forward_ = std::move(handler);
+  }
+  /// Delivery of cloned/report packets to the controller.
+  void SetControllerHandler(PacketHandler handler) {
+    to_controller_ = std::move(handler);
+  }
+
+  void EnqueueFromWire(Packet p, Nanos arrival);
+  void EnqueueFromController(Packet p, Nanos arrival);
+
+  /// Process every queued event with time <= t, in time order. Recirculated
+  /// packets scheduled within the horizon are processed too.
+  void RunUntil(Nanos t);
+
+  /// Process until no events remain or `max_time` is exceeded. Returns the
+  /// time of the last processed event.
+  Nanos RunUntilIdle(Nanos max_time);
+
+  /// Earliest pending event time, or -1 when idle.
+  Nanos NextEventTime() const;
+
+  /// Total passes executed (normal + recirculated) — used by tests and by
+  /// the recirculation-overhead accounting.
+  std::uint64_t total_passes() const noexcept { return total_passes_; }
+  std::uint64_t recirc_passes() const noexcept { return recirc_passes_; }
+
+ private:
+  struct Event {
+    Nanos time;
+    std::uint64_t seq;  // FIFO tiebreak
+    PacketSource source;
+    Packet packet;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  void Dispatch(Event ev);
+
+  int id_;
+  SwitchTimings timings_;
+  std::shared_ptr<SwitchProgram> program_;
+  std::vector<RegisterArray*> registers_;
+  PacketHandler forward_;
+  PacketHandler to_controller_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t total_passes_ = 0;
+  std::uint64_t recirc_passes_ = 0;
+};
+
+}  // namespace ow

@@ -1,0 +1,42 @@
+#include "src/switchsim/register_array.h"
+
+namespace ow {
+
+RegisterArray::RegisterArray(std::string name, std::size_t entries,
+                             std::size_t entry_bytes)
+    : name_(std::move(name)), entry_bytes_(entry_bytes) {
+  if (entries == 0 || entry_bytes == 0 || entry_bytes > 8) {
+    throw std::invalid_argument("RegisterArray " + name_ + ": bad geometry");
+  }
+  cells_.assign(entries, 0);
+}
+
+void RegisterArray::CheckAccess(std::size_t index) {
+  if (index >= cells_.size()) {
+    throw std::out_of_range("RegisterArray " + name_ + ": index " +
+                            std::to_string(index) + " out of " +
+                            std::to_string(cells_.size()));
+  }
+  if (accessed_) {
+    throw std::logic_error(
+        "RegisterArray " + name_ +
+        ": second SALU access in one pipeline pass (violates RMT C4)");
+  }
+  accessed_ = true;
+}
+
+std::uint64_t RegisterArray::ControlRead(std::size_t index) const {
+  if (index >= cells_.size()) {
+    throw std::out_of_range("RegisterArray " + name_ + ": control read OOB");
+  }
+  return cells_[index];
+}
+
+void RegisterArray::ControlWrite(std::size_t index, std::uint64_t value) {
+  if (index >= cells_.size()) {
+    throw std::out_of_range("RegisterArray " + name_ + ": control write OOB");
+  }
+  cells_[index] = Truncate(value);
+}
+
+}  // namespace ow

@@ -1,0 +1,77 @@
+// On-chip register array with SALU access semantics.
+//
+// An RMT register array is a block of per-stage SRAM manipulated by exactly
+// one Stateful ALU: each packet pass may read-modify-write a SINGLE location
+// of the array (paper §2, C4). RegisterArray enforces that restriction —
+// each pass (delimited by BeginPass, invoked by the Switch before every
+// pipeline traversal) permits at most one access; a second access throws.
+// This is what makes the simulated data plane honest: code that would not
+// compile to Tofino (e.g. traversing state inline, or double-accessing a
+// region) fails loudly here too.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ow {
+
+class RegisterArray {
+ public:
+  /// `entries` cells of `entry_bytes` each (values stored widened to 64-bit;
+  /// entry_bytes only affects the SRAM footprint and write truncation).
+  RegisterArray(std::string name, std::size_t entries,
+                std::size_t entry_bytes = 4);
+
+  /// Called by the pipeline at the start of every packet pass.
+  void BeginPass() noexcept { accessed_ = false; }
+
+  /// SALU read-modify-write: returns the old value, stores `next(old)`.
+  /// Consumes this pass's single access.
+  template <typename Fn>
+  std::uint64_t ReadModifyWrite(std::size_t index, Fn&& next) {
+    CheckAccess(index);
+    const std::uint64_t old = cells_[index];
+    cells_[index] = Truncate(next(old));
+    return old;
+  }
+
+  /// SALU read. Consumes this pass's single access.
+  std::uint64_t Read(std::size_t index) {
+    CheckAccess(index);
+    return cells_[index];
+  }
+
+  /// SALU write. Consumes this pass's single access.
+  void Write(std::size_t index, std::uint64_t value) {
+    CheckAccess(index);
+    cells_[index] = Truncate(value);
+  }
+
+  /// Control-plane access path (switch OS / debugging): no pass restriction,
+  /// but the SwitchOsDriver charges its latency model for it.
+  std::uint64_t ControlRead(std::size_t index) const;
+  void ControlWrite(std::size_t index, std::uint64_t value);
+
+  std::size_t size() const noexcept { return cells_.size(); }
+  std::size_t entry_bytes() const noexcept { return entry_bytes_; }
+  std::size_t MemoryBytes() const noexcept {
+    return cells_.size() * entry_bytes_;
+  }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  void CheckAccess(std::size_t index);
+  std::uint64_t Truncate(std::uint64_t v) const noexcept {
+    return entry_bytes_ >= 8 ? v
+                             : (v & ((1ull << (entry_bytes_ * 8)) - 1));
+  }
+
+  std::string name_;
+  std::size_t entry_bytes_;
+  std::vector<std::uint64_t> cells_;
+  bool accessed_ = false;
+};
+
+}  // namespace ow

@@ -1,0 +1,68 @@
+#include "src/switchsim/resources.h"
+
+#include <cstdio>
+
+namespace ow {
+
+void ResourceLedger::Charge(const std::string& feature,
+                            const ResourceUsage& usage) {
+  auto it = usage_.find(feature);
+  if (it == usage_.end()) {
+    order_.push_back(feature);
+    usage_[feature] = usage;
+    return;
+  }
+  ResourceUsage& u = it->second;
+  u.stages.insert(usage.stages.begin(), usage.stages.end());
+  u.sram_bytes += usage.sram_bytes;
+  u.salus += usage.salus;
+  u.vliw += usage.vliw;
+  u.gateways += usage.gateways;
+}
+
+ResourceUsage ResourceLedger::Of(const std::string& feature) const {
+  auto it = usage_.find(feature);
+  return it == usage_.end() ? ResourceUsage{} : it->second;
+}
+
+ResourceUsage ResourceLedger::Total() const {
+  ResourceUsage total;
+  for (const auto& [name, u] : usage_) {
+    total.stages.insert(u.stages.begin(), u.stages.end());
+    total.sram_bytes += u.sram_bytes;
+    total.salus += u.salus;
+    total.vliw += u.vliw;
+    total.gateways += u.gateways;
+  }
+  return total;
+}
+
+std::vector<std::string> ResourceLedger::Features() const { return order_; }
+
+bool ResourceLedger::Fits(const ResourceBudget& budget) const {
+  const ResourceUsage t = Total();
+  return int(t.stages.size()) <= budget.stages &&
+         t.sram_bytes <= budget.sram_bytes &&
+         t.salus <= budget.salus_per_stage * budget.stages &&
+         t.vliw <= budget.vliw_per_stage * budget.stages &&
+         t.gateways <= budget.gateways_per_stage * budget.stages;
+}
+
+std::string ResourceLedger::ToTable() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-22s %6s %10s %5s %5s %8s\n", "Feature",
+                "Stage", "SRAM", "SALU", "VLIW", "Gateway");
+  out += line;
+  auto row = [&](const std::string& name, const ResourceUsage& u) {
+    std::snprintf(line, sizeof(line), "%-22s %6zu %8zu B %5d %5d %8d\n",
+                  name.c_str(), u.stages.size(), u.sram_bytes, u.salus, u.vliw,
+                  u.gateways);
+    out += line;
+  };
+  for (const auto& name : order_) row(name, usage_.at(name));
+  row("Total", Total());
+  return out;
+}
+
+}  // namespace ow

@@ -1,0 +1,88 @@
+#include "src/switchsim/stage_planner.h"
+
+#include <map>
+
+namespace ow {
+
+int StagePlan::FirstStageOf(const std::string& feature) const {
+  int best = -1;
+  for (const auto& p : placements) {
+    if (p.feature == feature && (best < 0 || p.stage < best)) best = p.stage;
+  }
+  return best;
+}
+
+int StagePlan::LastStageOf(const std::string& feature) const {
+  int best = -1;
+  for (const auto& p : placements) {
+    if (p.feature == feature && p.stage > best) best = p.stage;
+  }
+  return best;
+}
+
+std::optional<StagePlan> StagePlanner::Plan(
+    const std::vector<PlacementRequest>& requests, std::string* error) const {
+  struct StageLoad {
+    int salus = 0;
+    std::size_t sram = 0;
+    int vliw = 0;
+    int gateways = 0;
+  };
+  std::vector<StageLoad> load(std::size_t(budget_.stages));
+  // Per-stage SRAM share of the pipeline budget.
+  const std::size_t sram_per_stage =
+      budget_.sram_bytes / std::size_t(budget_.stages);
+
+  StagePlan plan;
+  std::map<std::string, int> last_stage_of;
+
+  for (const auto& req : requests) {
+    // Dependency floor: first unit must start after every named producer.
+    int floor = 0;
+    for (const auto& dep : req.after) {
+      auto it = last_stage_of.find(dep);
+      if (it == last_stage_of.end()) {
+        if (error) {
+          *error = req.feature + ": depends on unplaced feature " + dep;
+        }
+        return std::nullopt;
+      }
+      floor = std::max(floor, it->second + 1);
+    }
+
+    int stage = floor;
+    for (std::size_t u = 0; u < req.units.size(); ++u) {
+      const auto& unit = req.units[u];
+      // Find the earliest stage >= current that fits this unit.
+      bool placed = false;
+      for (; stage < budget_.stages; ++stage) {
+        StageLoad& s = load[std::size_t(stage)];
+        if (s.salus + unit.salus <= budget_.salus_per_stage &&
+            s.sram + unit.sram_bytes <= sram_per_stage &&
+            s.vliw + unit.vliw <= budget_.vliw_per_stage &&
+            s.gateways + unit.gateways <= budget_.gateways_per_stage) {
+          s.salus += unit.salus;
+          s.sram += unit.sram_bytes;
+          s.vliw += unit.vliw;
+          s.gateways += unit.gateways;
+          plan.placements.push_back({req.feature, u, stage});
+          plan.stages_used = std::max(plan.stages_used, stage + 1);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        if (error) {
+          *error = req.feature + " unit " + std::to_string(u) +
+                   ": no stage fits (pipeline exhausted at stage " +
+                   std::to_string(budget_.stages) + ")";
+        }
+        return std::nullopt;
+      }
+    }
+    last_stage_of[req.feature] = plan.LastStageOf(req.feature);
+  }
+  return plan;
+}
+
+}  // namespace ow

@@ -1,0 +1,67 @@
+// Pipeline stage placement.
+//
+// An RMT program does not just need total resources — every feature's
+// tables and SALUs must be PLACED into specific stages without exceeding
+// any stage's SALU/SRAM/VLIW/gateway capacity, and features with data
+// dependencies must occupy later stages than their producers. StagePlanner
+// is a light model of that compiler pass: features declare per-stage
+// demands and dependencies; the planner assigns stages greedily (in
+// dependency order, earliest stage that fits) and reports the placement or
+// the first feature that cannot fit. Exp#5 uses it to show the OmniWindow
+// Q1 program actually placing into a Tofino-class pipeline.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/switchsim/resources.h"
+
+namespace ow {
+
+/// One feature's placement requirements. `units` are the per-stage chunks
+/// the feature splits into (e.g. a 4-row sketch = 4 units of 1 SALU each);
+/// units of one feature may share a stage if capacity allows, but a unit
+/// never splits across stages.
+struct PlacementRequest {
+  std::string feature;
+  struct Unit {
+    int salus = 0;
+    std::size_t sram_bytes = 0;
+    int vliw = 0;
+    int gateways = 0;
+  };
+  std::vector<Unit> units;
+  /// Features whose LAST unit must be placed strictly before this
+  /// feature's FIRST unit (match-dependency in RMT terms).
+  std::vector<std::string> after;
+};
+
+struct StagePlan {
+  struct Placement {
+    std::string feature;
+    std::size_t unit = 0;
+    int stage = 0;
+  };
+  std::vector<Placement> placements;
+  int stages_used = 0;
+
+  /// Stage of a feature's first/last unit, -1 if absent.
+  int FirstStageOf(const std::string& feature) const;
+  int LastStageOf(const std::string& feature) const;
+};
+
+class StagePlanner {
+ public:
+  explicit StagePlanner(ResourceBudget budget) : budget_(budget) {}
+
+  /// Plan the placement of `requests` (in the given priority order).
+  /// Returns nullopt if some unit cannot be placed; `error` then names it.
+  std::optional<StagePlan> Plan(const std::vector<PlacementRequest>& requests,
+                                std::string* error = nullptr) const;
+
+ private:
+  ResourceBudget budget_;
+};
+
+}  // namespace ow

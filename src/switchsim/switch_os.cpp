@@ -1,0 +1,22 @@
+#include "src/switchsim/switch_os.h"
+
+namespace ow {
+
+Nanos SwitchOsDriver::ReadAll(const RegisterArray& reg,
+                              std::vector<std::uint64_t>& out,
+                              Nanos start) const {
+  out.reserve(out.size() + reg.size());
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    out.push_back(reg.ControlRead(i));
+  }
+  return start + ReadCost(reg.size());
+}
+
+Nanos SwitchOsDriver::ResetAll(RegisterArray& reg, Nanos start) const {
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    reg.ControlWrite(i, 0);
+  }
+  return start + ResetCost(reg.size());
+}
+
+}  // namespace ow

@@ -1,0 +1,188 @@
+#include "src/telemetry/baselines.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/sketch/signature.h"
+
+namespace ow {
+namespace {
+
+/// Collision-prone per-window state: scalar cells or distinct signatures,
+/// matching the data-plane semantics of QueryAdapter.
+class CellState {
+ public:
+  CellState(const QueryDef& def, std::size_t cells)
+      : def_(&def), scalar_(cells, 0),
+        sigs_(def.aggregate == QueryAggregate::kDistinct
+                  ? cells
+                  : std::size_t(0)) {}
+
+  void Update(const Packet& p) {
+    if (def_->filter && !def_->filter(p)) return;
+    const FlowKey key = p.Key(def_->key_kind);
+    const std::size_t cell = CellOf(key);
+    switch (def_->aggregate) {
+      case QueryAggregate::kCount:
+        ++scalar_[cell];
+        break;
+      case QueryAggregate::kSumBytes:
+        scalar_[cell] += p.size_bytes;
+        break;
+      case QueryAggregate::kDistinct:
+        LcSignatureInsert(sigs_[cell], def_->element(p));
+        break;
+    }
+    keys_.insert(key);
+  }
+
+  bool OverThreshold(const FlowKey& key) const {
+    const std::size_t cell = CellOf(key);
+    if (def_->aggregate == QueryAggregate::kDistinct) {
+      return LcSignatureEstimate(sigs_[cell]) >= double(def_->threshold);
+    }
+    return scalar_[cell] >= def_->threshold;
+  }
+
+  FlowSet Detect() const {
+    FlowSet out;
+    for (const FlowKey& key : keys_) {
+      if (OverThreshold(key)) out.insert(key);
+    }
+    return out;
+  }
+
+  void Reset() {
+    std::fill(scalar_.begin(), scalar_.end(), 0);
+    std::fill(sigs_.begin(), sigs_.end(), SpreadSignature{});
+    keys_.clear();
+  }
+
+ private:
+  std::size_t CellOf(const FlowKey& key) const {
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(key.Hash(0x50A7A0ull)) *
+         scalar_.size()) >>
+        64);
+  }
+
+  const QueryDef* def_;
+  std::vector<std::uint64_t> scalar_;
+  std::vector<SpreadSignature> sigs_;
+  FlowSet keys_;
+};
+
+}  // namespace
+
+std::vector<BaselineWindowResult> RunTumblingBaseline(
+    TumblingBaselineKind kind, const QueryDef& def, const Trace& trace,
+    Nanos window_size, std::size_t cells, Nanos cr_time) {
+  std::vector<BaselineWindowResult> out;
+  CellState state(def, cells);
+  Nanos window_start = 0;
+  for (const Packet& p : trace.packets) {
+    while (p.ts >= window_start + window_size) {
+      out.push_back({window_start, window_start + window_size,
+                     state.Detect()});
+      state.Reset();
+      window_start += window_size;
+    }
+    // TW1 loses the traffic arriving while C&R still occupies the region.
+    if (kind == TumblingBaselineKind::kTw1 &&
+        p.ts < window_start + cr_time) {
+      continue;
+    }
+    state.Update(p);
+  }
+  out.push_back(
+      {window_start, window_start + window_size, state.Detect()});
+  return out;
+}
+
+std::vector<BaselineWindowResult> RunIdealTumbling(const QueryDef& def,
+                                                   const Trace& trace,
+                                                   Nanos window_size) {
+  IdealQueryEngine ideal(trace);
+  std::vector<BaselineWindowResult> out;
+  const Nanos duration = trace.Duration();
+  for (Nanos start = 0; start <= duration; start += window_size) {
+    out.push_back({start, start + window_size,
+                   ideal.Evaluate(def, start, start + window_size)});
+  }
+  return out;
+}
+
+std::vector<BaselineWindowResult> RunIdealSliding(const QueryDef& def,
+                                                  const Trace& trace,
+                                                  Nanos window_size,
+                                                  Nanos slide) {
+  IdealQueryEngine ideal(trace);
+  std::vector<BaselineWindowResult> out;
+  const Nanos duration = trace.Duration();
+  for (Nanos end = window_size; end <= duration + window_size; end += slide) {
+    out.push_back(
+        {end - window_size, end, ideal.Evaluate(def, end - window_size, end)});
+  }
+  return out;
+}
+
+FlowSet UnionDetections(const std::vector<BaselineWindowResult>& windows) {
+  FlowSet all;
+  for (const auto& w : windows) {
+    all.insert(w.detected.begin(), w.detected.end());
+  }
+  return all;
+}
+
+PrecisionRecall WindowedPrecisionRecall(
+    const std::vector<BaselineWindowResult>& got,
+    const std::vector<BaselineWindowResult>& truth) {
+  PrecisionRecall pr;
+  std::size_t tp = 0, reported = 0, actual = 0;
+  for (const auto& tw : truth) {
+    actual += tw.detected.size();
+    // Find the got-window with the max time overlap.
+    const BaselineWindowResult* best = nullptr;
+    Nanos best_overlap = 0;
+    for (const auto& gw : got) {
+      const Nanos overlap =
+          std::min(gw.end, tw.end) - std::max(gw.start, tw.start);
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        best = &gw;
+      }
+    }
+    if (!best) continue;
+    for (const FlowKey& key : tw.detected) {
+      if (best->detected.contains(key)) ++tp;
+    }
+  }
+  for (const auto& gw : got) reported += gw.detected.size();
+  pr.true_positives = tp;
+  pr.reported = reported;
+  pr.actual = actual;
+  pr.recall = actual == 0 ? 1.0 : double(tp) / double(actual);
+  // Precision counts reported detections that exist in the time-matched
+  // truth window.
+  std::size_t correct_reports = 0;
+  for (const auto& gw : got) {
+    const BaselineWindowResult* best = nullptr;
+    Nanos best_overlap = 0;
+    for (const auto& tw : truth) {
+      const Nanos overlap =
+          std::min(gw.end, tw.end) - std::max(gw.start, tw.start);
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        best = &tw;
+      }
+    }
+    if (!best) continue;
+    for (const FlowKey& key : gw.detected) {
+      if (best->detected.contains(key)) ++correct_reports;
+    }
+  }
+  pr.precision = reported == 0 ? 1.0 : double(correct_reports) / double(reported);
+  return pr;
+}
+
+}  // namespace ow

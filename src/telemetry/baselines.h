@@ -1,0 +1,67 @@
+// Conventional window-mechanism baselines (§9.2).
+//
+// The evaluation compares OmniWindow against the tumbling-window
+// implementations found in existing telemetry systems:
+//
+//  * TW1 — one memory region: collect-and-reset of the old window runs on
+//    the SAME region the new window is measuring, so traffic arriving during
+//    the C&R interval is measured incorrectly (modelled as lost);
+//  * TW2 — two regions: measurement flips to the spare region at each
+//    boundary, no loss, but double the memory;
+//  * ITW / ISW — ideal tumbling / sliding windows computed offline with
+//    error-free structures (ground truth; see IdealQueryEngine).
+//
+// Both baselines use whole-window state sized by the caller and the same
+// collision-prone hash-cell semantics as the OmniWindow query adapter, so
+// accuracy differences isolate the window mechanism itself.
+#pragma once
+
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/telemetry/query.h"
+#include "src/trace/trace.h"
+
+namespace ow {
+
+enum class TumblingBaselineKind {
+  kTw1,  ///< C&R in place; traffic during C&R is lost
+  kTw2,  ///< double-buffered regions
+};
+
+struct BaselineWindowResult {
+  Nanos start = 0;
+  Nanos end = 0;
+  FlowSet detected;
+};
+
+/// Run a TW1/TW2 baseline for `def` over `trace`.
+/// `cells`: hash-cell count of the whole-window state.
+/// `cr_time`: duration of the collect-and-reset interval at each boundary
+/// (switch-OS path; only TW1 loses traffic during it).
+std::vector<BaselineWindowResult> RunTumblingBaseline(
+    TumblingBaselineKind kind, const QueryDef& def, const Trace& trace,
+    Nanos window_size, std::size_t cells, Nanos cr_time);
+
+/// Ideal tumbling windows over the trace (ITW ground truth).
+std::vector<BaselineWindowResult> RunIdealTumbling(const QueryDef& def,
+                                                   const Trace& trace,
+                                                   Nanos window_size);
+
+/// Ideal sliding windows over the trace (ISW ground truth).
+std::vector<BaselineWindowResult> RunIdealSliding(const QueryDef& def,
+                                                  const Trace& trace,
+                                                  Nanos window_size,
+                                                  Nanos slide);
+
+/// Union of per-window detections — the "anomalies found over the whole
+/// trace" view used to aggregate precision/recall.
+FlowSet UnionDetections(const std::vector<BaselineWindowResult>& windows);
+
+/// Precision/recall of `got` windows against `truth` windows, matched
+/// per-window by overlapping time span, then micro-averaged.
+PrecisionRecall WindowedPrecisionRecall(
+    const std::vector<BaselineWindowResult>& got,
+    const std::vector<BaselineWindowResult>& truth);
+
+}  // namespace ow

@@ -1,0 +1,112 @@
+#include "src/telemetry/beaucoup.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/hash.h"
+
+namespace ow {
+
+BeauCoup::BeauCoup(std::vector<BeauCoupQuery> queries,
+                   std::size_t table_cells, std::uint64_t seed)
+    : queries_(std::move(queries)), cells_(table_cells), seed_(seed) {
+  if (queries_.empty() || table_cells == 0) {
+    throw std::invalid_argument("BeauCoup: empty configuration");
+  }
+  // Partition the [0, 1) hash space into per-(query, coupon) ranges.
+  double cursor = 0;
+  for (std::uint32_t q = 0; q < queries_.size(); ++q) {
+    const auto& query = queries_[q];
+    if (query.coupons == 0 || query.coupons > 64 ||
+        query.alert_threshold > query.coupons || !query.attribute) {
+      throw std::invalid_argument("BeauCoup: bad query " + query.name);
+    }
+    for (std::uint32_t c = 0; c < query.coupons; ++c) {
+      const double begin = cursor;
+      cursor += query.coupon_probability;
+      if (cursor > 1.0) {
+        throw std::invalid_argument(
+            "BeauCoup: total coupon probability exceeds 1");
+      }
+      ranges_.push_back({std::uint64_t(begin * 0x1p64),
+                         std::uint64_t(cursor * 0x1p64), q, c});
+    }
+    tables_.emplace_back(cells_);
+  }
+}
+
+void BeauCoup::Update(const Packet& p) {
+  ++packets_;
+  // One draw per query attribute decides which coupon (if any) this packet
+  // collects; the FIRST matching range wins so at most one update happens.
+  // The draw hashes the ATTRIBUTE value, so the same value always maps to
+  // the same coupon — that is what makes coupons count DISTINCT values.
+  for (const Range& r : ranges_) {
+    const auto& query = queries_[r.query];
+    const std::uint64_t u =
+        Mix64(query.attribute(p) ^ (seed_ + r.query * 0x9E3779B97F4A7C15ull));
+    if (u < r.begin || u >= r.end) continue;
+    // Collect coupon r.coupon for this packet's key.
+    const FlowKey key = p.Key(query.key_kind);
+    auto& table = tables_[r.query];
+    Cell& cell = table[std::size_t(
+        (static_cast<unsigned __int128>(key.Hash(seed_ ^ r.query)) * cells_) >>
+        64)];
+    if (!cell.occupied || !(cell.key == key)) {
+      // Take over the cell (last-writer wins, as in the paper's simple
+      // eviction).
+      cell.key = key;
+      cell.coupons = 0;
+      cell.occupied = true;
+    }
+    cell.coupons |= 1ull << r.coupon;
+    ++updates_;
+    return;  // at most ONE update per packet
+  }
+}
+
+FlowSet BeauCoup::Alerts(std::size_t query_index) const {
+  FlowSet out;
+  const auto& query = queries_.at(query_index);
+  for (const Cell& cell : tables_[query_index]) {
+    if (cell.occupied &&
+        std::uint32_t(std::popcount(cell.coupons)) >= query.alert_threshold) {
+      out.insert(cell.key);
+    }
+  }
+  return out;
+}
+
+std::uint32_t BeauCoup::CouponsOf(std::size_t query_index,
+                                  const FlowKey& key) const {
+  const auto& table = tables_.at(query_index);
+  const Cell& cell = table[std::size_t(
+      (static_cast<unsigned __int128>(key.Hash(seed_ ^ query_index)) *
+       cells_) >>
+      64)];
+  if (!cell.occupied || !(cell.key == key)) return 0;
+  return std::uint32_t(std::popcount(cell.coupons));
+}
+
+void BeauCoup::Reset() {
+  for (auto& table : tables_) {
+    std::fill(table.begin(), table.end(), Cell{});
+  }
+  updates_ = 0;
+  packets_ = 0;
+}
+
+double BeauCoup::ExpectedDistinctForAlert(const BeauCoupQuery& q) {
+  // Coupon collector: expected draws to collect c of m coupons, each drawn
+  // with probability p (per distinct value): sum_{i=0}^{c-1} 1/(p*(m-i)/m)
+  // ... each distinct value hits SOME coupon of this query with prob m*p,
+  // then uniformly one of m.
+  double expected = 0;
+  for (std::uint32_t i = 0; i < q.alert_threshold; ++i) {
+    expected += 1.0 / (q.coupon_probability * double(q.coupons - i));
+  }
+  return expected;
+}
+
+}  // namespace ow

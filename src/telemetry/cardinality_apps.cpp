@@ -1,0 +1,142 @@
+#include "src/telemetry/cardinality_apps.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace ow {
+
+FlowKey SliceKey(std::uint32_t index) {
+  std::uint8_t bytes[4];
+  std::memcpy(bytes, &index, 4);
+  return FlowKey::FromRaw(FlowKeyKind::kFiveTuple, bytes);
+}
+
+// ------------------------------------------------------------ LinearCounting
+
+LinearCountingApp::LinearCountingApp(std::size_t bits, FlowKeyKind counted)
+    : bits_((bits + 255) / 256 * 256),
+      counted_(counted),
+      words_("lc_bitmap", bits_ / 64, 8) {
+  if (bits == 0) {
+    throw std::invalid_argument("LinearCountingApp: bits must be > 0");
+  }
+}
+
+void LinearCountingApp::Update(const Packet& p, int region) {
+  const std::uint64_t h = p.Key(counted_).Hash(0xCA4D1417ull);
+  const std::size_t bit = std::size_t(h % bits_);
+  words_.ReadModifyWrite(region, bit / 64, [&](std::uint64_t v) {
+    return v | (1ull << (bit % 64));
+  });
+}
+
+FlowRecord LinearCountingApp::MigrateSlice(int region, std::size_t index,
+                                           SubWindowNum subwindow) const {
+  FlowRecord rec;
+  rec.key = SliceKey(std::uint32_t(index));
+  rec.subwindow = subwindow;
+  rec.num_attrs = 4;
+  for (std::size_t w = 0; w < 4; ++w) {
+    rec.attrs[w] = words_.ControlRead(region, index * 4 + w);
+  }
+  return rec;
+}
+
+void LinearCountingApp::ResetSlice(int region, std::size_t index) {
+  for (std::size_t w = 0; w < 4; ++w) {
+    words_.ControlWrite(region, index * 4 + w, 0);
+  }
+}
+
+void LinearCountingApp::ChargeResources(ResourceLedger& ledger) const {
+  ledger.Charge("App:lc_cardinality", words_.Resources(6));
+}
+
+double LinearCountingApp::EstimateFromTable(const KeyValueTable& table,
+                                            std::size_t bits) {
+  std::size_t set = 0;
+  table.ForEach([&](const KvSlot& slot) {
+    for (std::size_t w = 0; w < 4; ++w) set += std::popcount(slot.attrs[w]);
+  });
+  const double m = double(bits);
+  const double z = m - double(set);
+  if (z <= 0.5) return m * std::log(2 * m);
+  if (set == 0) return 0;
+  return m * std::log(m / z);
+}
+
+// -------------------------------------------------------------- HyperLogLog
+
+HyperLogLogApp::HyperLogLogApp(unsigned precision, FlowKeyKind counted)
+    : precision_(precision),
+      regs_count_(std::size_t(1) << precision),
+      counted_(counted),
+      regs_("hll_regs", std::size_t(1) << precision, 1) {
+  if (precision < 4 || precision > 16) {
+    throw std::invalid_argument("HyperLogLogApp: precision must be in [4,16]");
+  }
+}
+
+void HyperLogLogApp::Update(const Packet& p, int region) {
+  const std::uint64_t h = p.Key(counted_).Hash(0xCA4D1417ull);
+  const std::size_t idx = h >> (64 - precision_);
+  const std::uint64_t rest = h << precision_;
+  const std::uint64_t rank = std::uint64_t(
+      std::min(64 - int(precision_), std::countl_zero(rest | 1ull) + 1));
+  regs_.ReadModifyWrite(region, idx,
+                        [&](std::uint64_t v) { return std::max(v, rank); });
+}
+
+FlowRecord HyperLogLogApp::MigrateSlice(int region, std::size_t index,
+                                        SubWindowNum subwindow) const {
+  FlowRecord rec;
+  rec.key = SliceKey(std::uint32_t(index));
+  rec.subwindow = subwindow;
+  rec.num_attrs = 4;
+  for (std::size_t r = 0; r < 4; ++r) {
+    rec.attrs[r] = regs_.ControlRead(region, index * 4 + r);
+  }
+  return rec;
+}
+
+void HyperLogLogApp::ResetSlice(int region, std::size_t index) {
+  for (std::size_t r = 0; r < 4; ++r) {
+    regs_.ControlWrite(region, index * 4 + r, 0);
+  }
+}
+
+void HyperLogLogApp::ChargeResources(ResourceLedger& ledger) const {
+  ledger.Charge("App:hll_cardinality", regs_.Resources(6));
+}
+
+double HyperLogLogApp::EstimateFromTable(const KeyValueTable& table,
+                                         unsigned precision) {
+  const double m = double(std::size_t(1) << precision);
+  double inv_sum = 0;
+  std::size_t zeros = 0, seen = 0;
+  table.ForEach([&](const KvSlot& slot) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      inv_sum += std::ldexp(1.0, -int(slot.attrs[r]));
+      if (slot.attrs[r] == 0) ++zeros;
+      ++seen;
+    }
+  });
+  // Slices whose registers were all zero may not appear in the table.
+  const std::size_t missing = std::size_t(m) - seen;
+  inv_sum += double(missing);
+  zeros += missing;
+  const double alpha =
+      m <= 16 ? 0.673
+              : (m <= 32 ? 0.697
+                         : (m <= 64 ? 0.709 : 0.7213 / (1 + 1.079 / m)));
+  const double raw = alpha * m * m / inv_sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / double(zeros));
+  }
+  return raw;
+}
+
+}  // namespace ow

@@ -1,0 +1,143 @@
+#include "src/telemetry/loss_radar.h"
+
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+
+#include "src/common/hash.h"
+
+namespace ow {
+namespace {
+
+constexpr std::size_t kHashes = 3;
+
+}  // namespace
+
+LossRadar::LossRadar(std::size_t cells, std::uint64_t seed) : seed_(seed) {
+  if (cells < kHashes) {
+    throw std::invalid_argument("LossRadar: too few cells");
+  }
+  cells_.resize(cells);
+}
+
+std::array<std::uint64_t, 3> LossRadar::Encode(const PacketId& id) {
+  // Words 0-1: raw key material + kind + length; word 2: seq | check.
+  std::uint8_t buf[16] = {0};
+  const auto kb = id.key.bytes();
+  std::memcpy(buf, kb.data(), kb.size());
+  buf[13] = std::uint8_t(kb.size());
+  buf[14] = std::uint8_t(id.key.kind());
+  std::uint64_t w0, w1;
+  std::memcpy(&w0, buf, 8);
+  std::memcpy(&w1, buf + 8, 8);
+  const std::uint64_t check =
+      Mix64(w0 ^ Mix64(w1 ^ Mix64(id.seq))) & 0xFFFFFFFFull;
+  const std::uint64_t w2 = std::uint64_t(id.seq) | (check << 32);
+  return {w0, w1, w2};
+}
+
+std::size_t LossRadar::CellIndex(std::size_t i, std::uint64_t h) const {
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(Mix64(h + seed_ + i * 0x9E37ull)) *
+       cells_.size()) >>
+      64);
+}
+
+void LossRadar::Insert(const PacketId& id) {
+  const auto words = Encode(id);
+  const std::uint64_t h = words[0] ^ Mix64(words[1]) ^ Mix64(words[2]);
+  for (std::size_t i = 0; i < kHashes; ++i) {
+    Cell& c = cells_[CellIndex(i, h)];
+    c.count += 1;
+    for (std::size_t w = 0; w < 3; ++w) c.id_xor[w] ^= words[w];
+  }
+  ++inserted_;
+}
+
+void LossRadar::Subtract(const LossRadar& other) {
+  if (other.cells_.size() != cells_.size() || other.seed_ != seed_) {
+    throw std::invalid_argument("LossRadar::Subtract: geometry mismatch");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].count -= other.cells_[i].count;
+    for (std::size_t w = 0; w < 3; ++w) {
+      cells_[i].id_xor[w] ^= other.cells_[i].id_xor[w];
+    }
+  }
+}
+
+std::vector<PacketId> LossRadar::Decode(bool& clean) const {
+  std::vector<Cell> work = cells_;
+  std::vector<PacketId> losses;
+
+  auto try_peel = [&](std::size_t idx) -> bool {
+    Cell& c = work[idx];
+    if (c.count != 1 && c.count != -1) return false;
+    const std::uint64_t w0 = c.id_xor[0], w1 = c.id_xor[1], w2 = c.id_xor[2];
+    const std::uint32_t seq = std::uint32_t(w2 & 0xFFFFFFFFull);
+    const std::uint64_t check =
+        Mix64(w0 ^ Mix64(w1 ^ Mix64(seq))) & 0xFFFFFFFFull;
+    if ((w2 >> 32) != check) return false;
+    // Reconstruct the id.
+    std::uint8_t buf[16];
+    std::memcpy(buf, &w0, 8);
+    std::memcpy(buf + 8, &w1, 8);
+    PacketId id;
+    id.key = FlowKey::FromRaw(static_cast<FlowKeyKind>(buf[14]),
+                              std::span<const std::uint8_t>(buf, buf[13]));
+    id.seq = seq;
+    const bool is_loss = c.count == 1;
+    // Remove from every cell it maps to.
+    const auto words = Encode(id);
+    const std::uint64_t h = words[0] ^ Mix64(words[1]) ^ Mix64(words[2]);
+    const std::int64_t delta = c.count;
+    for (std::size_t i = 0; i < kHashes; ++i) {
+      Cell& t = work[CellIndex(i, h)];
+      t.count -= delta;
+      for (std::size_t w = 0; w < 3; ++w) t.id_xor[w] ^= words[w];
+    }
+    if (is_loss) losses.push_back(id);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (try_peel(i)) progress = true;
+    }
+  }
+  clean = true;
+  for (const Cell& c : work) {
+    if (c.count != 0 || c.id_xor[0] || c.id_xor[1] || c.id_xor[2]) {
+      clean = false;
+      break;
+    }
+  }
+  return losses;
+}
+
+void LossRadar::Reset() {
+  std::fill(cells_.begin(), cells_.end(), Cell{});
+  inserted_ = 0;
+}
+
+LossRadar::CellView LossRadar::ViewCell(std::size_t index) const {
+  const Cell& c = cells_.at(index);
+  CellView v;
+  v.count = c.count;
+  for (std::size_t w = 0; w < 3; ++w) v.id_xor[w] = c.id_xor[w];
+  return v;
+}
+
+void LossRadar::SetCell(std::size_t index, const CellView& view) {
+  Cell& c = cells_.at(index);
+  c.count = view.count;
+  for (std::size_t w = 0; w < 3; ++w) c.id_xor[w] = view.id_xor[w];
+}
+
+void LossRadar::ClearCell(std::size_t index) {
+  cells_.at(index) = Cell{};
+}
+
+}  // namespace ow

@@ -1,0 +1,61 @@
+#include "src/telemetry/loss_radar_app.h"
+
+#include <cstring>
+
+#include "src/telemetry/cardinality_apps.h"
+
+namespace ow {
+
+LossRadarApp::LossRadarApp(std::size_t cells, std::uint64_t seed)
+    : cells_(cells), seed_(seed) {
+  for (std::size_t r = 0; r < 2; ++r) {
+    meters_[r] = std::make_unique<LossRadar>(cells, seed);
+  }
+}
+
+void LossRadarApp::Update(const Packet& p, int region) {
+  meters_[std::size_t(region)]->Insert(
+      {p.Key(FlowKeyKind::kFiveTuple), p.seq});
+}
+
+FlowRecord LossRadarApp::MigrateSlice(int region, std::size_t index,
+                                      SubWindowNum subwindow) const {
+  const auto view = meters_[std::size_t(region)]->ViewCell(index);
+  FlowRecord rec;
+  rec.key = SliceKey(std::uint32_t(index));
+  rec.subwindow = subwindow;
+  rec.num_attrs = 4;
+  rec.attrs[0] = std::uint64_t(view.count);
+  for (std::size_t w = 0; w < 3; ++w) rec.attrs[w + 1] = view.id_xor[w];
+  return rec;
+}
+
+void LossRadarApp::ResetSlice(int region, std::size_t index) {
+  meters_[std::size_t(region)]->ClearCell(index);
+}
+
+void LossRadarApp::ChargeResources(ResourceLedger& ledger) const {
+  ResourceUsage u;
+  u.stages = {4, 5, 6, 7};
+  u.sram_bytes = 2 * meters_[0]->MemoryBytes();
+  u.salus = 4;  // count + three id words, one array each
+  u.vliw = 4;
+  ledger.Charge("App:loss_radar", u);
+}
+
+LossRadar LossRadarApp::FromTable(const KeyValueTable& table) const {
+  LossRadar ibf(cells_, seed_);
+  table.ForEach([&](const KvSlot& slot) {
+    std::uint32_t index;
+    const auto kb = slot.key.bytes();
+    std::memcpy(&index, kb.data(), 4);
+    if (index >= cells_) return;
+    LossRadar::CellView view;
+    view.count = std::int64_t(slot.attrs[0]);
+    for (std::size_t w = 0; w < 3; ++w) view.id_xor[w] = slot.attrs[w + 1];
+    ibf.SetCell(index, view);
+  });
+  return ibf;
+}
+
+}  // namespace ow

@@ -1,0 +1,40 @@
+#include "src/telemetry/network_queries.h"
+
+namespace ow {
+
+std::vector<FlowLossReport> InferFlowLoss(const KeyValueTable& upstream,
+                                          const KeyValueTable& downstream,
+                                          std::uint64_t min_loss) {
+  std::vector<FlowLossReport> reports;
+  upstream.ForEach([&](const KvSlot& up) {
+    const KvSlot* down = downstream.Find(up.key);
+    const std::uint64_t down_count = down ? down->attrs[0] : 0;
+    if (up.attrs[0] >= down_count + min_loss) {
+      reports.push_back({up.key, up.attrs[0], down_count});
+    }
+  });
+  return reports;
+}
+
+std::vector<FlowLossReport> InferFlowLoss(const FlowCounts& upstream,
+                                          const FlowCounts& downstream,
+                                          std::uint64_t min_loss) {
+  std::vector<FlowLossReport> reports;
+  for (const auto& [key, up_count] : upstream) {
+    auto it = downstream.find(key);
+    const std::uint64_t down_count =
+        it == downstream.end() ? 0 : it->second;
+    if (up_count >= down_count + min_loss) {
+      reports.push_back({key, up_count, down_count});
+    }
+  }
+  return reports;
+}
+
+std::uint64_t TotalLost(const std::vector<FlowLossReport>& reports) {
+  std::uint64_t total = 0;
+  for (const auto& r : reports) total += r.lost();
+  return total;
+}
+
+}  // namespace ow

@@ -1,0 +1,40 @@
+// Network-wide queries over consistent windows.
+//
+// The consistency model's motivating example (§5): an administrator
+// compares per-flow packet counts on adjacent switches to infer loss. That
+// only works if both switches measured every packet in the SAME window —
+// which OmniWindow's embedded sub-window numbers guarantee. These helpers
+// implement the comparison over two switches' merged window tables.
+#pragma once
+
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/controller/key_value_table.h"
+
+namespace ow {
+
+struct FlowLossReport {
+  FlowKey flow;
+  std::uint64_t upstream = 0;
+  std::uint64_t downstream = 0;
+  std::uint64_t lost() const { return upstream - downstream; }
+};
+
+/// Per-flow counts whose upstream total exceeds the downstream one by at
+/// least `min_loss` in the same window. With consistent windows every
+/// entry is real loss; with skewed local clocks boundary packets masquerade
+/// as losses (see Exp#9).
+std::vector<FlowLossReport> InferFlowLoss(const KeyValueTable& upstream,
+                                          const KeyValueTable& downstream,
+                                          std::uint64_t min_loss = 1);
+
+/// Convenience overload on plain count maps (window handler snapshots).
+std::vector<FlowLossReport> InferFlowLoss(const FlowCounts& upstream,
+                                          const FlowCounts& downstream,
+                                          std::uint64_t min_loss = 1);
+
+/// Total packets lost across all reports.
+std::uint64_t TotalLost(const std::vector<FlowLossReport>& reports);
+
+}  // namespace ow

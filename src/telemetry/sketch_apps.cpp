@@ -1,0 +1,131 @@
+#include "src/telemetry/sketch_apps.h"
+
+#include <stdexcept>
+
+#include "src/common/hash.h"
+
+namespace ow {
+
+FrequencySketchApp::FrequencySketchApp(std::string name, FlowKeyKind key_kind,
+                                       FrequencyValue value, Factory factory)
+    : name_(std::move(name)), key_kind_(key_kind), value_(value) {
+  for (std::size_t r = 0; r < 2; ++r) {
+    sketches_[r] = factory();
+    if (!sketches_[r]) {
+      throw std::invalid_argument("FrequencySketchApp: factory returned null");
+    }
+    invertible_[r] = dynamic_cast<InvertibleSketch*>(sketches_[r].get());
+  }
+}
+
+void FrequencySketchApp::Update(const Packet& p, int region) {
+  const std::uint64_t v =
+      value_ == FrequencyValue::kPackets ? 1 : p.size_bytes;
+  sketches_[std::size_t(region)]->Update(p.Key(key_kind_), v);
+}
+
+FlowRecord FrequencySketchApp::Query(const FlowKey& key, int region,
+                                     SubWindowNum subwindow) const {
+  FlowRecord rec;
+  rec.key = key;
+  rec.subwindow = subwindow;
+  rec.attrs[0] = sketches_[std::size_t(region)]->Estimate(key);
+  rec.num_attrs = 1;
+  return rec;
+}
+
+void FrequencySketchApp::ResetSlice(int region, std::size_t index) {
+  // The sketch classes store state as whole structures; slice-granular
+  // clearing is modelled by resetting everything on the first slice. The
+  // clear-packet pass count (and hence reset timing) is still governed by
+  // NumResetSlices().
+  if (index == 0) sketches_[std::size_t(region)]->Reset();
+}
+
+std::size_t FrequencySketchApp::NumResetSlices() const {
+  // One slice per register entry column: bytes per SALU-owned array.
+  return std::max<std::size_t>(
+      1, sketches_[0]->MemoryBytes() / (8 * sketches_[0]->NumSalus()));
+}
+
+std::vector<FlowKey> FrequencySketchApp::TrackedKeys(int region) const {
+  return invertible_[std::size_t(region)]
+             ? invertible_[std::size_t(region)]->Candidates()
+             : std::vector<FlowKey>{};
+}
+
+void FrequencySketchApp::ChargeResources(ResourceLedger& ledger) const {
+  ResourceUsage u;
+  // Both regions flattened per the shared-region layout: SRAM doubles, the
+  // SALU count does not.
+  u.sram_bytes = 2 * sketches_[0]->MemoryBytes();
+  u.salus = int(sketches_[0]->NumSalus());
+  u.vliw = int(sketches_[0]->NumSalus());
+  for (int s = 0; s < int(sketches_[0]->NumSalus()); ++s) {
+    u.stages.insert(6 + s % 4);
+  }
+  ledger.Charge("App:" + name_, u);
+}
+
+SpreadSketchApp::SpreadSketchApp(
+    std::string name, FlowKeyKind key_kind, Factory factory,
+    bool tracks_own_keys,
+    std::function<std::uint64_t(const Packet&)> element)
+    : name_(std::move(name)),
+      key_kind_(key_kind),
+      element_(std::move(element)),
+      tracks_keys_(tracks_own_keys) {
+  if (!element_) {
+    element_ = [](const Packet& p) {
+      return HashValue(p.ft.dst_ip, 0xE1E83A17ull);
+    };
+  }
+  for (std::size_t r = 0; r < 2; ++r) {
+    estimators_[r] = factory();
+    if (!estimators_[r]) {
+      throw std::invalid_argument("SpreadSketchApp: factory returned null");
+    }
+  }
+}
+
+void SpreadSketchApp::Update(const Packet& p, int region) {
+  estimators_[std::size_t(region)]->Update(p.Key(key_kind_), element_(p));
+}
+
+FlowRecord SpreadSketchApp::Query(const FlowKey& key, int region,
+                                  SubWindowNum subwindow) const {
+  FlowRecord rec;
+  rec.key = key;
+  rec.subwindow = subwindow;
+  const SpreadSignature sig =
+      estimators_[std::size_t(region)]->Signature(key);
+  rec.attrs = sig;
+  rec.num_attrs = 4;
+  return rec;
+}
+
+void SpreadSketchApp::ResetSlice(int region, std::size_t index) {
+  if (index == 0) estimators_[std::size_t(region)]->Reset();
+}
+
+std::size_t SpreadSketchApp::NumResetSlices() const {
+  return std::max<std::size_t>(
+      1, estimators_[0]->MemoryBytes() / (8 * estimators_[0]->NumSalus()));
+}
+
+std::vector<FlowKey> SpreadSketchApp::TrackedKeys(int region) const {
+  return estimators_[std::size_t(region)]->Candidates();
+}
+
+void SpreadSketchApp::ChargeResources(ResourceLedger& ledger) const {
+  ResourceUsage u;
+  u.sram_bytes = 2 * estimators_[0]->MemoryBytes();
+  u.salus = int(estimators_[0]->NumSalus());
+  u.vliw = int(estimators_[0]->NumSalus());
+  for (int s = 0; s < int(estimators_[0]->NumSalus()); ++s) {
+    u.stages.insert(6 + s % 4);
+  }
+  ledger.Charge("App:" + name_, u);
+}
+
+}  // namespace ow

@@ -1,0 +1,116 @@
+// Sketch-based telemetry applications (§9.2 Q8–Q11).
+//
+// Adapters plugging the sketch library into the OmniWindow framework:
+//
+//  * FrequencySketchApp — per-flow counts/bytes over any FrequencySketch
+//    (Count-Min, SuMax, MV-Sketch, HashPipe). Heavy-hitter detection (Q9)
+//    and per-flow size monitoring (Q10) are thresholds/queries on the
+//    merged table.
+//  * SpreadSketchApp — super-spreader detection (Q8) over any
+//    SpreadEstimator (SpreadSketch, Vector Bloom Filter); AFRs carry
+//    distinct signatures and merge by OR.
+//
+// Cardinality monitoring (Q11, Linear Counting / HyperLogLog) has no
+// per-flow query, so it uses the whole-state migration path (§8) — see
+// state_migration.h.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/adapter.h"
+#include "src/sketch/sketch.h"
+
+namespace ow {
+
+/// Value a frequency app accumulates per packet.
+enum class FrequencyValue : std::uint8_t {
+  kPackets = 0,
+  kBytes = 1,
+};
+
+class FrequencySketchApp final : public TelemetryAppAdapter {
+ public:
+  using Factory = std::function<std::unique_ptr<FrequencySketch>()>;
+
+  /// `factory` builds one per-region sketch instance (called twice). If the
+  /// built sketch is an InvertibleSketch, its candidate keys are used for
+  /// AFR enumeration instead of the framework's flowkey tracker.
+  FrequencySketchApp(std::string name, FlowKeyKind key_kind,
+                     FrequencyValue value, Factory factory);
+
+  std::string name() const override { return name_; }
+  FlowKeyKind key_kind() const override { return key_kind_; }
+  MergeKind merge_kind() const override { return MergeKind::kFrequency; }
+
+  void Update(const Packet& p, int region) override;
+  FlowRecord Query(const FlowKey& key, int region,
+                   SubWindowNum subwindow) const override;
+  void ResetSlice(int region, std::size_t index) override;
+  std::size_t NumResetSlices() const override;
+
+  bool TracksOwnKeys() const override { return invertible_[0] != nullptr; }
+  std::vector<FlowKey> TrackedKeys(int region) const override;
+
+  void ChargeResources(ResourceLedger& ledger) const override;
+
+  const FrequencySketch& sketch(int region) const {
+    return *sketches_[std::size_t(region)];
+  }
+
+ private:
+  std::string name_;
+  FlowKeyKind key_kind_;
+  FrequencyValue value_;
+  std::array<std::unique_ptr<FrequencySketch>, 2> sketches_;
+  std::array<InvertibleSketch*, 2> invertible_{};
+};
+
+class SpreadSketchApp final : public TelemetryAppAdapter {
+ public:
+  using Factory = std::function<std::unique_ptr<SpreadEstimator>()>;
+
+  /// `element` projects the counted element from a packet (default: the
+  /// destination address — classic super-spreader detection).
+  /// `tracks_own_keys`: true for invertible structures (SpreadSketch) whose
+  /// candidate keys drive AFR enumeration; false for non-invertible ones
+  /// (Vector Bloom Filter), which rely on the framework's flowkey tracker.
+  SpreadSketchApp(std::string name, FlowKeyKind key_kind, Factory factory,
+                  bool tracks_own_keys,
+                  std::function<std::uint64_t(const Packet&)> element = {});
+
+  std::string name() const override { return name_; }
+  FlowKeyKind key_kind() const override { return key_kind_; }
+  MergeKind merge_kind() const override { return MergeKind::kDistinction; }
+
+  void Update(const Packet& p, int region) override;
+  FlowRecord Query(const FlowKey& key, int region,
+                   SubWindowNum subwindow) const override;
+  void ResetSlice(int region, std::size_t index) override;
+  std::size_t NumResetSlices() const override;
+
+  bool TracksOwnKeys() const override { return tracks_keys_; }
+  std::vector<FlowKey> TrackedKeys(int region) const override;
+
+  void ChargeResources(ResourceLedger& ledger) const override;
+
+  /// Distinct estimate for a merged signature (delegates to the sketch's
+  /// signature layout).
+  double EstimateMerged(const SpreadSignature& sig) const {
+    return estimators_[0]->EstimateFromSignature(sig);
+  }
+
+  const SpreadEstimator& estimator(int region) const {
+    return *estimators_[std::size_t(region)];
+  }
+
+ private:
+  std::string name_;
+  FlowKeyKind key_kind_;
+  std::function<std::uint64_t(const Packet&)> element_;
+  std::array<std::unique_ptr<SpreadEstimator>, 2> estimators_;
+  bool tracks_keys_ = false;
+};
+
+}  // namespace ow

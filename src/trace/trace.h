@@ -1,0 +1,28 @@
+// Packet traces.
+//
+// A Trace is a time-ordered packet sequence standing in for the CAIDA
+// capture the paper replays with PktGen. Traces are produced by
+// TraceGenerator (synthetic) or loaded from the simple binary format
+// implemented in trace_io.h.
+#pragma once
+
+#include <vector>
+
+#include "src/common/packet.h"
+
+namespace ow {
+
+struct Trace {
+  std::vector<Packet> packets;
+
+  /// Trace duration: timestamp of the last packet (0 if empty).
+  Nanos Duration() const {
+    return packets.empty() ? 0 : packets.back().ts;
+  }
+
+  /// Re-establish the time ordering after anomaly injection. Stable so that
+  /// same-timestamp packets keep their insertion order.
+  void SortByTime();
+};
+
+}  // namespace ow

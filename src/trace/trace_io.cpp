@@ -1,0 +1,163 @@
+#include "src/trace/trace_io.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ow {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4F575452;  // "OWTR"
+constexpr std::uint32_t kVersion = 1;
+
+#pragma pack(push, 1)
+struct WireRecord {
+  std::uint32_t src_ip;
+  std::uint32_t dst_ip;
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+  std::uint8_t proto;
+  std::uint8_t tcp_flags;
+  std::uint16_t size_bytes;
+  std::int64_t ts;
+  std::uint32_t seq;
+  std::uint32_t iteration;
+};
+#pragma pack(pop)
+
+static_assert(sizeof(WireRecord) == 32);
+
+}  // namespace
+
+void SaveTrace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("SaveTrace: cannot open " + path);
+  const std::uint32_t magic = kMagic, version = kVersion;
+  const std::uint64_t n = trace.packets.size();
+  out.write(reinterpret_cast<const char*>(&magic), 4);
+  out.write(reinterpret_cast<const char*>(&version), 4);
+  out.write(reinterpret_cast<const char*>(&n), 8);
+  for (const Packet& p : trace.packets) {
+    WireRecord r{p.ft.src_ip, p.ft.dst_ip,    p.ft.src_port, p.ft.dst_port,
+                 p.ft.proto,  p.tcp_flags,    p.size_bytes,  p.ts,
+                 p.seq,       p.iteration};
+    out.write(reinterpret_cast<const char*>(&r), sizeof(r));
+  }
+  if (!out) throw std::runtime_error("SaveTrace: write failed for " + path);
+}
+
+Trace LoadTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("LoadTrace: cannot open " + path);
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&magic), 4);
+  in.read(reinterpret_cast<char*>(&version), 4);
+  in.read(reinterpret_cast<char*>(&n), 8);
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("LoadTrace: bad magic in " + path);
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("LoadTrace: unsupported version in " + path);
+  }
+  Trace trace;
+  trace.packets.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    WireRecord r;
+    in.read(reinterpret_cast<char*>(&r), sizeof(r));
+    if (!in) throw std::runtime_error("LoadTrace: truncated " + path);
+    Packet p;
+    p.ft = {r.src_ip, r.dst_ip, r.src_port, r.dst_port, r.proto};
+    p.tcp_flags = r.tcp_flags;
+    p.size_bytes = r.size_bytes;
+    p.ts = r.ts;
+    p.seq = r.seq;
+    p.iteration = r.iteration;
+    trace.packets.push_back(p);
+  }
+  return trace;
+}
+
+namespace {
+
+std::string IpString(std::uint32_t ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xFF,
+                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF);
+  return buf;
+}
+
+std::uint32_t ParseIp(const std::string& s) {
+  unsigned a, b, c, d;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4 || a > 255 ||
+      b > 255 || c > 255 || d > 255) {
+    throw std::runtime_error("ImportTraceCsv: bad address '" + s + "'");
+  }
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+constexpr char kCsvHeader[] =
+    "ts_ns,src_ip,dst_ip,src_port,dst_port,proto,tcp_flags,size,seq,"
+    "iteration";
+
+}  // namespace
+
+void ExportTraceCsv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("ExportTraceCsv: cannot open " + path);
+  out << kCsvHeader << '\n';
+  for (const Packet& p : trace.packets) {
+    out << p.ts << ',' << IpString(p.ft.src_ip) << ','
+        << IpString(p.ft.dst_ip) << ',' << p.ft.src_port << ','
+        << p.ft.dst_port << ',' << unsigned(p.ft.proto) << ','
+        << unsigned(p.tcp_flags) << ',' << p.size_bytes << ',' << p.seq
+        << ',' << p.iteration << '\n';
+  }
+  if (!out) throw std::runtime_error("ExportTraceCsv: write failed: " + path);
+}
+
+Trace ImportTraceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ImportTraceCsv: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kCsvHeader) {
+    throw std::runtime_error("ImportTraceCsv: bad header in " + path);
+  }
+  Trace trace;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (fields.size() != 10) {
+      throw std::runtime_error("ImportTraceCsv: line " +
+                               std::to_string(lineno) + ": expected 10 fields");
+    }
+    try {
+      Packet p;
+      p.ts = std::stoll(fields[0]);
+      p.ft.src_ip = ParseIp(fields[1]);
+      p.ft.dst_ip = ParseIp(fields[2]);
+      p.ft.src_port = std::uint16_t(std::stoul(fields[3]));
+      p.ft.dst_port = std::uint16_t(std::stoul(fields[4]));
+      p.ft.proto = std::uint8_t(std::stoul(fields[5]));
+      p.tcp_flags = std::uint8_t(std::stoul(fields[6]));
+      p.size_bytes = std::uint16_t(std::stoul(fields[7]));
+      p.seq = std::uint32_t(std::stoul(fields[8]));
+      p.iteration = std::uint32_t(std::stoul(fields[9]));
+      trace.packets.push_back(p);
+    } catch (const std::logic_error&) {
+      throw std::runtime_error("ImportTraceCsv: line " +
+                               std::to_string(lineno) + ": bad number");
+    }
+  }
+  return trace;
+}
+
+}  // namespace ow

@@ -1,0 +1,207 @@
+// Tests for the controller data structures: key-value table, merge
+// strategies, batch kernels.
+#include <gtest/gtest.h>
+
+#include "src/controller/key_value_table.h"
+#include "src/controller/merge.h"
+
+namespace ow {
+namespace {
+
+FlowKey Key(std::uint32_t id) {
+  return FlowKey(FlowKeyKind::kSrcIp, FiveTuple{.src_ip = id});
+}
+
+FlowRecord Rec(std::uint32_t id, std::uint64_t v, SubWindowNum sw = 0) {
+  FlowRecord r;
+  r.key = Key(id);
+  r.attrs[0] = v;
+  r.num_attrs = 1;
+  r.subwindow = sw;
+  return r;
+}
+
+TEST(KeyValueTable, InsertFindErase) {
+  KeyValueTable table(64);
+  bool created = false;
+  KvSlot& slot = table.FindOrInsert(Key(1), created);
+  EXPECT_TRUE(created);
+  slot.attrs[0] = 42;
+  EXPECT_EQ(table.size(), 1u);
+
+  KvSlot* found = table.Find(Key(1));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->attrs[0], 42u);
+
+  EXPECT_TRUE(table.Erase(Key(1)));
+  EXPECT_EQ(table.Find(Key(1)), nullptr);
+  EXPECT_FALSE(table.Erase(Key(1)));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(KeyValueTable, TombstoneThenReinsertReusesSlot) {
+  KeyValueTable table(64);
+  bool created = false;
+  table.FindOrInsert(Key(1), created);
+  table.Erase(Key(1));
+  KvSlot& again = table.FindOrInsert(Key(1), created);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(again.attrs[0], 0u);  // fresh slot content
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(KeyValueTable, SurvivesManyKeysWithProbing) {
+  KeyValueTable table(4096);
+  bool created = false;
+  for (std::uint32_t i = 0; i < 3'000; ++i) {
+    table.FindOrInsert(Key(i), created).attrs[0] = i;
+  }
+  EXPECT_EQ(table.size(), 3'000u);
+  for (std::uint32_t i = 0; i < 3'000; ++i) {
+    KvSlot* s = table.Find(Key(i));
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->attrs[0], i);
+  }
+}
+
+TEST(KeyValueTable, RefusesOverload) {
+  KeyValueTable table(16);
+  bool created = false;
+  EXPECT_THROW(
+      {
+        for (std::uint32_t i = 0; i < 16; ++i) {
+          table.FindOrInsert(Key(i), created);
+        }
+      },
+      std::length_error);
+}
+
+TEST(KeyValueTable, StableOffsetsForRdma) {
+  KeyValueTable table(64);
+  bool created = false;
+  KvSlot& slot = table.FindOrInsert(Key(9), created);
+  const std::size_t idx = table.SlotIndex(slot);
+  const std::size_t off0 = table.AttrOffsetBytes(idx, 0);
+  const std::size_t off1 = table.AttrOffsetBytes(idx, 1);
+  EXPECT_EQ(off1 - off0, 8u);
+  // Inserting more keys must not move the slot (tombstone design).
+  for (std::uint32_t i = 100; i < 120; ++i) table.FindOrInsert(Key(i), created);
+  EXPECT_EQ(&slot, table.Find(Key(9)));
+}
+
+TEST(KeyValueTable, ForEachVisitsOnlyLive) {
+  KeyValueTable table(64);
+  bool created = false;
+  table.FindOrInsert(Key(1), created);
+  table.FindOrInsert(Key(2), created);
+  table.Erase(Key(1));
+  std::size_t visited = 0;
+  table.ForEach([&](const KvSlot& s) {
+    ++visited;
+    EXPECT_EQ(s.key, Key(2));
+  });
+  EXPECT_EQ(visited, 1u);
+}
+
+// ----------------------------------------------------------------- merge
+
+TEST(Merge, FrequencySums) {
+  KeyValueTable table(64);
+  bool created = false;
+  KvSlot& slot = table.FindOrInsert(Key(1), created);
+  ApplyMerge(MergeKind::kFrequency, slot, true, Rec(1, 10, 0));
+  ApplyMerge(MergeKind::kFrequency, slot, false, Rec(1, 32, 1));
+  EXPECT_EQ(slot.attrs[0], 42u);
+  EXPECT_EQ(slot.last_subwindow, 1u);
+}
+
+TEST(Merge, MaxAndMin) {
+  KeyValueTable table(64);
+  bool created = false;
+  KvSlot& mx = table.FindOrInsert(Key(1), created);
+  ApplyMerge(MergeKind::kMax, mx, true, Rec(1, 10));
+  ApplyMerge(MergeKind::kMax, mx, false, Rec(1, 5));
+  ApplyMerge(MergeKind::kMax, mx, false, Rec(1, 30));
+  EXPECT_EQ(mx.attrs[0], 30u);
+
+  KvSlot& mn = table.FindOrInsert(Key(2), created);
+  ApplyMerge(MergeKind::kMin, mn, true, Rec(2, 10));
+  ApplyMerge(MergeKind::kMin, mn, false, Rec(2, 5));
+  ApplyMerge(MergeKind::kMin, mn, false, Rec(2, 30));
+  EXPECT_EQ(mn.attrs[0], 5u);
+}
+
+TEST(Merge, ExistenceIsBoolean) {
+  KeyValueTable table(64);
+  bool created = false;
+  KvSlot& slot = table.FindOrInsert(Key(1), created);
+  ApplyMerge(MergeKind::kExistence, slot, true, Rec(1, 999));
+  EXPECT_EQ(slot.attrs[0], 1u);
+  ApplyMerge(MergeKind::kExistence, slot, false, Rec(1, 999));
+  EXPECT_EQ(slot.attrs[0], 1u);
+}
+
+TEST(Merge, DistinctionOrsSignatures) {
+  KeyValueTable table(64);
+  bool created = false;
+  KvSlot& slot = table.FindOrInsert(Key(1), created);
+  FlowRecord r1 = Rec(1, 0);
+  r1.attrs = {0x1, 0x2, 0x4, 0x8};
+  r1.num_attrs = 4;
+  FlowRecord r2 = Rec(1, 0);
+  r2.attrs = {0x10, 0x20, 0x40, 0x80};
+  r2.num_attrs = 4;
+  ApplyMerge(MergeKind::kDistinction, slot, true, r1);
+  ApplyMerge(MergeKind::kDistinction, slot, false, r2);
+  EXPECT_EQ(slot.attrs[0], 0x11u);
+  EXPECT_EQ(slot.attrs[3], 0x88u);
+}
+
+TEST(Merge, DistinctionAvoidsDoubleCounting) {
+  // The same elements reported from two sub-windows must not inflate the
+  // estimate — the property scalar merging cannot provide.
+  SpreadSignature sw1{}, sw2{};
+  for (std::uint64_t e = 0; e < 120; ++e) {
+    LcSignatureInsert(sw1, Mix64(e));
+    LcSignatureInsert(sw2, Mix64(e));  // identical elements
+  }
+  SpreadSignature merged = sw1;
+  MergeSpreadSignature(merged, sw2);
+  EXPECT_DOUBLE_EQ(LcSignatureEstimate(merged), LcSignatureEstimate(sw1));
+}
+
+// ----------------------------------------------------------- batch kernels
+
+TEST(BatchKernels, SumVariantsAgree) {
+  std::vector<std::uint64_t> a1(1000), a2(1000), v(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    a1[i] = a2[i] = i;
+    v[i] = i * 3;
+  }
+  BatchSumScalar(a1, v);
+  BatchSumSimd(a2, v);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(a1[10], 10u + 30u);
+}
+
+TEST(BatchKernels, MaxVariantsAgree) {
+  std::vector<std::uint64_t> a1(1000), a2(1000), v(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    a1[i] = a2[i] = i % 7;
+    v[i] = i % 5;
+  }
+  BatchMaxScalar(a1, v);
+  BatchMaxSimd(a2, v);
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(BatchKernels, SizeMismatchThrows) {
+  std::vector<std::uint64_t> a(10), v(9);
+  EXPECT_THROW(BatchSumScalar(a, v), std::invalid_argument);
+  EXPECT_THROW(BatchSumSimd(a, v), std::invalid_argument);
+  EXPECT_THROW(BatchMaxScalar(a, v), std::invalid_argument);
+  EXPECT_THROW(BatchMaxSimd(a, v), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ow

@@ -1,0 +1,108 @@
+// Tests for CSV trace interop and the PTP synchronization model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "src/net/ptp.h"
+#include "src/trace/generator.h"
+#include "src/trace/trace_io.h"
+
+namespace ow {
+namespace {
+
+TEST(TraceCsv, RoundTrip) {
+  TraceConfig cfg;
+  cfg.seed = 3;
+  cfg.duration = 100 * kMilli;
+  cfg.packets_per_sec = 5'000;
+  cfg.num_flows = 200;
+  TraceGenerator gen(cfg);
+  Trace trace = gen.GenerateBackground();
+  trace.packets[0].iteration = 42;  // exercise the iteration column
+
+  const std::string path = ::testing::TempDir() + "/ow_trace.csv";
+  ExportTraceCsv(trace, path);
+  const Trace loaded = ImportTraceCsv(path);
+  ASSERT_EQ(loaded.packets.size(), trace.packets.size());
+  for (std::size_t i = 0; i < trace.packets.size(); i += 37) {
+    EXPECT_EQ(loaded.packets[i].ft, trace.packets[i].ft);
+    EXPECT_EQ(loaded.packets[i].ts, trace.packets[i].ts);
+    EXPECT_EQ(loaded.packets[i].size_bytes, trace.packets[i].size_bytes);
+    EXPECT_EQ(loaded.packets[i].iteration, trace.packets[i].iteration);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsv, RejectsBadHeader) {
+  const std::string path = ::testing::TempDir() + "/ow_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "not,a,trace\n1,2,3\n";
+  }
+  EXPECT_THROW(ImportTraceCsv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsv, RejectsMalformedRow) {
+  const std::string path = ::testing::TempDir() + "/ow_bad2.csv";
+  {
+    std::ofstream out(path);
+    out << "ts_ns,src_ip,dst_ip,src_port,dst_port,proto,tcp_flags,size,seq,"
+           "iteration\n";
+    out << "0,10.0.0.1,10.0.0.2,1,2,6,2,64\n";  // 8 fields
+  }
+  EXPECT_THROW(ImportTraceCsv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Ptp, SymmetricPathIsUnbiased) {
+  PtpConfig cfg;
+  cfg.load_asymmetry = 0.5;
+  PtpSync ptp(cfg, 1);
+  double sum = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    sum += double(ptp.ExchangeEstimate(0));
+  }
+  // Mean error near zero when both directions see the same load.
+  EXPECT_LT(std::abs(sum / n), double(cfg.queue_jitter) * 0.05);
+}
+
+TEST(Ptp, AsymmetricLoadBiasesTheEstimate) {
+  PtpConfig cfg;
+  cfg.queue_jitter = 40 * kMicro;
+  cfg.load_asymmetry = 0.9;  // forward path congested
+  PtpSync ptp(cfg, 2);
+  double sum = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += double(ptp.ExchangeEstimate(0));
+  // Expected bias = (E[d_fwd] - E[d_rev]) / 2 = jitter * (0.9 - 0.1) / 2.
+  const double expected = double(cfg.queue_jitter) * 0.8 / 2;
+  EXPECT_NEAR(sum / n, expected, expected * 0.1);
+}
+
+TEST(Ptp, ResidualsGrowWithLoadJitter) {
+  auto mean_residual = [](Nanos jitter) {
+    PtpConfig cfg;
+    cfg.queue_jitter = jitter;
+    cfg.load_asymmetry = 0.7;
+    PtpSync ptp(cfg, 3);
+    const auto residuals = ptp.ResidualOffsets(2'000);
+    double sum = 0;
+    for (Nanos r : residuals) sum += double(r);
+    return sum / double(residuals.size());
+  };
+  const double quiet = mean_residual(2 * kMicro);
+  const double loaded = mean_residual(100 * kMicro);
+  // The paper's premise: deviation spans orders of magnitude with load.
+  EXPECT_GT(loaded, quiet * 10);
+  // And the magnitudes land in the paper's "hundreds of ns to hundreds of
+  // us" range.
+  EXPECT_GT(quiet, 100.0);          // > 0.1 us
+  EXPECT_LT(loaded, 500.0 * 1000);  // < 500 us
+}
+
+}  // namespace
+}  // namespace ow

@@ -1,0 +1,152 @@
+// Randomized reference-model property tests: the key-value table against
+// std::unordered_map, LossRadar across loss-rate sweeps, Bloom filter
+// false-positive rates across load factors, and the flattened region layout
+// against two independent arrays.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/controller/key_value_table.h"
+#include "src/core/state_layout.h"
+#include "src/sketch/bloom.h"
+#include "src/telemetry/loss_radar.h"
+
+namespace ow {
+namespace {
+
+FlowKey Key(std::uint32_t id) {
+  return FlowKey(FlowKeyKind::kSrcIp, FiveTuple{.src_ip = id});
+}
+
+class KvTablePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KvTablePropertyTest, MatchesUnorderedMapUnderRandomOps) {
+  Rng rng(GetParam());
+  KeyValueTable table(1 << 12);
+  std::unordered_map<FlowKey, std::uint64_t, FlowKeyHasher> model;
+
+  for (int op = 0; op < 20'000; ++op) {
+    const FlowKey key = Key(std::uint32_t(rng.Uniform(700)) + 1);
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {  // upsert-add
+        bool created = false;
+        KvSlot& slot = table.FindOrInsert(key, created);
+        const std::uint64_t inc = rng.Uniform(100) + 1;
+        slot.attrs[0] += inc;
+        model[key] += inc;
+        break;
+      }
+      case 2: {  // erase
+        const bool t = table.Erase(key);
+        const bool m = model.erase(key) > 0;
+        EXPECT_EQ(t, m);
+        break;
+      }
+      case 3: {  // lookup
+        const KvSlot* slot = table.Find(key);
+        auto it = model.find(key);
+        ASSERT_EQ(slot != nullptr, it != model.end());
+        if (slot) {
+          EXPECT_EQ(slot->attrs[0], it->second);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(table.size(), model.size());
+  std::size_t visited = 0;
+  table.ForEach([&](const KvSlot& slot) {
+    auto it = model.find(slot.key);
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(slot.attrs[0], it->second);
+    ++visited;
+  });
+  EXPECT_EQ(visited, model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvTablePropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+class LossRadarSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossRadarSweepTest, DecodesAllLossesAtRate) {
+  const double loss_rate = GetParam();
+  Rng rng(std::uint64_t(loss_rate * 1000) + 17);
+  LossRadar up(4096), down(4096);
+  std::vector<PacketId> lost;
+  for (std::uint32_t f = 0; f < 2'000; ++f) {
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      const PacketId id{Key(f + 1), s};
+      up.Insert(id);
+      if (rng.Bernoulli(loss_rate)) {
+        lost.push_back(id);
+      } else {
+        down.Insert(id);
+      }
+    }
+  }
+  up.Subtract(down);
+  bool clean = false;
+  const auto decoded = up.Decode(clean);
+  ASSERT_TRUE(clean) << "IBF failed to decode at loss rate " << loss_rate;
+  EXPECT_EQ(decoded.size(), lost.size());
+  std::set<std::pair<std::uint32_t, std::uint32_t>> got;
+  for (const auto& id : decoded) got.insert({id.key.src_ip(), id.seq});
+  for (const auto& id : lost) {
+    EXPECT_TRUE(got.contains({id.key.src_ip(), id.seq}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LossRadarSweepTest,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.05, 0.1));
+
+class BloomLoadTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BloomLoadTest, FalsePositiveRateTracksTheory) {
+  const std::size_t n = GetParam();
+  BloomFilter bloom(1 << 14, 4);
+  for (std::uint32_t i = 0; i < n; ++i) bloom.Insert(Key(i + 1));
+  std::size_t fp = 0;
+  const std::size_t probes = 20'000;
+  for (std::uint32_t i = 0; i < probes; ++i) {
+    if (bloom.Contains(Key(1'000'000 + i))) ++fp;
+  }
+  const double measured = double(fp) / double(probes);
+  const double expected = bloom.ExpectedFpp(n);
+  // Within 2x + small absolute slack of the analytic rate.
+  EXPECT_LE(measured, expected * 2 + 0.002)
+      << "n=" << n << " expected " << expected;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, BloomLoadTest,
+                         ::testing::Values(std::size_t(256), std::size_t(1024),
+                                           std::size_t(4096),
+                                           std::size_t(8192)));
+
+TEST(RegionLayoutProperty, FlattenedMatchesTwoIndependentArrays) {
+  // Random interleaved writes to both regions must behave exactly like two
+  // independent arrays.
+  Rng rng(99);
+  RegionedArray flat("flat", 64, 8);
+  std::array<std::array<std::uint64_t, 64>, 2> model{};
+  for (int op = 0; op < 5'000; ++op) {
+    const int region = int(rng.Uniform(2));
+    const std::size_t idx = std::size_t(rng.Uniform(64));
+    const std::uint64_t inc = rng.Uniform(1'000);
+    flat.register_array().BeginPass();
+    flat.ReadModifyWrite(region, idx,
+                         [&](std::uint64_t v) { return v + inc; });
+    model[std::size_t(region)][idx] += inc;
+  }
+  for (int region = 0; region < 2; ++region) {
+    for (std::size_t idx = 0; idx < 64; ++idx) {
+      EXPECT_EQ(flat.ControlRead(region, idx),
+                model[std::size_t(region)][idx]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ow

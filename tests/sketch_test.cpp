@@ -1,0 +1,399 @@
+// Unit and property tests for the sketch library.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/sketch/bloom.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/hashpipe.h"
+#include "src/sketch/hyperloglog.h"
+#include "src/sketch/linear_counting.h"
+#include "src/sketch/mv_sketch.h"
+#include "src/sketch/signature.h"
+#include "src/sketch/spread_sketch.h"
+#include "src/sketch/sumax.h"
+#include "src/sketch/vector_bloom.h"
+
+namespace ow {
+namespace {
+
+FlowKey Key(std::uint32_t id) {
+  return FlowKey(FlowKeyKind::kSrcIp, FiveTuple{.src_ip = id});
+}
+
+/// Zipf workload shared by the frequency-sketch property tests.
+struct Workload {
+  std::unordered_map<FlowKey, std::uint64_t, FlowKeyHasher> truth;
+  std::vector<std::pair<FlowKey, std::uint64_t>> updates;
+};
+
+Workload MakeWorkload(std::size_t flows, std::size_t packets,
+                      std::uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  ZipfSampler zipf(flows, 1.1);
+  for (std::size_t i = 0; i < packets; ++i) {
+    const FlowKey key = Key(std::uint32_t(zipf.Sample(rng)) + 1);
+    w.updates.emplace_back(key, 1);
+    ++w.truth[key];
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------- Bloom
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter bloom(1 << 12, 3);
+  for (std::uint32_t i = 0; i < 500; ++i) bloom.Insert(Key(i));
+  for (std::uint32_t i = 0; i < 500; ++i) EXPECT_TRUE(bloom.Contains(Key(i)));
+}
+
+TEST(Bloom, LowFalsePositiveRateWhenSized) {
+  BloomFilter bloom(1 << 14, 3);
+  for (std::uint32_t i = 0; i < 1'000; ++i) bloom.Insert(Key(i));
+  std::size_t fp = 0;
+  for (std::uint32_t i = 100'000; i < 110'000; ++i) {
+    if (bloom.Contains(Key(i))) ++fp;
+  }
+  EXPECT_LT(double(fp) / 10'000, 0.02);
+}
+
+TEST(Bloom, TestAndSetSemantics) {
+  BloomFilter bloom(1 << 12, 3);
+  EXPECT_FALSE(bloom.TestAndSet(Key(7)));
+  EXPECT_TRUE(bloom.TestAndSet(Key(7)));
+  EXPECT_TRUE(bloom.Contains(Key(7)));
+}
+
+TEST(Bloom, ResetClears) {
+  BloomFilter bloom(1 << 10, 2);
+  bloom.Insert(Key(1));
+  bloom.Reset();
+  EXPECT_FALSE(bloom.Contains(Key(1)));
+}
+
+TEST(Bloom, RejectsEmptyGeometry) {
+  EXPECT_THROW(BloomFilter(0, 3), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(64, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------- frequency sketches
+
+// Property sweep over the three overestimating frequency sketches:
+// never underestimate, exact on collision-free workloads, Reset zeroes.
+enum class FreqKind { kCountMin, kSuMax, kMv };
+
+class FrequencySketchPropertyTest
+    : public ::testing::TestWithParam<std::tuple<FreqKind, std::size_t>> {
+ protected:
+  std::unique_ptr<FrequencySketch> Make(std::size_t depth,
+                                        std::size_t width) const {
+    switch (std::get<0>(GetParam())) {
+      case FreqKind::kCountMin:
+        return std::make_unique<CountMinSketch>(depth, width);
+      case FreqKind::kSuMax:
+        return std::make_unique<SuMaxSketch>(depth, width);
+      case FreqKind::kMv:
+        return std::make_unique<MvSketch>(depth, width);
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(FrequencySketchPropertyTest, NeverUnderestimatesUpperBoundSketches) {
+  // MV-Sketch estimates can undershoot by design; skip it here.
+  if (std::get<0>(GetParam()) == FreqKind::kMv) GTEST_SKIP();
+  const std::size_t width = std::get<1>(GetParam());
+  auto sketch = Make(4, width);
+  const Workload w = MakeWorkload(2'000, 20'000, 77);
+  for (const auto& [key, inc] : w.updates) sketch->Update(key, inc);
+  for (const auto& [key, count] : w.truth) {
+    EXPECT_GE(sketch->Estimate(key), count);
+  }
+}
+
+TEST_P(FrequencySketchPropertyTest, ExactWithoutCollisions) {
+  auto sketch = Make(4, 1 << 16);  // huge: collisions negligible
+  for (std::uint32_t i = 1; i <= 50; ++i) {
+    for (std::uint32_t j = 0; j < i; ++j) sketch->Update(Key(i), 1);
+  }
+  for (std::uint32_t i = 1; i <= 50; ++i) {
+    EXPECT_EQ(sketch->Estimate(Key(i)), i);
+  }
+}
+
+TEST_P(FrequencySketchPropertyTest, ResetZeroes) {
+  auto sketch = Make(2, 1024);
+  sketch->Update(Key(5), 100);
+  sketch->Reset();
+  EXPECT_EQ(sketch->Estimate(Key(5)), 0u);
+}
+
+TEST_P(FrequencySketchPropertyTest, UnseenKeysHaveBoundedError) {
+  const std::size_t width = std::get<1>(GetParam());
+  auto sketch = Make(4, width);
+  const Workload w = MakeWorkload(2'000, 20'000, 78);
+  for (const auto& [key, inc] : w.updates) sketch->Update(key, inc);
+  // Classic CM bound: error <= e * N / width with prob 1 - e^-depth. Use a
+  // loose 10x margin to keep the test robust.
+  const double bound = 10.0 * 2.718 * 20'000 / double(width);
+  double worst = 0;
+  for (std::uint32_t i = 1'000'000; i < 1'000'200; ++i) {
+    worst = std::max(worst, double(sketch->Estimate(Key(i))));
+  }
+  EXPECT_LE(worst, std::max(bound, 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FrequencySketchPropertyTest,
+    ::testing::Combine(::testing::Values(FreqKind::kCountMin, FreqKind::kSuMax,
+                                         FreqKind::kMv),
+                       ::testing::Values(std::size_t(512), std::size_t(2048),
+                                         std::size_t(8192))));
+
+TEST(CountMin, SuMaxNoWorseThanCountMin) {
+  CountMinSketch cm(4, 1024);
+  SuMaxSketch sm(4, 1024);
+  const Workload w = MakeWorkload(3'000, 30'000, 11);
+  for (const auto& [key, inc] : w.updates) {
+    cm.Update(key, inc);
+    sm.Update(key, inc);
+  }
+  double cm_err = 0, sm_err = 0;
+  for (const auto& [key, count] : w.truth) {
+    cm_err += double(cm.Estimate(key)) - double(count);
+    sm_err += double(sm.Estimate(key)) - double(count);
+  }
+  EXPECT_LE(sm_err, cm_err);
+}
+
+TEST(CountMin, MergeEqualsUnion) {
+  CountMinSketch a(4, 512), b(4, 512), u(4, 512);
+  const Workload w1 = MakeWorkload(500, 5'000, 1);
+  const Workload w2 = MakeWorkload(500, 5'000, 2);
+  for (const auto& [key, inc] : w1.updates) {
+    a.Update(key, inc);
+    u.Update(key, inc);
+  }
+  for (const auto& [key, inc] : w2.updates) {
+    b.Update(key, inc);
+    u.Update(key, inc);
+  }
+  a.MergeFrom(b);
+  for (std::uint32_t i = 1; i < 100; ++i) {
+    EXPECT_EQ(a.Estimate(Key(i)), u.Estimate(Key(i)));
+  }
+}
+
+TEST(CountMin, MergeRejectsGeometryMismatch) {
+  CountMinSketch a(4, 512), b(4, 256);
+  EXPECT_THROW(a.MergeFrom(b), std::invalid_argument);
+}
+
+TEST(CountMin, WithMemoryRespectsBudget) {
+  const auto cm = CountMinSketch::WithMemory(1 << 20, 4);
+  EXPECT_LE(cm.MemoryBytes(), std::size_t(1) << 20);
+  EXPECT_EQ(cm.depth(), 4u);
+}
+
+// --------------------------------------------------------------- MV/HP
+
+TEST(MvSketch, HeavyHitterCandidatesContainTrueHeavies) {
+  MvSketch mv(4, 2048);
+  const Workload w = MakeWorkload(5'000, 50'000, 13);
+  for (const auto& [key, inc] : w.updates) mv.Update(key, inc);
+  const auto candidates = mv.Candidates();
+  const std::unordered_set<FlowKey, FlowKeyHasher> cand_set(
+      candidates.begin(), candidates.end());
+  for (const auto& [key, count] : w.truth) {
+    if (count >= 500) {
+      EXPECT_TRUE(cand_set.contains(key))
+          << "missing heavy flow with count " << count;
+    }
+  }
+}
+
+TEST(HashPipe, TracksHeavyFlows) {
+  HashPipe hp(4, 512);
+  const Workload w = MakeWorkload(5'000, 50'000, 17);
+  for (const auto& [key, inc] : w.updates) hp.Update(key, inc);
+  const auto candidates = hp.Candidates();
+  const std::unordered_set<FlowKey, FlowKeyHasher> cand_set(
+      candidates.begin(), candidates.end());
+  std::size_t heavies = 0, found = 0;
+  for (const auto& [key, count] : w.truth) {
+    if (count >= 800) {
+      ++heavies;
+      if (cand_set.contains(key)) ++found;
+    }
+  }
+  ASSERT_GT(heavies, 0u);
+  EXPECT_GE(double(found) / double(heavies), 0.9);
+}
+
+TEST(HashPipe, NeverOverestimates) {
+  // HashPipe only loses evicted counts; a flow's stored total can't exceed
+  // its true count.
+  HashPipe hp(4, 256);
+  const Workload w = MakeWorkload(2'000, 20'000, 19);
+  for (const auto& [key, inc] : w.updates) hp.Update(key, inc);
+  for (const auto& [key, count] : w.truth) {
+    EXPECT_LE(hp.Estimate(key), count);
+  }
+}
+
+// ------------------------------------------------------ spread sketches
+
+TEST(SpreadSketch, EstimatesSpreadWithinFactor) {
+  SpreadSketch sps(4, 1024, 8, 64);
+  Rng rng(23);
+  const FlowKey spreader = Key(42);
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    sps.Update(spreader, Mix64(i * 0x9E3779B97F4A7C15ull + 1));
+  }
+  const double est = sps.EstimateSpread(spreader);
+  EXPECT_GT(est, 300.0);
+  EXPECT_LT(est, 1200.0);
+}
+
+TEST(SpreadSketch, CandidatesIncludeTopSpreader) {
+  SpreadSketch sps(4, 256, 8, 64);
+  Rng rng(29);
+  for (std::uint64_t i = 0; i < 800; ++i) {
+    sps.Update(Key(7), Mix64(i + 1));
+  }
+  for (std::uint32_t k = 100; k < 150; ++k) {
+    sps.Update(Key(k), Mix64(k));
+  }
+  const auto cands = sps.Candidates();
+  EXPECT_TRUE(std::find(cands.begin(), cands.end(), Key(7)) != cands.end());
+}
+
+TEST(SpreadSketch, SignatureMergeApproximatesUnion) {
+  // Two sub-windows with disjoint element sets: the OR-merged signature
+  // estimate should approximate the union size.
+  SpreadSketch sw1(4, 512, 4, 64), sw2(4, 512, 4, 64);
+  const FlowKey key = Key(9);
+  for (std::uint64_t i = 0; i < 150; ++i) sw1.Update(key, Mix64(i + 1));
+  for (std::uint64_t i = 150; i < 300; ++i) sw2.Update(key, Mix64(i + 1));
+  SpreadSignature merged = sw1.Signature(key);
+  MergeSpreadSignature(merged, sw2.Signature(key));
+  const double est = sw1.EstimateFromSignature(merged);
+  EXPECT_GT(est, 150.0);
+  EXPECT_LT(est, 600.0);
+}
+
+TEST(VectorBloom, SpreadEstimateAndReset) {
+  VectorBloomFilter vbf(5, 1024, 256);
+  const FlowKey key = Key(3);
+  for (std::uint64_t i = 0; i < 400; ++i) vbf.Update(key, Mix64(i + 7));
+  const double est = vbf.EstimateSpread(key);
+  EXPECT_GT(est, 250.0);
+  EXPECT_LT(est, 700.0);
+  vbf.Reset();
+  EXPECT_LT(vbf.EstimateSpread(key), 1.0);
+}
+
+TEST(VectorBloom, SmallSpreadersStaySmall) {
+  VectorBloomFilter vbf(5, 4096, 256);
+  for (std::uint32_t k = 1; k <= 200; ++k) {
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      vbf.Update(Key(k), Mix64(k * 1000 + i));
+    }
+  }
+  for (std::uint32_t k = 1; k <= 200; ++k) {
+    EXPECT_LT(vbf.EstimateSpread(Key(k)), 60.0);
+  }
+}
+
+// ------------------------------------------------------- cardinality
+
+class CardinalityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CardinalityTest, LinearCountingAccuracy) {
+  const std::size_t n = GetParam();
+  LinearCounting lc(1 << 16);
+  for (std::size_t i = 0; i < n; ++i) lc.Add(Mix64(i + 1));
+  EXPECT_NEAR(lc.Estimate(), double(n), double(n) * 0.1 + 10);
+}
+
+TEST_P(CardinalityTest, HyperLogLogAccuracy) {
+  const std::size_t n = GetParam();
+  HyperLogLog hll(12);
+  for (std::size_t i = 0; i < n; ++i) hll.Add(Mix64(i + 1));
+  EXPECT_NEAR(hll.Estimate(), double(n), double(n) * 0.12 + 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CardinalityTest,
+                         ::testing::Values(std::size_t(100), std::size_t(1'000),
+                                           std::size_t(10'000),
+                                           std::size_t(50'000)));
+
+TEST(Cardinality, DuplicatesDontInflate) {
+  LinearCounting lc(1 << 12);
+  HyperLogLog hll(10);
+  for (int round = 0; round < 100; ++round) {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      lc.Add(Mix64(i + 1));
+      hll.Add(Mix64(i + 1));
+    }
+  }
+  EXPECT_NEAR(lc.Estimate(), 50.0, 10.0);
+  EXPECT_NEAR(hll.Estimate(), 50.0, 10.0);
+}
+
+TEST(Cardinality, HllMergeEqualsUnion) {
+  HyperLogLog a(12), b(12), u(12);
+  for (std::uint64_t i = 0; i < 5'000; ++i) {
+    a.Add(Mix64(i));
+    u.Add(Mix64(i));
+  }
+  for (std::uint64_t i = 2'500; i < 7'500; ++i) {
+    b.Add(Mix64(i));
+    u.Add(Mix64(i));
+  }
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+TEST(Cardinality, HllRejectsBadPrecision) {
+  EXPECT_THROW(HyperLogLog(3), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(19), std::invalid_argument);
+}
+
+// ------------------------------------------------------- signatures
+
+TEST(Signature, LcEstimateTracksInsertions) {
+  SpreadSignature sig{};
+  for (std::uint64_t i = 0; i < 100; ++i) LcSignatureInsert(sig, Mix64(i + 5));
+  const double est = LcSignatureEstimate(sig);
+  EXPECT_NEAR(est, 100.0, 30.0);
+}
+
+TEST(Signature, OrMergeIsIdempotent) {
+  SpreadSignature a{}, b{};
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    LcSignatureInsert(a, Mix64(i));
+    LcSignatureInsert(b, Mix64(i));
+  }
+  SpreadSignature merged = a;
+  MergeSpreadSignature(merged, b);
+  EXPECT_EQ(merged, a);  // same elements -> same bitmap
+}
+
+TEST(Signature, MrbCoversWiderRange) {
+  SpreadSignature sig{};
+  for (std::uint64_t i = 0; i < 1'500; ++i) {
+    MrbSignatureInsert(sig, Mix64(i + 3));
+  }
+  const double est = MrbSignatureEstimate(sig);
+  EXPECT_GT(est, 700.0);
+  EXPECT_LT(est, 3'500.0);
+}
+
+}  // namespace
+}  // namespace ow

@@ -1,0 +1,96 @@
+// Tests for the Sliding Sketch baseline (SS) — the framework OmniWindow is
+// compared against in Exp#2 and Exp#10.
+#include <gtest/gtest.h>
+
+#include "src/sketch/sliding_sketch.h"
+
+namespace ow {
+namespace {
+
+FlowKey Key(std::uint32_t id) {
+  return FlowKey(FlowKeyKind::kSrcIp, FiveTuple{.src_ip = id});
+}
+
+constexpr Nanos kPeriod = 100 * kMilli;
+
+TEST(ScanPointer, SweepsOncePerPeriod) {
+  SlidingScanPointer scan(100, kPeriod);
+  std::size_t shifts = 0;
+  scan.Advance(kPeriod, [&](std::size_t) { ++shifts; });
+  EXPECT_EQ(shifts, 100u);
+  scan.Advance(kPeriod * 3 / 2, [&](std::size_t) { ++shifts; });
+  EXPECT_EQ(shifts, 150u);
+}
+
+TEST(ScanPointer, WrapsAround) {
+  SlidingScanPointer scan(10, kPeriod);
+  std::vector<std::size_t> order;
+  scan.Advance(kPeriod * 12 / 10,
+               [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 12u);
+  EXPECT_EQ(order[9], 9u);
+  EXPECT_EQ(order[10], 0u);  // wrapped
+}
+
+TEST(ScanPointer, RejectsBadArguments) {
+  EXPECT_THROW(SlidingScanPointer(0, kPeriod), std::invalid_argument);
+  EXPECT_THROW(SlidingScanPointer(10, 0), std::invalid_argument);
+}
+
+TEST(SlidingCountMin, RecentTrafficIsCounted) {
+  SlidingCountMin cm(4, 1024, kPeriod);
+  for (int i = 0; i < 100; ++i) {
+    cm.Update(Key(1), 1, Nanos(i) * kMilli / 2);
+  }
+  EXPECT_GE(cm.Estimate(Key(1), 50 * kMilli), 100u);
+}
+
+TEST(SlidingCountMin, OldTrafficAges) {
+  SlidingCountMin cm(4, 1024, kPeriod);
+  cm.Update(Key(1), 1000, 0);
+  // After two full sweeps the counted value has been shifted out entirely.
+  EXPECT_EQ(cm.Estimate(Key(1), 3 * kPeriod), 0u);
+}
+
+TEST(SlidingCountMin, OverestimatesAcrossWindowBoundary) {
+  // The defining artifact the paper measures: a query sees prev + cur, i.e.
+  // more than one window of traffic. A 1x1 sketch makes the pointer
+  // position deterministic: exactly one shift per period.
+  SlidingCountMin cm(1, 1, kPeriod);
+  cm.Update(Key(1), 100, 0);
+  // 1.2 periods later the single bucket has been shifted exactly once:
+  // the old window's 100 sits in `prev`, the new 50 goes to `cur`.
+  cm.Update(Key(1), 50, kPeriod * 12 / 10);
+  const std::uint64_t est = cm.Estimate(Key(1), kPeriod * 12 / 10);
+  EXPECT_EQ(est, 150u);  // includes BOTH windows' counts
+}
+
+TEST(SlidingSuMax, BehavesLikeConservativeUpdate) {
+  SlidingSuMax sm(4, 1024, kPeriod);
+  for (int i = 0; i < 60; ++i) sm.Update(Key(3), 1, Nanos(i) * 100);
+  EXPECT_GE(sm.Estimate(Key(3), 10 * kMicro), 60u);
+}
+
+TEST(SlidingMv, TracksHeavyCandidates) {
+  SlidingMvSketch mv(4, 512, kPeriod);
+  for (int i = 0; i < 500; ++i) {
+    mv.Update(Key(7), 1, Nanos(i) * 10 * kMicro);
+  }
+  const auto cands = mv.Candidates();
+  bool found = false;
+  for (const auto& k : cands) {
+    if (k == Key(7)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SlidingMv, ResetClears) {
+  SlidingMvSketch mv(2, 64, kPeriod);
+  mv.Update(Key(1), 10, 0);
+  mv.Reset();
+  EXPECT_EQ(mv.Estimate(Key(1), 1), 0u);
+  EXPECT_TRUE(mv.Candidates().empty());
+}
+
+}  // namespace
+}  // namespace ow

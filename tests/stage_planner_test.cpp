@@ -1,0 +1,88 @@
+// Tests for the RMT stage-placement planner.
+#include <gtest/gtest.h>
+
+#include "src/switchsim/stage_planner.h"
+
+namespace ow {
+namespace {
+
+PlacementRequest Feature(std::string name, int units, int salus_per_unit,
+                         std::vector<std::string> after = {}) {
+  PlacementRequest req;
+  req.feature = std::move(name);
+  for (int i = 0; i < units; ++i) {
+    req.units.push_back({.salus = salus_per_unit, .sram_bytes = 1024,
+                         .vliw = 1, .gateways = 1});
+  }
+  req.after = std::move(after);
+  return req;
+}
+
+TEST(StagePlanner, PacksIndependentFeaturesIntoSharedStages) {
+  StagePlanner planner(ResourceBudget{.stages = 12, .salus_per_stage = 4});
+  const auto plan = planner.Plan({Feature("a", 2, 2), Feature("b", 2, 2)});
+  ASSERT_TRUE(plan.has_value());
+  // 4 units of 2 SALUs each at 4 SALUs/stage: two units per stage.
+  EXPECT_EQ(plan->stages_used, 2);
+}
+
+TEST(StagePlanner, DependenciesForceLaterStages) {
+  StagePlanner planner(ResourceBudget{.stages = 12, .salus_per_stage = 8});
+  const auto plan = planner.Plan({
+      Feature("hash", 1, 1),
+      Feature("sketch", 2, 1, {"hash"}),
+      Feature("report", 1, 1, {"sketch"}),
+  });
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_LT(plan->LastStageOf("hash"), plan->FirstStageOf("sketch"));
+  EXPECT_LT(plan->LastStageOf("sketch"), plan->FirstStageOf("report"));
+}
+
+TEST(StagePlanner, ReportsUnplaceableFeature) {
+  StagePlanner planner(ResourceBudget{.stages = 2, .salus_per_stage = 1});
+  std::string error;
+  const auto plan =
+      planner.Plan({Feature("big", 3, 1)}, &error);  // needs 3 stages
+  EXPECT_FALSE(plan.has_value());
+  EXPECT_NE(error.find("big"), std::string::npos);
+}
+
+TEST(StagePlanner, RejectsUnknownDependency) {
+  StagePlanner planner(ResourceBudget{});
+  std::string error;
+  const auto plan =
+      planner.Plan({Feature("x", 1, 1, {"missing"})}, &error);
+  EXPECT_FALSE(plan.has_value());
+  EXPECT_NE(error.find("missing"), std::string::npos);
+}
+
+TEST(StagePlanner, SramLimitsRespectedPerStage) {
+  ResourceBudget budget;
+  budget.stages = 4;
+  budget.sram_bytes = 4 * 2048;  // 2 KB per stage
+  StagePlanner planner(budget);
+  PlacementRequest fat;
+  fat.feature = "fat";
+  for (int i = 0; i < 4; ++i) {
+    fat.units.push_back({.salus = 0, .sram_bytes = 1536, .vliw = 0});
+  }
+  const auto plan = planner.Plan({fat});
+  ASSERT_TRUE(plan.has_value());
+  // 1.5 KB units cannot share a 2 KB stage: one per stage.
+  EXPECT_EQ(plan->stages_used, 4);
+}
+
+TEST(StagePlanner, LongDependencyChainExhaustsPipeline) {
+  StagePlanner planner(ResourceBudget{.stages = 3});
+  std::vector<PlacementRequest> chain;
+  chain.push_back(Feature("f0", 1, 1));
+  for (int i = 1; i < 5; ++i) {
+    chain.push_back(Feature("f" + std::to_string(i), 1, 1,
+                            {"f" + std::to_string(i - 1)}));
+  }
+  std::string error;
+  EXPECT_FALSE(planner.Plan(chain, &error).has_value());
+}
+
+}  // namespace
+}  // namespace ow

@@ -1,0 +1,224 @@
+// Tests for the RMT switch model: register semantics, pipeline actions,
+// resource accounting, switch-OS latency model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/switchsim/mat.h"
+#include "src/switchsim/pipeline.h"
+#include "src/switchsim/register_array.h"
+#include "src/switchsim/resources.h"
+#include "src/switchsim/switch_os.h"
+
+namespace ow {
+namespace {
+
+TEST(RegisterArray, SingleAccessPerPassEnforced) {
+  RegisterArray reg("r", 16, 4);
+  reg.BeginPass();
+  reg.Write(0, 1);
+  // Second SALU access in the same pass violates C4.
+  EXPECT_THROW(reg.Read(1), std::logic_error);
+  reg.BeginPass();
+  EXPECT_EQ(reg.Read(0), 1u);
+}
+
+TEST(RegisterArray, ReadModifyWriteReturnsOld) {
+  RegisterArray reg("r", 4, 4);
+  reg.BeginPass();
+  reg.Write(2, 10);
+  reg.BeginPass();
+  const auto old = reg.ReadModifyWrite(2, [](std::uint64_t v) { return v + 5; });
+  EXPECT_EQ(old, 10u);
+  EXPECT_EQ(reg.ControlRead(2), 15u);
+}
+
+TEST(RegisterArray, TruncatesToEntryWidth) {
+  RegisterArray reg("r", 4, 2);  // 16-bit entries
+  reg.BeginPass();
+  reg.Write(0, 0x12345);
+  EXPECT_EQ(reg.ControlRead(0), 0x2345u);
+}
+
+TEST(RegisterArray, BoundsChecked) {
+  RegisterArray reg("r", 4, 4);
+  reg.BeginPass();
+  EXPECT_THROW(reg.Read(4), std::out_of_range);
+  EXPECT_THROW(reg.ControlRead(10), std::out_of_range);
+}
+
+TEST(RegisterArray, ControlPathBypassesPassCheck) {
+  RegisterArray reg("r", 8, 4);
+  reg.BeginPass();
+  reg.Write(0, 1);
+  // Control plane may keep reading (it pays the OS latency instead).
+  EXPECT_EQ(reg.ControlRead(0), 1u);
+  reg.ControlWrite(0, 0);
+  EXPECT_EQ(reg.ControlRead(0), 0u);
+}
+
+TEST(Mat, LookupHitMissAndDefault) {
+  MatchActionTable<int, int> mat("m", -1);
+  mat.Install(5, 50);
+  EXPECT_EQ(mat.Lookup(5), 50);
+  EXPECT_EQ(mat.Lookup(6), -1);
+  EXPECT_TRUE(mat.TryLookup(5).has_value());
+  EXPECT_FALSE(mat.TryLookup(6).has_value());
+  EXPECT_TRUE(mat.Remove(5));
+  EXPECT_FALSE(mat.Remove(5));
+}
+
+TEST(ResourceLedger, StagesShareButSramSums) {
+  ResourceLedger ledger;
+  ledger.Charge("a", {.stages = {1, 2}, .sram_bytes = 100, .salus = 1});
+  ledger.Charge("b", {.stages = {2, 3}, .sram_bytes = 200, .salus = 2});
+  const auto total = ledger.Total();
+  EXPECT_EQ(total.stages.size(), 3u);  // {1,2,3} — stage 2 shared
+  EXPECT_EQ(total.sram_bytes, 300u);
+  EXPECT_EQ(total.salus, 3);
+}
+
+TEST(ResourceLedger, RepeatedChargesMerge) {
+  ResourceLedger ledger;
+  ledger.Charge("x", {.stages = {1}, .salus = 1});
+  ledger.Charge("x", {.stages = {2}, .salus = 1});
+  EXPECT_EQ(ledger.Of("x").salus, 2);
+  EXPECT_EQ(ledger.Of("x").stages.size(), 2u);
+  EXPECT_EQ(ledger.Features().size(), 1u);
+}
+
+TEST(ResourceLedger, FitsBudget) {
+  ResourceLedger ledger;
+  ledger.Charge("small", {.stages = {1}, .sram_bytes = 1024, .salus = 1});
+  EXPECT_TRUE(ledger.Fits(ResourceBudget{}));
+  ledger.Charge("huge", {.sram_bytes = std::size_t(1) << 40});
+  EXPECT_FALSE(ledger.Fits(ResourceBudget{}));
+}
+
+// A trivial program for pipeline mechanics: counts packets, recirculates
+// packets flagged kCollection up to 3 times, clones kTrigger to controller.
+class ProbeProgram : public SwitchProgram {
+ public:
+  void Process(Packet& p, Nanos now, PacketSource src,
+               PipelineActions& act) override {
+    (void)now;
+    ++passes;
+    if (src == PacketSource::kRecirculation) ++recirc_passes;
+    if (p.ow.present && p.ow.flag == OwFlag::kCollection) {
+      if (p.ow.payload > 0) {
+        --p.ow.payload;
+        act.recirculate.push_back(p);
+      }
+      act.drop = true;
+      return;
+    }
+    if (p.ow.present && p.ow.flag == OwFlag::kTrigger) {
+      act.to_controller.push_back(p);
+      act.drop = true;
+      return;
+    }
+  }
+  int passes = 0;
+  int recirc_passes = 0;
+};
+
+TEST(Switch, ForwardsNormalPackets) {
+  Switch sw(0);
+  auto prog = std::make_shared<ProbeProgram>();
+  sw.SetProgram(prog);
+  std::vector<Nanos> forwarded;
+  sw.SetForwardHandler(
+      [&](const Packet&, Nanos t) { forwarded.push_back(t); });
+  Packet p;
+  sw.EnqueueFromWire(p, 1000);
+  sw.RunUntilIdle(kSecond);
+  ASSERT_EQ(forwarded.size(), 1u);
+  EXPECT_EQ(forwarded[0], 1000 + sw.timings().pipeline_latency);
+}
+
+TEST(Switch, RecirculationCountsAndLatency) {
+  Switch sw(0);
+  auto prog = std::make_shared<ProbeProgram>();
+  sw.SetProgram(prog);
+  Packet p;
+  p.ow.present = true;
+  p.ow.flag = OwFlag::kCollection;
+  p.ow.payload = 3;  // recirculate three times
+  sw.EnqueueFromWire(p, 0);
+  const Nanos last = sw.RunUntilIdle(kSecond);
+  EXPECT_EQ(prog->passes, 4);          // initial + 3 recirculations
+  EXPECT_EQ(prog->recirc_passes, 3);
+  EXPECT_EQ(sw.recirc_passes(), 3u);
+  EXPECT_EQ(last, 3 * sw.timings().recirc_latency);
+}
+
+TEST(Switch, CloneToControllerLatency) {
+  Switch sw(0);
+  auto prog = std::make_shared<ProbeProgram>();
+  sw.SetProgram(prog);
+  std::vector<Nanos> got;
+  sw.SetControllerHandler([&](const Packet&, Nanos t) { got.push_back(t); });
+  Packet p;
+  p.ow.present = true;
+  p.ow.flag = OwFlag::kTrigger;
+  sw.EnqueueFromWire(p, 500);
+  sw.RunUntilIdle(kSecond);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 500 + sw.timings().to_controller_latency);
+}
+
+TEST(Switch, ProcessesInTimeOrder) {
+  Switch sw(0);
+  struct OrderProgram : SwitchProgram {
+    void Process(Packet& p, Nanos, PacketSource, PipelineActions&) override {
+      order.push_back(p.seq);
+    }
+    std::vector<std::uint32_t> order;
+  };
+  auto prog = std::make_shared<OrderProgram>();
+  sw.SetProgram(prog);
+  Packet a, b, c;
+  a.seq = 1;
+  b.seq = 2;
+  c.seq = 3;
+  sw.EnqueueFromWire(b, 200);
+  sw.EnqueueFromWire(a, 100);
+  sw.EnqueueFromWire(c, 300);
+  sw.RunUntilIdle(kSecond);
+  EXPECT_EQ(prog->order, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(Switch, ThrowsWithoutProgram) {
+  Switch sw(0);
+  Packet p;
+  sw.EnqueueFromWire(p, 0);
+  EXPECT_THROW(sw.RunUntilIdle(kSecond), std::logic_error);
+}
+
+TEST(SwitchOs, ReadCostScalesLinearly) {
+  SwitchOsDriver os;
+  const Nanos one = os.ReadCost(1'000);
+  const Nanos four = os.ReadCost(4'000);
+  EXPECT_GT(four, one);
+  // Subtracting the fixed RPC setup, reads are linear in entries.
+  const Nanos setup = os.timings().rpc_setup;
+  EXPECT_NEAR(double(four - setup), 4.0 * double(one - setup),
+              double(one - setup) * 0.01);
+}
+
+TEST(SwitchOs, ReadAllAndResetAll) {
+  SwitchOsDriver os;
+  RegisterArray reg("r", 64, 4);
+  reg.ControlWrite(7, 99);
+  std::vector<std::uint64_t> out;
+  const Nanos t1 = os.ReadAll(reg, out, 0);
+  ASSERT_EQ(out.size(), 64u);
+  EXPECT_EQ(out[7], 99u);
+  EXPECT_EQ(t1, os.ReadCost(64));
+  const Nanos t2 = os.ResetAll(reg, t1);
+  EXPECT_EQ(reg.ControlRead(7), 0u);
+  EXPECT_EQ(t2, t1 + os.ResetCost(64));
+}
+
+}  // namespace
+}  // namespace ow

@@ -1,0 +1,300 @@
+// Tests for the telemetry layer: query definitions, the ideal engine,
+// adapters, baselines and LossRadar.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sketch/count_min.h"
+#include "src/sketch/mv_sketch.h"
+#include "src/sketch/spread_sketch.h"
+#include "src/telemetry/baselines.h"
+#include "src/telemetry/loss_radar.h"
+#include "src/telemetry/query.h"
+#include "src/telemetry/sketch_apps.h"
+#include "src/trace/generator.h"
+
+namespace ow {
+namespace {
+
+FlowKey Key(std::uint32_t id) {
+  return FlowKey(FlowKeyKind::kSrcIp, FiveTuple{.src_ip = id});
+}
+
+TraceConfig SmallConfig() {
+  TraceConfig cfg;
+  cfg.seed = 7;
+  cfg.duration = 600 * kMilli;
+  cfg.packets_per_sec = 30'000;
+  cfg.num_flows = 3'000;
+  return cfg;
+}
+
+TEST(Queries, SevenStandardQueries) {
+  const auto qs = StandardQueries();
+  ASSERT_EQ(qs.size(), 7u);
+  EXPECT_EQ(qs[0].name, "Q1_new_tcp_conns");
+  EXPECT_THROW(StandardQuery(0), std::out_of_range);
+  EXPECT_THROW(StandardQuery(8), std::out_of_range);
+  EXPECT_EQ(StandardQuery(5).name, "Q5_syn_flood");
+}
+
+TEST(IdealEngine, DetectsInjectedPortScan) {
+  TraceGenerator gen(SmallConfig());
+  Trace trace = gen.GenerateBackground();
+  gen.InjectPortScan(trace, 100 * kMilli, 200 * kMilli, 300);
+  trace.SortByTime();
+  const FlowKey victim = gen.injected()[0].victim_or_actor;
+
+  IdealQueryEngine ideal(trace);
+  const auto detected =
+      ideal.Evaluate(StandardQuery(3), 0, trace.Duration() + 1);
+  EXPECT_TRUE(detected.contains(victim));
+}
+
+TEST(IdealEngine, WindowBoundsRespected) {
+  TraceGenerator gen(SmallConfig());
+  Trace trace = gen.GenerateBackground();
+  gen.InjectSynFlood(trace, 300 * kMilli, 100 * kMilli, 500);
+  trace.SortByTime();
+  const FlowKey victim = gen.injected()[0].victim_or_actor;
+  IdealQueryEngine ideal(trace);
+  // The flood lives in [300ms, 400ms): absent before, present within.
+  EXPECT_FALSE(
+      ideal.Evaluate(StandardQuery(5), 0, 200 * kMilli).contains(victim));
+  EXPECT_TRUE(ideal.Evaluate(StandardQuery(5), 250 * kMilli, 450 * kMilli)
+                  .contains(victim));
+}
+
+/// Arm a directly-driven adapter's register arrays for one pipeline pass.
+void Arm(TelemetryAppAdapter& app) {
+  for (RegisterArray* r : app.Registers()) r->BeginPass();
+}
+
+TEST(QueryAdapter, CountAggregateAndReset) {
+  QueryDef def = StandardQuery(5);  // SYN flood: count per dst
+  QueryAdapter adapter(def, 1024);
+  Packet syn;
+  syn.ft = {1, 42, 1000, 80, 6};
+  syn.tcp_flags = kTcpSyn;
+  for (int i = 0; i < 10; ++i) {
+    Arm(adapter);
+    adapter.Update(syn, 0);
+  }
+  const FlowKey victim = syn.Key(FlowKeyKind::kDstIp);
+  FlowRecord rec = adapter.Query(victim, 0, 3);
+  EXPECT_EQ(rec.attrs[0], 10u);
+  EXPECT_EQ(rec.subwindow, 3u);
+  // Region 1 untouched.
+  EXPECT_EQ(adapter.Query(victim, 1, 3).attrs[0], 0u);
+  // Reset slices of region 0.
+  for (std::size_t i = 0; i < adapter.NumResetSlices(); ++i) {
+    adapter.ResetSlice(0, i);
+  }
+  EXPECT_EQ(adapter.Query(victim, 0, 3).attrs[0], 0u);
+}
+
+TEST(QueryAdapter, FilterApplied) {
+  QueryAdapter adapter(StandardQuery(5), 256);
+  Packet ack;
+  ack.ft = {1, 42, 1000, 80, 6};
+  ack.tcp_flags = kTcpAck;  // not a pure SYN
+  Arm(adapter);
+  adapter.Update(ack, 0);
+  EXPECT_EQ(adapter.Query(ack.Key(FlowKeyKind::kDstIp), 0, 0).attrs[0], 0u);
+}
+
+TEST(QueryAdapter, DistinctSignatureCounts) {
+  QueryDef def = StandardQuery(4);  // DDoS: distinct sources per dst
+  QueryAdapter adapter(def, 1024);
+  Packet p;
+  p.ft = {0, 99, 1000, 80, 6};
+  for (std::uint32_t s = 1; s <= 100; ++s) {
+    p.ft.src_ip = s;
+    Arm(adapter);
+    adapter.Update(p, 0);
+    Arm(adapter);
+    adapter.Update(p, 0);  // duplicates must not inflate
+  }
+  const FlowRecord rec = adapter.Query(p.Key(FlowKeyKind::kDstIp), 0, 0);
+  const SpreadSignature sig{rec.attrs[0], rec.attrs[1], rec.attrs[2],
+                            rec.attrs[3]};
+  EXPECT_NEAR(LcSignatureEstimate(sig), 100.0, 30.0);
+}
+
+TEST(QueryAdapter, DetectAppliesThreshold) {
+  QueryDef def = StandardQuery(5);
+  def.threshold = 5;
+  QueryAdapter adapter(def, 1024);
+  KeyValueTable table(64);
+  bool created = false;
+  KvSlot& hot = table.FindOrInsert(Key(1), created);
+  hot.attrs[0] = 10;
+  KvSlot& cold = table.FindOrInsert(Key(2), created);
+  cold.attrs[0] = 2;
+  const FlowSet detected = adapter.Detect(table);
+  EXPECT_TRUE(detected.contains(Key(1)));
+  EXPECT_FALSE(detected.contains(Key(2)));
+}
+
+// ------------------------------------------------------------ sketch apps
+
+TEST(FrequencySketchApp, QueryMatchesSketchEstimate) {
+  FrequencySketchApp app("cm", FlowKeyKind::kFiveTuple,
+                         FrequencyValue::kPackets, [] {
+                           return std::make_unique<CountMinSketch>(4, 4096);
+                         });
+  EXPECT_FALSE(app.TracksOwnKeys());
+  Packet p;
+  p.ft = {1, 2, 3, 4, 6};
+  for (int i = 0; i < 7; ++i) app.Update(p, 0);
+  const FlowRecord rec = app.Query(p.Key(FlowKeyKind::kFiveTuple), 0, 0);
+  EXPECT_EQ(rec.attrs[0], 7u);
+}
+
+TEST(FrequencySketchApp, InvertibleSketchTracksKeys) {
+  FrequencySketchApp app("mv", FlowKeyKind::kFiveTuple,
+                         FrequencyValue::kPackets, [] {
+                           return std::make_unique<MvSketch>(4, 1024);
+                         });
+  EXPECT_TRUE(app.TracksOwnKeys());
+  Packet p;
+  p.ft = {1, 2, 3, 4, 6};
+  for (int i = 0; i < 100; ++i) app.Update(p, 1);
+  const auto keys = app.TrackedKeys(1);
+  ASSERT_FALSE(keys.empty());
+  EXPECT_TRUE(app.TrackedKeys(0).empty());  // other region untouched
+}
+
+TEST(SpreadSketchApp, SignatureAfrsMergeAcrossRegions) {
+  SpreadSketchApp app(
+      "sps", FlowKeyKind::kSrcIp,
+      [] { return std::make_unique<SpreadSketch>(4, 512, 4, 64); },
+      /*tracks_own_keys=*/true);
+  Packet p;
+  p.ft.src_ip = 5;
+  for (std::uint32_t d = 0; d < 100; ++d) {
+    p.ft.dst_ip = d;
+    app.Update(p, 0);
+  }
+  for (std::uint32_t d = 100; d < 200; ++d) {
+    p.ft.dst_ip = d;
+    app.Update(p, 1);
+  }
+  const FlowKey key = Key(5);
+  const FlowRecord r0 = app.Query(key, 0, 0);
+  const FlowRecord r1 = app.Query(key, 1, 1);
+  SpreadSignature merged = r0.attrs;
+  MergeSpreadSignature(merged, r1.attrs);
+  const double est = app.EstimateMerged(merged);
+  EXPECT_GT(est, 100.0);
+  EXPECT_LT(est, 450.0);
+}
+
+// -------------------------------------------------------------- baselines
+
+TEST(Baselines, Tw1LosesBoundaryTraffic) {
+  // Synthetic: one victim receives SYNs uniformly; TW1's C&R blackout at
+  // each boundary loses enough to miss the threshold in some windows.
+  Trace trace;
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 100; ++i) {
+      Packet p;
+      p.ft = {std::uint32_t(1000 + i), 7, 1234, 80, 6};
+      p.tcp_flags = kTcpSyn;
+      p.ts = Nanos(w) * 100 * kMilli + Nanos(i) * kMilli;
+      trace.packets.push_back(p);
+    }
+  }
+  trace.SortByTime();
+  QueryDef def = StandardQuery(5);
+  def.threshold = 95;
+
+  const auto tw2 = RunTumblingBaseline(TumblingBaselineKind::kTw2, def, trace,
+                                       100 * kMilli, 4096, 20 * kMilli);
+  const auto tw1 = RunTumblingBaseline(TumblingBaselineKind::kTw1, def, trace,
+                                       100 * kMilli, 4096, 20 * kMilli);
+  std::size_t tw2_hits = 0, tw1_hits = 0;
+  for (const auto& w : tw2) tw2_hits += w.detected.size();
+  for (const auto& w : tw1) tw1_hits += w.detected.size();
+  EXPECT_GT(tw2_hits, tw1_hits);
+  EXPECT_GE(tw2_hits, 4u);
+}
+
+TEST(Baselines, IdealSlidingCatchesBoundaryBurst) {
+  // The Figure-1 scenario: a burst straddling a tumbling boundary is missed
+  // by tumbling windows but caught by sliding ones.
+  TraceConfig cfg = SmallConfig();
+  cfg.packets_per_sec = 1'000;  // quiet background
+  TraceGenerator gen(cfg);
+  Trace trace = gen.GenerateBackground();
+  gen.InjectBoundaryBurst(trace, 300 * kMilli, 40 * kMilli, 130);
+  trace.SortByTime();
+  const FlowKey burst_flow = gen.injected()[0].victim_or_actor;
+
+  QueryDef def;
+  def.name = "hh";
+  def.key_kind = FlowKeyKind::kFiveTuple;
+  def.aggregate = QueryAggregate::kCount;
+  def.threshold = 100;
+
+  const auto itw = RunIdealTumbling(def, trace, 300 * kMilli);
+  const auto isw = RunIdealSliding(def, trace, 300 * kMilli, 60 * kMilli);
+  EXPECT_FALSE(UnionDetections(itw).contains(burst_flow));
+  EXPECT_TRUE(UnionDetections(isw).contains(burst_flow));
+}
+
+// -------------------------------------------------------------- LossRadar
+
+TEST(LossRadar, DecodesExactLosses) {
+  LossRadar up(1024), down(1024);
+  std::vector<PacketId> lost;
+  for (std::uint32_t f = 0; f < 200; ++f) {
+    for (std::uint32_t s = 0; s < 5; ++s) {
+      const PacketId id{Key(f), s};
+      up.Insert(id);
+      if (f % 50 == 0 && s == 2) {
+        lost.push_back(id);  // dropped on the link
+      } else {
+        down.Insert(id);
+      }
+    }
+  }
+  up.Subtract(down);
+  bool clean = false;
+  const auto decoded = up.Decode(clean);
+  EXPECT_TRUE(clean);
+  ASSERT_EQ(decoded.size(), lost.size());
+  for (const auto& id : lost) {
+    EXPECT_TRUE(std::find(decoded.begin(), decoded.end(), id) !=
+                decoded.end());
+  }
+}
+
+TEST(LossRadar, NoLossDecodesEmpty) {
+  LossRadar up(256), down(256);
+  for (std::uint32_t f = 0; f < 100; ++f) {
+    up.Insert({Key(f), 0});
+    down.Insert({Key(f), 0});
+  }
+  up.Subtract(down);
+  bool clean = false;
+  EXPECT_TRUE(up.Decode(clean).empty());
+  EXPECT_TRUE(clean);
+}
+
+TEST(LossRadar, GeometryMismatchThrows) {
+  LossRadar a(256), b(512);
+  EXPECT_THROW(a.Subtract(b), std::invalid_argument);
+}
+
+TEST(LossRadar, OvercapacityIsDetectedAsUnclean) {
+  LossRadar up(16), down(16);
+  for (std::uint32_t f = 0; f < 200; ++f) up.Insert({Key(f), 0});
+  up.Subtract(down);  // 200 "losses" in 16 cells cannot decode
+  bool clean = true;
+  up.Decode(clean);
+  EXPECT_FALSE(clean);
+}
+
+}  // namespace
+}  // namespace ow

@@ -1,0 +1,160 @@
+// Unit tests for the trace generator and trace persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/metrics.h"
+#include "src/trace/generator.h"
+#include "src/trace/trace_io.h"
+
+namespace ow {
+namespace {
+
+TraceConfig SmallConfig() {
+  TraceConfig cfg;
+  cfg.seed = 42;
+  cfg.duration = 500 * kMilli;
+  cfg.packets_per_sec = 20'000;
+  cfg.num_flows = 2'000;
+  return cfg;
+}
+
+TEST(TraceGenerator, DeterministicFromSeed) {
+  TraceGenerator g1(SmallConfig()), g2(SmallConfig());
+  const Trace t1 = g1.GenerateBackground();
+  const Trace t2 = g2.GenerateBackground();
+  ASSERT_EQ(t1.packets.size(), t2.packets.size());
+  for (std::size_t i = 0; i < t1.packets.size(); i += 97) {
+    EXPECT_EQ(t1.packets[i].ft, t2.packets[i].ft);
+    EXPECT_EQ(t1.packets[i].ts, t2.packets[i].ts);
+  }
+}
+
+TEST(TraceGenerator, BackgroundIsTimeSortedAndBounded) {
+  TraceGenerator gen(SmallConfig());
+  const Trace trace = gen.GenerateBackground();
+  ASSERT_FALSE(trace.packets.empty());
+  Nanos prev = 0;
+  for (const Packet& p : trace.packets) {
+    EXPECT_GE(p.ts, prev);
+    EXPECT_LT(p.ts, SmallConfig().duration);
+    prev = p.ts;
+  }
+}
+
+TEST(TraceGenerator, BackgroundRateApproximatesConfig) {
+  TraceGenerator gen(SmallConfig());
+  const Trace trace = gen.GenerateBackground();
+  const double expected = 20'000 * 0.5;  // pps * duration
+  EXPECT_NEAR(double(trace.packets.size()), expected, expected * 0.1);
+}
+
+TEST(TraceGenerator, PortScanHitsDistinctPorts) {
+  TraceGenerator gen(SmallConfig());
+  Trace trace;
+  gen.InjectPortScan(trace, 0, 100 * kMilli, 200);
+  ASSERT_EQ(gen.injected().size(), 1u);
+  const FlowKey victim = gen.injected()[0].victim_or_actor;
+  std::unordered_set<std::uint16_t> ports;
+  for (const Packet& p : trace.packets) {
+    if (p.Key(FlowKeyKind::kDstIp) == victim) ports.insert(p.ft.dst_port);
+  }
+  EXPECT_EQ(ports.size(), 200u);
+}
+
+TEST(TraceGenerator, DdosUsesDistinctSources) {
+  TraceGenerator gen(SmallConfig());
+  Trace trace;
+  gen.InjectDdos(trace, 0, 100 * kMilli, 300);
+  const FlowKey victim = gen.injected()[0].victim_or_actor;
+  std::unordered_set<std::uint32_t> sources;
+  for (const Packet& p : trace.packets) {
+    if (p.Key(FlowKeyKind::kDstIp) == victim) sources.insert(p.ft.src_ip);
+  }
+  EXPECT_EQ(sources.size(), 300u);
+}
+
+TEST(TraceGenerator, SynFloodIsAllSyn) {
+  TraceGenerator gen(SmallConfig());
+  Trace trace;
+  gen.InjectSynFlood(trace, 0, 50 * kMilli, 100);
+  for (const Packet& p : trace.packets) {
+    EXPECT_EQ(p.tcp_flags & kTcpSyn, kTcpSyn);
+    EXPECT_EQ(p.tcp_flags & kTcpAck, 0);
+  }
+}
+
+TEST(TraceGenerator, BoundaryBurstStraddlesBoundary) {
+  TraceGenerator gen(SmallConfig());
+  Trace trace;
+  const Nanos boundary = 250 * kMilli;
+  gen.InjectBoundaryBurst(trace, boundary, 50 * kMilli, 500);
+  std::size_t before = 0, after = 0;
+  for (const Packet& p : trace.packets) {
+    (p.ts < boundary ? before : after) += 1;
+  }
+  // Uniform over [-50ms, +50ms): roughly half on each side.
+  EXPECT_GT(before, 150u);
+  EXPECT_GT(after, 150u);
+}
+
+TEST(TraceGenerator, SuperSpreaderFanout) {
+  TraceGenerator gen(SmallConfig());
+  Trace trace;
+  gen.InjectSuperSpreader(trace, 0, 100 * kMilli, 400);
+  const FlowKey spreader = gen.injected()[0].victim_or_actor;
+  std::unordered_set<std::uint32_t> dsts;
+  for (const Packet& p : trace.packets) {
+    if (p.Key(FlowKeyKind::kSrcIp) == spreader) dsts.insert(p.ft.dst_ip);
+  }
+  EXPECT_EQ(dsts.size(), 400u);
+}
+
+TEST(TraceGenerator, EvaluationTraceContainsAllAnomalies) {
+  TraceGenerator gen(SmallConfig());
+  const Trace trace = gen.GenerateEvaluationTrace();
+  EXPECT_GE(gen.injected().size(), 8u);
+  Nanos prev = 0;
+  for (const Packet& p : trace.packets) {
+    EXPECT_GE(p.ts, prev);
+    prev = p.ts;
+  }
+}
+
+TEST(TraceIo, RoundTrip) {
+  TraceGenerator gen(SmallConfig());
+  Trace trace = gen.GenerateEvaluationTrace();
+  const std::string path = ::testing::TempDir() + "/ow_trace_test.bin";
+  SaveTrace(trace, path);
+  const Trace loaded = LoadTrace(path);
+  ASSERT_EQ(loaded.packets.size(), trace.packets.size());
+  for (std::size_t i = 0; i < trace.packets.size(); i += 131) {
+    EXPECT_EQ(loaded.packets[i].ft, trace.packets[i].ft);
+    EXPECT_EQ(loaded.packets[i].ts, trace.packets[i].ts);
+    EXPECT_EQ(loaded.packets[i].tcp_flags, trace.packets[i].tcp_flags);
+    EXPECT_EQ(loaded.packets[i].seq, trace.packets[i].seq);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMissingFile) {
+  EXPECT_THROW(LoadTrace("/nonexistent/path/trace.bin"), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsCorruptMagic) {
+  const std::string path = ::testing::TempDir() + "/ow_bad_magic.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[32] = "not a trace";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(LoadTrace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ow

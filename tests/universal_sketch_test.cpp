@@ -1,0 +1,230 @@
+// Tests for the universal-measurement sketches: Elastic Sketch,
+// Count Sketch and UnivMon — including their integration with OmniWindow
+// (they track their own heavy keys, the property §4.2 builds on).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/core/runner.h"
+#include "src/sketch/count_sketch.h"
+#include "src/sketch/elastic.h"
+#include "src/sketch/univmon.h"
+#include "src/telemetry/sketch_apps.h"
+
+namespace ow {
+namespace {
+
+FlowKey Key(std::uint32_t id) {
+  return FlowKey(FlowKeyKind::kSrcIp, FiveTuple{.src_ip = id});
+}
+
+struct Workload {
+  std::unordered_map<FlowKey, std::uint64_t, FlowKeyHasher> truth;
+  std::vector<FlowKey> updates;
+};
+
+Workload MakeWorkload(std::size_t flows, std::size_t packets,
+                      std::uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  ZipfSampler zipf(flows, 1.1);
+  for (std::size_t i = 0; i < packets; ++i) {
+    const FlowKey key = Key(std::uint32_t(zipf.Sample(rng)) + 1);
+    w.updates.push_back(key);
+    ++w.truth[key];
+  }
+  return w;
+}
+
+// ----------------------------------------------------------------- Elastic
+
+TEST(Elastic, ExactForIsolatedHeavyFlow) {
+  ElasticSketch es(1024, 8192);
+  for (int i = 0; i < 500; ++i) es.Update(Key(7), 1);
+  EXPECT_EQ(es.Estimate(Key(7)), 500u);
+  const auto cands = es.Candidates();
+  EXPECT_TRUE(std::find(cands.begin(), cands.end(), Key(7)) != cands.end());
+}
+
+TEST(Elastic, HeavyFlowsSurviveEvictionPressure) {
+  ElasticSketch es(256, 8192);
+  const Workload w = MakeWorkload(5'000, 50'000, 3);
+  for (const FlowKey& key : w.updates) es.Update(key, 1);
+  std::unordered_set<FlowKey, FlowKeyHasher> cands;
+  for (const FlowKey& key : es.Candidates()) cands.insert(key);
+  std::size_t heavies = 0, found = 0;
+  for (const auto& [key, count] : w.truth) {
+    if (count < 800) continue;
+    ++heavies;
+    if (cands.contains(key)) ++found;
+  }
+  ASSERT_GT(heavies, 0u);
+  EXPECT_GE(double(found) / double(heavies), 0.9);
+}
+
+TEST(Elastic, EstimatesWithinLightPartError) {
+  ElasticSketch es(512, 16'384);
+  const Workload w = MakeWorkload(3'000, 30'000, 5);
+  for (const FlowKey& key : w.updates) es.Update(key, 1);
+  double total_err = 0;
+  std::size_t n = 0;
+  for (const auto& [key, count] : w.truth) {
+    if (count < 50) continue;
+    total_err +=
+        std::abs(double(es.Estimate(key)) - double(count)) / double(count);
+    ++n;
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_LT(total_err / double(n), 0.25);
+}
+
+TEST(Elastic, ResetClears) {
+  ElasticSketch es(64, 256);
+  es.Update(Key(1), 10);
+  es.Reset();
+  EXPECT_EQ(es.Estimate(Key(1)), 0u);
+  EXPECT_TRUE(es.Candidates().empty());
+}
+
+TEST(Elastic, WithMemoryRespectsBudget) {
+  const auto es = ElasticSketch::WithMemory(256 << 10);
+  EXPECT_LE(es.MemoryBytes(), std::size_t(256 << 10) + 64);
+  EXPECT_GT(es.heavy_buckets(), 0u);
+  EXPECT_GT(es.light_counters(), 0u);
+}
+
+// ------------------------------------------------------------- CountSketch
+
+TEST(CountSketchTest, UnbiasedOnSkewedWorkload) {
+  CountSketch cs(5, 2048);
+  const Workload w = MakeWorkload(3'000, 30'000, 7);
+  for (const FlowKey& key : w.updates) cs.Update(key, 1);
+  double signed_err = 0;
+  std::size_t n = 0;
+  for (const auto& [key, count] : w.truth) {
+    if (count < 20) continue;
+    signed_err += double(cs.Estimate(key)) - double(count);
+    ++n;
+  }
+  ASSERT_GT(n, 10u);
+  // Two-sided error: the mean signed error is near zero, unlike Count-Min.
+  EXPECT_LT(std::abs(signed_err / double(n)), 8.0);
+}
+
+TEST(CountSketchTest, ExactWithoutCollisions) {
+  CountSketch cs(5, 1 << 16);
+  for (std::uint32_t i = 1; i <= 30; ++i) {
+    for (std::uint32_t j = 0; j < i * 3; ++j) cs.Update(Key(i), 1);
+  }
+  for (std::uint32_t i = 1; i <= 30; ++i) {
+    EXPECT_EQ(cs.Estimate(Key(i)), i * 3);
+  }
+}
+
+TEST(CountSketchTest, ResetAndBounds) {
+  EXPECT_THROW(CountSketch(0, 8), std::invalid_argument);
+  CountSketch cs(3, 64);
+  cs.Update(Key(1), 5);
+  cs.Reset();
+  EXPECT_EQ(cs.Estimate(Key(1)), 0u);
+}
+
+// ----------------------------------------------------------------- UnivMon
+
+TEST(UnivMonTest, FrequencyEstimates) {
+  UnivMon um(8, 5, 2048);
+  const Workload w = MakeWorkload(2'000, 40'000, 9);
+  for (const FlowKey& key : w.updates) um.Update(key, 1);
+  for (const auto& [key, count] : w.truth) {
+    if (count < 500) continue;
+    EXPECT_NEAR(double(um.Estimate(key)), double(count), double(count) * 0.2);
+  }
+}
+
+TEST(UnivMonTest, HeavyKeysEnumerable) {
+  UnivMon um(8, 5, 2048);
+  const Workload w = MakeWorkload(2'000, 40'000, 11);
+  for (const FlowKey& key : w.updates) um.Update(key, 1);
+  std::unordered_set<FlowKey, FlowKeyHasher> cands;
+  for (const FlowKey& key : um.Candidates()) cands.insert(key);
+  for (const auto& [key, count] : w.truth) {
+    if (count >= 1'000) {
+      EXPECT_TRUE(cands.contains(key)) << "heavy flow count " << count;
+    }
+  }
+}
+
+TEST(UnivMonTest, CardinalityGsumWithinFactorTwo) {
+  UnivMon um(10, 5, 4096, 256);
+  const std::size_t flows = 4'000;
+  for (std::uint32_t f = 1; f <= flows; ++f) {
+    um.Update(Key(f), 1 + f % 3);
+  }
+  const double est = um.EstimateCardinality();
+  EXPECT_GT(est, double(flows) * 0.5);
+  EXPECT_LT(est, double(flows) * 2.0);
+}
+
+TEST(UnivMonTest, SecondMomentTracksSkew) {
+  UnivMon um(10, 5, 4096, 256);
+  // One elephant of 1000 + 100 mice of 1: F2 ≈ 1e6.
+  for (int i = 0; i < 1'000; ++i) um.Update(Key(1), 1);
+  for (std::uint32_t f = 2; f <= 101; ++f) um.Update(Key(f), 1);
+  const double f2 = um.EstimateSecondMoment();
+  EXPECT_GT(f2, 0.5e6);
+  EXPECT_LT(f2, 2.0e6);
+}
+
+// -------------------------------------------------- OmniWindow integration
+
+TEST(UniversalSketches, ElasticRunsUnderOmniWindow) {
+  // Heavy-hitter detection through the full pipeline with Elastic Sketch
+  // (tracks its own keys -> no flowkey tracker involvement).
+  Trace trace;
+  for (int sub = 0; sub < 4; ++sub) {
+    for (int i = 0; i < 300; ++i) {
+      Packet p;
+      p.ft = {1, 77, 10, 80, 17};
+      p.ts = Nanos(sub) * 50 * kMilli + Nanos(i) * 100 * kMicro;
+      trace.packets.push_back(p);
+    }
+    for (std::uint32_t f = 0; f < 200; ++f) {
+      Packet p;
+      p.ft = {100 + f, 200 + f % 40, 10, 80, 17};
+      p.ts = Nanos(sub) * 50 * kMilli + Nanos(f) * 100 * kMicro + kMicro;
+      trace.packets.push_back(p);
+    }
+  }
+  trace.SortByTime();
+
+  auto app = std::make_shared<FrequencySketchApp>(
+      "elastic", FlowKeyKind::kDstIp, FrequencyValue::kPackets, [] {
+        return std::make_unique<ElasticSketch>(512, 4096);
+      });
+  ASSERT_TRUE(app->TracksOwnKeys());
+
+  WindowSpec spec;
+  spec.type = WindowType::kTumbling;
+  spec.window_size = 100 * kMilli;
+  spec.subwindow_size = 50 * kMilli;
+  const RunResult result = RunOmniWindow(
+      trace, app, RunConfig::Make(spec), [&](const KeyValueTable& table) {
+        FlowSet out;
+        table.ForEach([&](const KvSlot& slot) {
+          if (slot.attrs[0] >= 500) out.insert(slot.key);
+        });
+        return out;
+      });
+  const FlowKey victim(FlowKeyKind::kDstIp, FiveTuple{.dst_ip = 77});
+  ASSERT_GE(result.windows.size(), 2u);
+  EXPECT_TRUE(result.windows[0].detected.contains(victim));
+  EXPECT_TRUE(result.windows[1].detected.contains(victim));
+  EXPECT_EQ(result.data_plane.spilled_keys, 0u);
+}
+
+}  // namespace
+}  // namespace ow
