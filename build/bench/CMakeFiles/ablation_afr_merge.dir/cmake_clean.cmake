@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_afr_merge.dir/ablation_afr_merge.cpp.o"
+  "CMakeFiles/ablation_afr_merge.dir/ablation_afr_merge.cpp.o.d"
+  "ablation_afr_merge"
+  "ablation_afr_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_afr_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_out_of_order.dir/ablation_out_of_order.cpp.o"
+  "CMakeFiles/ablation_out_of_order.dir/ablation_out_of_order.cpp.o.d"
+  "ablation_out_of_order"
+  "ablation_out_of_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_out_of_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

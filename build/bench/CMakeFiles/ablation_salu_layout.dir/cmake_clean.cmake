@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_salu_layout.dir/ablation_salu_layout.cpp.o"
+  "CMakeFiles/ablation_salu_layout.dir/ablation_salu_layout.cpp.o.d"
+  "ablation_salu_layout"
+  "ablation_salu_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_salu_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

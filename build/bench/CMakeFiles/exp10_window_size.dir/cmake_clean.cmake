@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_window_size.dir/exp10_window_size.cpp.o"
+  "CMakeFiles/exp10_window_size.dir/exp10_window_size.cpp.o.d"
+  "exp10_window_size"
+  "exp10_window_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_window_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

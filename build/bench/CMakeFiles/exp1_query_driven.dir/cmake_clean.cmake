@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_query_driven.dir/exp1_query_driven.cpp.o"
+  "CMakeFiles/exp1_query_driven.dir/exp1_query_driven.cpp.o.d"
+  "exp1_query_driven"
+  "exp1_query_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_query_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_sketch.dir/exp2_sketch.cpp.o"
+  "CMakeFiles/exp2_sketch.dir/exp2_sketch.cpp.o.d"
+  "exp2_sketch"
+  "exp2_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

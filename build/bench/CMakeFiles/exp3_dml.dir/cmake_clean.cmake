@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp3_dml.dir/exp3_dml.cpp.o"
+  "CMakeFiles/exp3_dml.dir/exp3_dml.cpp.o.d"
+  "exp3_dml"
+  "exp3_dml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp3_dml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp4_controller.dir/exp4_controller.cpp.o"
+  "CMakeFiles/exp4_controller.dir/exp4_controller.cpp.o.d"
+  "exp4_controller"
+  "exp4_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp4_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp5_resources.dir/exp5_resources.cpp.o"
+  "CMakeFiles/exp5_resources.dir/exp5_resources.cpp.o.d"
+  "exp5_resources"
+  "exp5_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp5_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

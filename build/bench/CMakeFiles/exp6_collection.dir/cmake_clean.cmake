@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp6_collection.dir/exp6_collection.cpp.o"
+  "CMakeFiles/exp6_collection.dir/exp6_collection.cpp.o.d"
+  "exp6_collection"
+  "exp6_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp6_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

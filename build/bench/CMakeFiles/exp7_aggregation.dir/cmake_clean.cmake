@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp7_aggregation.dir/exp7_aggregation.cpp.o"
+  "CMakeFiles/exp7_aggregation.dir/exp7_aggregation.cpp.o.d"
+  "exp7_aggregation"
+  "exp7_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp7_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp8_reset.dir/exp8_reset.cpp.o"
+  "CMakeFiles/exp8_reset.dir/exp8_reset.cpp.o.d"
+  "exp8_reset"
+  "exp8_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp8_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

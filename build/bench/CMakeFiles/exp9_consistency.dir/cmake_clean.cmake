@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp9_consistency.dir/exp9_consistency.cpp.o"
+  "CMakeFiles/exp9_consistency.dir/exp9_consistency.cpp.o.d"
+  "exp9_consistency"
+  "exp9_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp9_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ow_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/ow_bench_harness.dir/harness.cpp.o.d"
+  "libow_bench_harness.a"
+  "libow_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ow_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libow_bench_harness.a"
+)

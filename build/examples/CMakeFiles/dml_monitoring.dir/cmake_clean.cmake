@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dml_monitoring.dir/dml_monitoring.cpp.o"
+  "CMakeFiles/dml_monitoring.dir/dml_monitoring.cpp.o.d"
+  "dml_monitoring"
+  "dml_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dml_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

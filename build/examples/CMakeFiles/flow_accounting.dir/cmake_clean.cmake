@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_accounting.dir/flow_accounting.cpp.o"
+  "CMakeFiles/flow_accounting.dir/flow_accounting.cpp.o.d"
+  "flow_accounting"
+  "flow_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

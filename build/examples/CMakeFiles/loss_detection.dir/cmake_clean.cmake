@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_detection.dir/loss_detection.cpp.o"
+  "CMakeFiles/loss_detection.dir/loss_detection.cpp.o.d"
+  "loss_detection"
+  "loss_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

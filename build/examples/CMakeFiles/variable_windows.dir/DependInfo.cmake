@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/variable_windows.cpp" "examples/CMakeFiles/variable_windows.dir/variable_windows.cpp.o" "gcc" "examples/CMakeFiles/variable_windows.dir/variable_windows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ow_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/dml/CMakeFiles/ow_dml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ow_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ow_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/ow_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/ow_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/ow_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variable_windows.dir/variable_windows.cpp.o"
+  "CMakeFiles/variable_windows.dir/variable_windows.cpp.o.d"
+  "variable_windows"
+  "variable_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variable_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

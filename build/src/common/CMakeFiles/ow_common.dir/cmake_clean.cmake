@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ow_common.dir/flowkey.cpp.o"
+  "CMakeFiles/ow_common.dir/flowkey.cpp.o.d"
+  "CMakeFiles/ow_common.dir/hash.cpp.o"
+  "CMakeFiles/ow_common.dir/hash.cpp.o.d"
+  "CMakeFiles/ow_common.dir/packet.cpp.o"
+  "CMakeFiles/ow_common.dir/packet.cpp.o.d"
+  "CMakeFiles/ow_common.dir/zipf.cpp.o"
+  "CMakeFiles/ow_common.dir/zipf.cpp.o.d"
+  "libow_common.a"
+  "libow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/key_value_table.cpp" "src/controller/CMakeFiles/ow_controller.dir/key_value_table.cpp.o" "gcc" "src/controller/CMakeFiles/ow_controller.dir/key_value_table.cpp.o.d"
+  "/root/repo/src/controller/merge.cpp" "src/controller/CMakeFiles/ow_controller.dir/merge.cpp.o" "gcc" "src/controller/CMakeFiles/ow_controller.dir/merge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/ow_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ow_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

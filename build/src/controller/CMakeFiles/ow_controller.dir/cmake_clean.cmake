@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ow_controller.dir/key_value_table.cpp.o"
+  "CMakeFiles/ow_controller.dir/key_value_table.cpp.o.d"
+  "CMakeFiles/ow_controller.dir/merge.cpp.o"
+  "CMakeFiles/ow_controller.dir/merge.cpp.o.d"
+  "libow_controller.a"
+  "libow_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ow_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/afr_wire.cpp" "src/core/CMakeFiles/ow_core.dir/afr_wire.cpp.o" "gcc" "src/core/CMakeFiles/ow_core.dir/afr_wire.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/ow_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/ow_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/data_plane.cpp" "src/core/CMakeFiles/ow_core.dir/data_plane.cpp.o" "gcc" "src/core/CMakeFiles/ow_core.dir/data_plane.cpp.o.d"
+  "/root/repo/src/core/flowkey_tracker.cpp" "src/core/CMakeFiles/ow_core.dir/flowkey_tracker.cpp.o" "gcc" "src/core/CMakeFiles/ow_core.dir/flowkey_tracker.cpp.o.d"
+  "/root/repo/src/core/multi_app.cpp" "src/core/CMakeFiles/ow_core.dir/multi_app.cpp.o" "gcc" "src/core/CMakeFiles/ow_core.dir/multi_app.cpp.o.d"
+  "/root/repo/src/core/network_runner.cpp" "src/core/CMakeFiles/ow_core.dir/network_runner.cpp.o" "gcc" "src/core/CMakeFiles/ow_core.dir/network_runner.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/ow_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/ow_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/signal.cpp" "src/core/CMakeFiles/ow_core.dir/signal.cpp.o" "gcc" "src/core/CMakeFiles/ow_core.dir/signal.cpp.o.d"
+  "/root/repo/src/core/state_layout.cpp" "src/core/CMakeFiles/ow_core.dir/state_layout.cpp.o" "gcc" "src/core/CMakeFiles/ow_core.dir/state_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ow_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/ow_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/ow_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/ow_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ow_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ow_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

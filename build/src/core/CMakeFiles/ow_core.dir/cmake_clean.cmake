@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ow_core.dir/afr_wire.cpp.o"
+  "CMakeFiles/ow_core.dir/afr_wire.cpp.o.d"
+  "CMakeFiles/ow_core.dir/controller.cpp.o"
+  "CMakeFiles/ow_core.dir/controller.cpp.o.d"
+  "CMakeFiles/ow_core.dir/data_plane.cpp.o"
+  "CMakeFiles/ow_core.dir/data_plane.cpp.o.d"
+  "CMakeFiles/ow_core.dir/flowkey_tracker.cpp.o"
+  "CMakeFiles/ow_core.dir/flowkey_tracker.cpp.o.d"
+  "CMakeFiles/ow_core.dir/multi_app.cpp.o"
+  "CMakeFiles/ow_core.dir/multi_app.cpp.o.d"
+  "CMakeFiles/ow_core.dir/network_runner.cpp.o"
+  "CMakeFiles/ow_core.dir/network_runner.cpp.o.d"
+  "CMakeFiles/ow_core.dir/runner.cpp.o"
+  "CMakeFiles/ow_core.dir/runner.cpp.o.d"
+  "CMakeFiles/ow_core.dir/signal.cpp.o"
+  "CMakeFiles/ow_core.dir/signal.cpp.o.d"
+  "CMakeFiles/ow_core.dir/state_layout.cpp.o"
+  "CMakeFiles/ow_core.dir/state_layout.cpp.o.d"
+  "libow_core.a"
+  "libow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ow_dml.dir/dml.cpp.o"
+  "CMakeFiles/ow_dml.dir/dml.cpp.o.d"
+  "CMakeFiles/ow_dml.dir/iteration_app.cpp.o"
+  "CMakeFiles/ow_dml.dir/iteration_app.cpp.o.d"
+  "libow_dml.a"
+  "libow_dml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ow_dml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

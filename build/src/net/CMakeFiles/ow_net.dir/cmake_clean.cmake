@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ow_net.dir/link.cpp.o"
+  "CMakeFiles/ow_net.dir/link.cpp.o.d"
+  "CMakeFiles/ow_net.dir/network.cpp.o"
+  "CMakeFiles/ow_net.dir/network.cpp.o.d"
+  "CMakeFiles/ow_net.dir/ptp.cpp.o"
+  "CMakeFiles/ow_net.dir/ptp.cpp.o.d"
+  "libow_net.a"
+  "libow_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ow_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

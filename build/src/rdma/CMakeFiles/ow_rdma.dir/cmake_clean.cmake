@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ow_rdma.dir/rdma.cpp.o"
+  "CMakeFiles/ow_rdma.dir/rdma.cpp.o.d"
+  "libow_rdma.a"
+  "libow_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ow_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

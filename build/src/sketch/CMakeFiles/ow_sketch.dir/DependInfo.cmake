@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/bloom.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/bloom.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/bloom.cpp.o.d"
+  "/root/repo/src/sketch/count_min.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/count_min.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/count_min.cpp.o.d"
+  "/root/repo/src/sketch/count_sketch.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/count_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/count_sketch.cpp.o.d"
+  "/root/repo/src/sketch/elastic.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/elastic.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/elastic.cpp.o.d"
+  "/root/repo/src/sketch/hashpipe.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/hashpipe.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/hashpipe.cpp.o.d"
+  "/root/repo/src/sketch/hyperloglog.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/hyperloglog.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/hyperloglog.cpp.o.d"
+  "/root/repo/src/sketch/linear_counting.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/linear_counting.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/linear_counting.cpp.o.d"
+  "/root/repo/src/sketch/mv_sketch.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/mv_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/mv_sketch.cpp.o.d"
+  "/root/repo/src/sketch/signature.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/signature.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/signature.cpp.o.d"
+  "/root/repo/src/sketch/sliding_sketch.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/sliding_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/sliding_sketch.cpp.o.d"
+  "/root/repo/src/sketch/spread_sketch.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/spread_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/spread_sketch.cpp.o.d"
+  "/root/repo/src/sketch/sumax.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/sumax.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/sumax.cpp.o.d"
+  "/root/repo/src/sketch/univmon.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/univmon.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/univmon.cpp.o.d"
+  "/root/repo/src/sketch/vector_bloom.cpp" "src/sketch/CMakeFiles/ow_sketch.dir/vector_bloom.cpp.o" "gcc" "src/sketch/CMakeFiles/ow_sketch.dir/vector_bloom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ow_sketch.dir/bloom.cpp.o"
+  "CMakeFiles/ow_sketch.dir/bloom.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/count_min.cpp.o"
+  "CMakeFiles/ow_sketch.dir/count_min.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/count_sketch.cpp.o"
+  "CMakeFiles/ow_sketch.dir/count_sketch.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/elastic.cpp.o"
+  "CMakeFiles/ow_sketch.dir/elastic.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/hashpipe.cpp.o"
+  "CMakeFiles/ow_sketch.dir/hashpipe.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/hyperloglog.cpp.o"
+  "CMakeFiles/ow_sketch.dir/hyperloglog.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/linear_counting.cpp.o"
+  "CMakeFiles/ow_sketch.dir/linear_counting.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/mv_sketch.cpp.o"
+  "CMakeFiles/ow_sketch.dir/mv_sketch.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/signature.cpp.o"
+  "CMakeFiles/ow_sketch.dir/signature.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/sliding_sketch.cpp.o"
+  "CMakeFiles/ow_sketch.dir/sliding_sketch.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/spread_sketch.cpp.o"
+  "CMakeFiles/ow_sketch.dir/spread_sketch.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/sumax.cpp.o"
+  "CMakeFiles/ow_sketch.dir/sumax.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/univmon.cpp.o"
+  "CMakeFiles/ow_sketch.dir/univmon.cpp.o.d"
+  "CMakeFiles/ow_sketch.dir/vector_bloom.cpp.o"
+  "CMakeFiles/ow_sketch.dir/vector_bloom.cpp.o.d"
+  "libow_sketch.a"
+  "libow_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ow_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

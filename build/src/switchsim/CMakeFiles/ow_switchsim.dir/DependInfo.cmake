@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchsim/pipeline.cpp" "src/switchsim/CMakeFiles/ow_switchsim.dir/pipeline.cpp.o" "gcc" "src/switchsim/CMakeFiles/ow_switchsim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/switchsim/register_array.cpp" "src/switchsim/CMakeFiles/ow_switchsim.dir/register_array.cpp.o" "gcc" "src/switchsim/CMakeFiles/ow_switchsim.dir/register_array.cpp.o.d"
+  "/root/repo/src/switchsim/resources.cpp" "src/switchsim/CMakeFiles/ow_switchsim.dir/resources.cpp.o" "gcc" "src/switchsim/CMakeFiles/ow_switchsim.dir/resources.cpp.o.d"
+  "/root/repo/src/switchsim/stage_planner.cpp" "src/switchsim/CMakeFiles/ow_switchsim.dir/stage_planner.cpp.o" "gcc" "src/switchsim/CMakeFiles/ow_switchsim.dir/stage_planner.cpp.o.d"
+  "/root/repo/src/switchsim/switch_os.cpp" "src/switchsim/CMakeFiles/ow_switchsim.dir/switch_os.cpp.o" "gcc" "src/switchsim/CMakeFiles/ow_switchsim.dir/switch_os.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

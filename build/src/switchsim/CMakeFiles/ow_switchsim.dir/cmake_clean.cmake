@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ow_switchsim.dir/pipeline.cpp.o"
+  "CMakeFiles/ow_switchsim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ow_switchsim.dir/register_array.cpp.o"
+  "CMakeFiles/ow_switchsim.dir/register_array.cpp.o.d"
+  "CMakeFiles/ow_switchsim.dir/resources.cpp.o"
+  "CMakeFiles/ow_switchsim.dir/resources.cpp.o.d"
+  "CMakeFiles/ow_switchsim.dir/stage_planner.cpp.o"
+  "CMakeFiles/ow_switchsim.dir/stage_planner.cpp.o.d"
+  "CMakeFiles/ow_switchsim.dir/switch_os.cpp.o"
+  "CMakeFiles/ow_switchsim.dir/switch_os.cpp.o.d"
+  "libow_switchsim.a"
+  "libow_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ow_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/baselines.cpp" "src/telemetry/CMakeFiles/ow_telemetry.dir/baselines.cpp.o" "gcc" "src/telemetry/CMakeFiles/ow_telemetry.dir/baselines.cpp.o.d"
+  "/root/repo/src/telemetry/beaucoup.cpp" "src/telemetry/CMakeFiles/ow_telemetry.dir/beaucoup.cpp.o" "gcc" "src/telemetry/CMakeFiles/ow_telemetry.dir/beaucoup.cpp.o.d"
+  "/root/repo/src/telemetry/cardinality_apps.cpp" "src/telemetry/CMakeFiles/ow_telemetry.dir/cardinality_apps.cpp.o" "gcc" "src/telemetry/CMakeFiles/ow_telemetry.dir/cardinality_apps.cpp.o.d"
+  "/root/repo/src/telemetry/flow_radar.cpp" "src/telemetry/CMakeFiles/ow_telemetry.dir/flow_radar.cpp.o" "gcc" "src/telemetry/CMakeFiles/ow_telemetry.dir/flow_radar.cpp.o.d"
+  "/root/repo/src/telemetry/loss_radar.cpp" "src/telemetry/CMakeFiles/ow_telemetry.dir/loss_radar.cpp.o" "gcc" "src/telemetry/CMakeFiles/ow_telemetry.dir/loss_radar.cpp.o.d"
+  "/root/repo/src/telemetry/loss_radar_app.cpp" "src/telemetry/CMakeFiles/ow_telemetry.dir/loss_radar_app.cpp.o" "gcc" "src/telemetry/CMakeFiles/ow_telemetry.dir/loss_radar_app.cpp.o.d"
+  "/root/repo/src/telemetry/network_queries.cpp" "src/telemetry/CMakeFiles/ow_telemetry.dir/network_queries.cpp.o" "gcc" "src/telemetry/CMakeFiles/ow_telemetry.dir/network_queries.cpp.o.d"
+  "/root/repo/src/telemetry/query.cpp" "src/telemetry/CMakeFiles/ow_telemetry.dir/query.cpp.o" "gcc" "src/telemetry/CMakeFiles/ow_telemetry.dir/query.cpp.o.d"
+  "/root/repo/src/telemetry/sketch_apps.cpp" "src/telemetry/CMakeFiles/ow_telemetry.dir/sketch_apps.cpp.o" "gcc" "src/telemetry/CMakeFiles/ow_telemetry.dir/sketch_apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ow_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ow_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/ow_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/ow_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/ow_switchsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

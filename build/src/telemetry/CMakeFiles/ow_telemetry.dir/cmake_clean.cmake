@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ow_telemetry.dir/baselines.cpp.o"
+  "CMakeFiles/ow_telemetry.dir/baselines.cpp.o.d"
+  "CMakeFiles/ow_telemetry.dir/beaucoup.cpp.o"
+  "CMakeFiles/ow_telemetry.dir/beaucoup.cpp.o.d"
+  "CMakeFiles/ow_telemetry.dir/cardinality_apps.cpp.o"
+  "CMakeFiles/ow_telemetry.dir/cardinality_apps.cpp.o.d"
+  "CMakeFiles/ow_telemetry.dir/flow_radar.cpp.o"
+  "CMakeFiles/ow_telemetry.dir/flow_radar.cpp.o.d"
+  "CMakeFiles/ow_telemetry.dir/loss_radar.cpp.o"
+  "CMakeFiles/ow_telemetry.dir/loss_radar.cpp.o.d"
+  "CMakeFiles/ow_telemetry.dir/loss_radar_app.cpp.o"
+  "CMakeFiles/ow_telemetry.dir/loss_radar_app.cpp.o.d"
+  "CMakeFiles/ow_telemetry.dir/network_queries.cpp.o"
+  "CMakeFiles/ow_telemetry.dir/network_queries.cpp.o.d"
+  "CMakeFiles/ow_telemetry.dir/query.cpp.o"
+  "CMakeFiles/ow_telemetry.dir/query.cpp.o.d"
+  "CMakeFiles/ow_telemetry.dir/sketch_apps.cpp.o"
+  "CMakeFiles/ow_telemetry.dir/sketch_apps.cpp.o.d"
+  "libow_telemetry.a"
+  "libow_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ow_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ow_trace.dir/generator.cpp.o"
+  "CMakeFiles/ow_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/ow_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/ow_trace.dir/trace_io.cpp.o.d"
+  "libow_trace.a"
+  "libow_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ow_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

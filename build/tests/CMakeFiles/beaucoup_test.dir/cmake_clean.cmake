@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beaucoup_test.dir/beaucoup_test.cpp.o"
+  "CMakeFiles/beaucoup_test.dir/beaucoup_test.cpp.o.d"
+  "beaucoup_test"
+  "beaucoup_test.pdb"
+  "beaucoup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beaucoup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

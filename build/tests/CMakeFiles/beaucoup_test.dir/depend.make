@@ -1,0 +1,2 @@
+# Empty dependencies file for beaucoup_test.
+# This may be replaced when dependencies are built.

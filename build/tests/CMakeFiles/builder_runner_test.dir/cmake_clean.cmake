@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builder_runner_test.dir/builder_runner_test.cpp.o"
+  "CMakeFiles/builder_runner_test.dir/builder_runner_test.cpp.o.d"
+  "builder_runner_test"
+  "builder_runner_test.pdb"
+  "builder_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builder_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_lib_test.dir/controller_lib_test.cpp.o"
+  "CMakeFiles/controller_lib_test.dir/controller_lib_test.cpp.o.d"
+  "controller_lib_test"
+  "controller_lib_test.pdb"
+  "controller_lib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_lib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

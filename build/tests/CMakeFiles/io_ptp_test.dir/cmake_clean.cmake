@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_ptp_test.dir/io_ptp_test.cpp.o"
+  "CMakeFiles/io_ptp_test.dir/io_ptp_test.cpp.o.d"
+  "io_ptp_test"
+  "io_ptp_test.pdb"
+  "io_ptp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_ptp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

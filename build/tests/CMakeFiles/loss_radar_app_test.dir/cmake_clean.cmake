@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_radar_app_test.dir/loss_radar_app_test.cpp.o"
+  "CMakeFiles/loss_radar_app_test.dir/loss_radar_app_test.cpp.o.d"
+  "loss_radar_app_test"
+  "loss_radar_app_test.pdb"
+  "loss_radar_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_radar_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_queries_test.dir/network_queries_test.cpp.o"
+  "CMakeFiles/network_queries_test.dir/network_queries_test.cpp.o.d"
+  "network_queries_test"
+  "network_queries_test.pdb"
+  "network_queries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

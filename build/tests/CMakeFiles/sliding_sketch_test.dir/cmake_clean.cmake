@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_sketch_test.dir/sliding_sketch_test.cpp.o"
+  "CMakeFiles/sliding_sketch_test.dir/sliding_sketch_test.cpp.o.d"
+  "sliding_sketch_test"
+  "sliding_sketch_test.pdb"
+  "sliding_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/sliding_sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/switchsim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_rdma_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_lib_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/migration_test[1]_include.cmake")
+include("/root/repo/build/tests/window_types_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_radar_test[1]_include.cmake")
+include("/root/repo/build/tests/builder_runner_test[1]_include.cmake")
+include("/root/repo/build/tests/universal_sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/stage_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/io_ptp_test[1]_include.cmake")
+include("/root/repo/build/tests/beaucoup_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_app_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/network_queries_test[1]_include.cmake")
+include("/root/repo/build/tests/loss_radar_app_test[1]_include.cmake")

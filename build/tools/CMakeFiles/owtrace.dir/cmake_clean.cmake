@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owtrace.dir/trace_tool.cpp.o"
+  "CMakeFiles/owtrace.dir/trace_tool.cpp.o.d"
+  "owtrace"
+  "owtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
