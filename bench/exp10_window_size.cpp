@@ -79,7 +79,7 @@ Windows RunOmni(const Trace& trace, Nanos window, bool sliding) {
   spec.slide = sliding ? 100 * kMilli : window;
   spec.subwindow_size = kSub;
   const RunResult result = RunOmniWindow(
-      trace, app, RunConfig::Make(spec), [&](const KeyValueTable& table) {
+      trace, app, RunConfig::Make(spec), [&](TableView table) {
         FlowSet set;
         table.ForEach([&](const KvSlot& slot) {
           if (slot.attrs[0] >= threshold) set.insert(slot.key);

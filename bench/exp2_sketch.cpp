@@ -98,7 +98,7 @@ Windows RunHhOmniWindow(const Trace& trace, bool sliding) {
   EvalParams params;
   const WindowSpec spec = sliding ? SlidingSpec(params) : TumblingSpec(params);
   const RunResult result = RunOmniWindow(
-      trace, app, RunConfig::Make(spec), [&](const KeyValueTable& table) {
+      trace, app, RunConfig::Make(spec), [&](TableView table) {
         FlowSet set;
         table.ForEach([&](const KvSlot& slot) {
           if (slot.attrs[0] >= kHhThreshold) set.insert(slot.key);
@@ -244,7 +244,7 @@ Windows RunSpreadOmniWindow(const Trace& trace, bool sps, bool sliding) {
   EvalParams params;
   const WindowSpec spec = sliding ? SlidingSpec(params) : TumblingSpec(params);
   const RunResult result = RunOmniWindow(
-      trace, app, RunConfig::Make(spec), [&](const KeyValueTable& table) {
+      trace, app, RunConfig::Make(spec), [&](TableView table) {
         FlowSet set;
         table.ForEach([&](const KvSlot& slot) {
           const SpreadSignature sig{slot.attrs[0], slot.attrs[1],
@@ -518,7 +518,7 @@ void RunQ11(const Trace& trace) {
   // quarter-size state shipped by recirculating migration packets, merged
   // by OR (LC) / register max (HLL) in the controller.
   {
-    auto lc_est = [](const KeyValueTable& t) {
+    auto lc_est = [](TableView t) {
       return LinearCountingApp::EstimateFromTable(t, kCardBits / 4);
     };
     const auto otw = RunCardOmni(
@@ -532,7 +532,7 @@ void RunQ11(const Trace& trace) {
     std::fflush(stdout);
   }
   {
-    auto hll_est = [](const KeyValueTable& t) {
+    auto hll_est = [](TableView t) {
       return HyperLogLogApp::EstimateFromTable(t, kHllPrecision - 2);
     };
     const auto otw = RunCardOmni(

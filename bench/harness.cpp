@@ -80,7 +80,7 @@ std::vector<BaselineWindowResult> RunQueryMechanism(Mechanism m,
           m == Mechanism::kOtw ? TumblingSpec(params) : SlidingSpec(params);
       const RunResult result = RunOmniWindow(
           trace, app, RunConfig::Make(spec),
-          [&](const KeyValueTable& table) { return app->Detect(table); });
+          [&](TableView table) { return app->Detect(table); });
       return ToBaselineResults(result, params.subwindow_size);
     }
   }

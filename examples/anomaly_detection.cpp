@@ -34,7 +34,7 @@ int main() {
     auto app = std::make_shared<QueryAdapter>(def, 1 << 14);
     const RunResult result = RunOmniWindow(
         trace, app, RunConfig::Make(spec),
-        [&](const KeyValueTable& table) { return app->Detect(table); });
+        [&](TableView table) { return app->Detect(table); });
 
     // Ideal tumbling windows as ground truth.
     const auto truth = RunIdealTumbling(def, trace, spec.window_size);

@@ -44,7 +44,7 @@ int main() {
   // 4. Run the full pipeline.
   const RunResult result = RunOmniWindow(
       trace, app, RunConfig::Make(spec),
-      [&](const KeyValueTable& table) { return app->Detect(table); });
+      [&](TableView table) { return app->Detect(table); });
 
   std::printf("windows emitted: %zu\n", result.windows.size());
   std::printf("AFRs generated in the data plane: %llu\n",

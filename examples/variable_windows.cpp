@@ -35,7 +35,7 @@ int main() {
     auto app = std::make_shared<QueryAdapter>(def, 1 << 14);
     const RunResult result = RunOmniWindow(
         trace, app, RunConfig::Make(spec),
-        [&](const KeyValueTable& table) { return app->Detect(table); });
+        [&](TableView table) { return app->Detect(table); });
 
     std::printf("tumbling %4lld ms: %2zu windows, detections per window:",
                 (long long)(window / kMilli), result.windows.size());
@@ -117,7 +117,7 @@ int main() {
 
   const RunResult sessions = RunOmniWindow(
       bursty, app, rc,
-      [&](const KeyValueTable& table) { return app->Detect(table); });
+      [&](TableView table) { return app->Detect(table); });
   std::printf("session windows detected: %zu (expected ~4 bursts)\n",
               sessions.windows.size());
   return 0;

@@ -31,13 +31,18 @@ const KvSlot* KeyValueTable::Find(const FlowKey& key) const {
 }
 
 KvSlot& KeyValueTable::FindOrInsert(const FlowKey& key, bool& created) {
+  if (KvSlot* s = TryFindOrInsert(key, created)) return *s;
+  throw std::length_error("KeyValueTable: load factor exceeded");
+}
+
+KvSlot* KeyValueTable::TryFindOrInsert(const FlowKey& key, bool& created) {
   std::size_t i = Probe(key);
   KvSlot* first_tombstone = nullptr;
   for (std::size_t n = 0; n <= mask_; ++n, i = (i + 1) & mask_) {
     KvSlot& s = slots_[i];
     if (s.state == KvSlot::State::kLive && s.key == key) {
       created = false;
-      return s;
+      return &s;
     }
     if (s.state == KvSlot::State::kTombstone && !first_tombstone) {
       first_tombstone = &s;
@@ -45,7 +50,8 @@ KvSlot& KeyValueTable::FindOrInsert(const FlowKey& key, bool& created) {
     if (s.state == KvSlot::State::kEmpty) {
       KvSlot& target = first_tombstone ? *first_tombstone : s;
       if (used_ + 1 > slots_.size() - slots_.size() / 8 && !first_tombstone) {
-        throw std::length_error("KeyValueTable: load factor exceeded");
+        ++rejected_;
+        return nullptr;
       }
       if (!first_tombstone) ++used_;
       target = KvSlot{};
@@ -53,10 +59,11 @@ KvSlot& KeyValueTable::FindOrInsert(const FlowKey& key, bool& created) {
       target.state = KvSlot::State::kLive;
       ++live_;
       created = true;
-      return target;
+      return &target;
     }
   }
-  throw std::length_error("KeyValueTable: full");
+  ++rejected_;
+  return nullptr;
 }
 
 bool KeyValueTable::Erase(const FlowKey& key) {

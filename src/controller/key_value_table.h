@@ -41,6 +41,13 @@ class KeyValueTable {
   /// Find or create the slot for `key`. `created` reports which happened.
   KvSlot& FindOrInsert(const FlowKey& key, bool& created);
 
+  /// Like FindOrInsert, but a rejected insert (the 7/8 load limit) returns
+  /// nullptr and bumps rejected_inserts() instead of throwing — the form
+  /// the controller's merge path uses, where dropping one AFR is preferable
+  /// to aborting a collection round. Lookups of existing keys always
+  /// succeed, even at the load limit.
+  KvSlot* TryFindOrInsert(const FlowKey& key, bool& created);
+
   /// Tombstone the slot for `key`. Returns true if it was live.
   bool Erase(const FlowKey& key);
 
@@ -49,6 +56,14 @@ class KeyValueTable {
 
   std::size_t size() const noexcept { return live_; }
   std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Occupancy gating inserts: live + tombstone slots over capacity (the
+  /// table refuses fresh inserts past 7/8).
+  double load_factor() const noexcept {
+    return slots_.empty() ? 0.0 : double(used_) / double(slots_.size());
+  }
+  /// Inserts refused at the load limit since construction (monotonic;
+  /// Clear() does not reset it).
+  std::uint64_t rejected_inserts() const noexcept { return rejected_; }
 
   /// Stable slot index for RDMA address publication; only valid while the
   /// slot is live.
@@ -76,6 +91,7 @@ class KeyValueTable {
   std::size_t mask_;
   std::size_t live_ = 0;
   std::size_t used_ = 0;  // live + tombstones
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace ow

@@ -1,0 +1,88 @@
+// Parallel AFR merge engine.
+//
+// Stand-in for the paper's multi-lcore DPDK controller (§8): a fixed pool
+// of worker threads that applies one sub-window's batch of AFRs to a
+// ShardedKeyValueTable. The batch is partitioned by shard — a pure function
+// of each record's flow key — and every shard is merged by exactly one
+// worker, in the batch's original record order. Shards are disjoint, so no
+// two workers ever touch the same slot and the merged table is bit-identical
+// for every thread count (see docs/controller_threading.md for the full
+// argument and the memory-ordering contract).
+//
+// Per-shard work is the controller's O2/O3: TryFindOrInsert every record's
+// slot, then fold the record in with ApplyMerge — except the frequency path,
+// which uses the Exp#7 vectorized batch-sum kernel on the attribute words.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/controller/merge.h"
+#include "src/controller/sharded_key_value_table.h"
+
+namespace ow {
+
+class MergeEngine {
+ public:
+  /// `threads` is the total merge parallelism INCLUDING the calling thread
+  /// (the caller always works shard 0), rounded up to a power of two.
+  /// 1 spawns no workers and runs every batch inline.
+  explicit MergeEngine(std::size_t threads);
+  ~MergeEngine();
+
+  MergeEngine(const MergeEngine&) = delete;
+  MergeEngine& operator=(const MergeEngine&) = delete;
+
+  /// Exp#4-style attribution of one batch. `insert` / `merge` are the
+  /// critical-path (max over workers) per-thread CPU times of the two
+  /// phases, i.e. what the wall clock would show with one free core per
+  /// worker; `partition` is the caller's serial partitioning cost.
+  struct BatchTiming {
+    Nanos partition = 0;
+    Nanos insert = 0;
+    Nanos merge = 0;
+    Nanos Total() const { return partition + insert + merge; }
+  };
+
+  /// Apply `records` to `table`. The table's shard count must equal
+  /// threads(). Blocks until every shard is merged; on return all worker
+  /// writes are visible to the caller.
+  BatchTiming MergeBatch(MergeKind kind, std::span<const FlowRecord> records,
+                         ShardedKeyValueTable& table);
+
+  std::size_t threads() const noexcept { return shards_; }
+
+ private:
+  struct ShardTask {
+    std::vector<const FlowRecord*> records;      ///< batch partition
+    std::vector<std::pair<KvSlot*, bool>> slots; ///< O2 scratch, reused
+    Nanos insert_ns = 0;
+    Nanos merge_ns = 0;
+  };
+
+  static void RunShard(MergeKind kind, ShardTask& task, KeyValueTable& shard);
+  void WorkerLoop(std::size_t shard_index);
+
+  const std::size_t shards_;
+  std::vector<ShardTask> tasks_;
+
+  // Batch-shared state, written by the caller before publishing a
+  // generation and read by workers after observing it (all under mu_).
+  MergeKind kind_ = MergeKind::kFrequency;
+  ShardedKeyValueTable* table_ = nullptr;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::size_t outstanding_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ow

@@ -1,0 +1,76 @@
+#include "src/controller/sharded_key_value_table.h"
+
+#include <bit>
+
+namespace ow {
+
+ShardedKeyValueTable::ShardedKeyValueTable(std::size_t capacity,
+                                          std::size_t shards) {
+  if (shards < 1) shards = 1;
+  shards = std::bit_ceil(shards);
+  shard_mask_ = shards - 1;
+  const std::size_t per_shard = std::max<std::size_t>(8, capacity / shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.emplace_back(per_shard);
+  }
+}
+
+KvSlot* ShardedKeyValueTable::Find(const FlowKey& key) {
+  return shards_[ShardOf(key)].Find(key);
+}
+
+const KvSlot* ShardedKeyValueTable::Find(const FlowKey& key) const {
+  return shards_[ShardOf(key)].Find(key);
+}
+
+KvSlot& ShardedKeyValueTable::FindOrInsert(const FlowKey& key, bool& created) {
+  return shards_[ShardOf(key)].FindOrInsert(key, created);
+}
+
+KvSlot* ShardedKeyValueTable::TryFindOrInsert(const FlowKey& key,
+                                              bool& created) {
+  return shards_[ShardOf(key)].TryFindOrInsert(key, created);
+}
+
+bool ShardedKeyValueTable::Erase(const FlowKey& key) {
+  return shards_[ShardOf(key)].Erase(key);
+}
+
+void ShardedKeyValueTable::Clear() {
+  for (auto& s : shards_) s.Clear();
+}
+
+std::size_t ShardedKeyValueTable::size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s.size();
+  return n;
+}
+
+std::size_t ShardedKeyValueTable::capacity() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s.capacity();
+  return n;
+}
+
+double ShardedKeyValueTable::load_factor() const noexcept {
+  const std::size_t cap = capacity();
+  return cap == 0 ? 0.0 : double(size()) / double(cap);
+}
+
+std::uint64_t ShardedKeyValueTable::rejected_inserts() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s.rejected_inserts();
+  return n;
+}
+
+void ShardedKeyValueTable::ForEach(const std::function<void(KvSlot&)>& fn) {
+  for (auto& s : shards_) s.ForEach(fn);
+}
+
+void ShardedKeyValueTable::ForEach(
+    const std::function<void(const KvSlot&)>& fn) const {
+  for (const auto& s : shards_) s.ForEach(fn);
+}
+
+}  // namespace ow

@@ -28,6 +28,8 @@
 #include "src/controller/dpdk_model.h"
 #include "src/controller/key_value_table.h"
 #include "src/controller/merge.h"
+#include "src/controller/merge_engine.h"
+#include "src/controller/sharded_key_value_table.h"
 #include "src/core/data_plane.h"
 #include "src/core/window.h"
 #include "src/switchsim/pipeline.h"
@@ -43,6 +45,13 @@ struct ControllerConfig {
   /// Exp#6/#8 sweep 3/4/8/16).
   std::size_t collection_packets = 16;
   std::size_t kv_capacity = 1 << 17;
+  /// Merge parallelism (the paper's multi-lcore controller, §8): the flow
+  /// table is hash-partitioned into this many shards (rounded up to a power
+  /// of two) and each sub-window's AFR batch is merged by that many threads,
+  /// the calling thread included. Results are bit-identical for every value
+  /// — shards are disjoint and per-key merge order is preserved — so this
+  /// is purely a throughput knob. 1 (default) spawns no threads.
+  std::size_t merge_threads = 1;
   DpdkCosts costs;
   bool rdma = false;
   std::size_t rdma_buffer_bytes = 8u << 20;
@@ -64,10 +73,12 @@ struct ControllerConfig {
   std::uint8_t app_id = 0;
 };
 
-/// One completed window handed to the application.
+/// One completed window handed to the application. `table` views the
+/// controller's (possibly sharded) merged flow table; it is valid only for
+/// the duration of the handler call.
 struct WindowResult {
   SubWindowSpan span;
-  const KeyValueTable* table = nullptr;
+  const TableView* table = nullptr;
   Nanos completed_at = 0;  ///< simulated time
 };
 
@@ -123,7 +134,8 @@ class OmniWindowController {
   bool Flush(Nanos now);
 
   const std::vector<SubWindowTiming>& timings() const { return timings_; }
-  const KeyValueTable& table() const { return table_; }
+  const ShardedKeyValueTable& table() const { return table_; }
+  TableView view() const { return TableView(table_); }
 
   /// Merge an arbitrary retained span of sub-windows into a fresh table
   /// (variable window sizes, requirement G1). Returns false if any
@@ -142,6 +154,9 @@ class OmniWindowController {
     std::uint64_t retransmissions_requested = 0;
     std::uint64_t spike_packets = 0;
     std::uint64_t duplicate_afrs = 0;
+    /// AFRs dropped because their table shard hit the 7/8 load limit
+    /// (KeyValueTable::rejected_inserts summed across shards).
+    std::uint64_t inserts_rejected = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -183,7 +198,11 @@ class OmniWindowController {
   WindowHandler handler_;
   SubWindowTransform transform_;
 
-  KeyValueTable table_;
+  ShardedKeyValueTable table_;
+  /// Stable view of table_ handed to window handlers.
+  TableView view_;
+  /// Parallel merge pool; shard count always equals table_'s.
+  MergeEngine merge_engine_;
   /// Finalized sub-window records retained while a window may still need
   /// them (sliding-window eviction rebuilds, O6 release).
   std::deque<std::pair<SubWindowNum, std::vector<FlowRecord>>> history_;

@@ -6,7 +6,7 @@ NetworkRunResult RunOmniWindowLine(
     const Trace& trace,
     const std::function<AdapterPtr(std::size_t switch_index)>& make_app,
     NetworkRunConfig cfg,
-    std::function<FlowSet(const KeyValueTable&)> detect) {
+    std::function<FlowSet(TableView)> detect) {
   cfg.base.controller.window = cfg.base.window;
   cfg.base.data_plane.signal.subwindow_size = cfg.base.window.subwindow_size;
 

@@ -42,6 +42,6 @@ NetworkRunResult RunOmniWindowLine(
     const Trace& trace,
     const std::function<AdapterPtr(std::size_t switch_index)>& make_app,
     NetworkRunConfig cfg,
-    std::function<FlowSet(const KeyValueTable&)> detect = {});
+    std::function<FlowSet(TableView)> detect = {});
 
 }  // namespace ow

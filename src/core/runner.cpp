@@ -20,7 +20,7 @@ FlowSet RunResult::AllDetected() const {
 }
 
 RunResult RunOmniWindow(const Trace& trace, AdapterPtr app, RunConfig cfg,
-                        std::function<FlowSet(const KeyValueTable&)> detect) {
+                        std::function<FlowSet(TableView)> detect) {
   cfg.controller.window = cfg.window;
   cfg.data_plane.signal.subwindow_size = cfg.window.subwindow_size;
 

@@ -52,6 +52,6 @@ struct RunResult {
 /// record empty sets and rely on timings/stats only).
 RunResult RunOmniWindow(
     const Trace& trace, AdapterPtr app, RunConfig cfg,
-    std::function<FlowSet(const KeyValueTable&)> detect = {});
+    std::function<FlowSet(TableView)> detect = {});
 
 }  // namespace ow

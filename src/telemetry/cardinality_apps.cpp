@@ -55,7 +55,7 @@ void LinearCountingApp::ChargeResources(ResourceLedger& ledger) const {
   ledger.Charge("App:lc_cardinality", words_.Resources(6));
 }
 
-double LinearCountingApp::EstimateFromTable(const KeyValueTable& table,
+double LinearCountingApp::EstimateFromTable(TableView table,
                                             std::size_t bits) {
   std::size_t set = 0;
   table.ForEach([&](const KvSlot& slot) {
@@ -112,7 +112,7 @@ void HyperLogLogApp::ChargeResources(ResourceLedger& ledger) const {
   ledger.Charge("App:hll_cardinality", regs_.Resources(6));
 }
 
-double HyperLogLogApp::EstimateFromTable(const KeyValueTable& table,
+double HyperLogLogApp::EstimateFromTable(TableView table,
                                          unsigned precision) {
   const double m = double(std::size_t(1) << precision);
   double inv_sum = 0;

@@ -13,7 +13,7 @@
 
 #include <memory>
 
-#include "src/controller/key_value_table.h"
+#include "src/controller/sharded_key_value_table.h"
 #include "src/core/adapter.h"
 #include "src/core/state_layout.h"
 
@@ -51,7 +51,7 @@ class LinearCountingApp final : public TelemetryAppAdapter {
   void ChargeResources(ResourceLedger& ledger) const override;
 
   /// Controller-side estimate from a table of merged slices.
-  static double EstimateFromTable(const KeyValueTable& table,
+  static double EstimateFromTable(TableView table,
                                   std::size_t bits);
 
   std::size_t bits() const noexcept { return bits_; }
@@ -90,7 +90,7 @@ class HyperLogLogApp final : public TelemetryAppAdapter {
   }
   void ChargeResources(ResourceLedger& ledger) const override;
 
-  static double EstimateFromTable(const KeyValueTable& table,
+  static double EstimateFromTable(TableView table,
                                   unsigned precision);
 
   unsigned precision() const noexcept { return precision_; }

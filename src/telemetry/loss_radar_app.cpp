@@ -43,7 +43,7 @@ void LossRadarApp::ChargeResources(ResourceLedger& ledger) const {
   ledger.Charge("App:loss_radar", u);
 }
 
-LossRadar LossRadarApp::FromTable(const KeyValueTable& table) const {
+LossRadar LossRadarApp::FromTable(TableView table) const {
   LossRadar ibf(cells_, seed_);
   table.ForEach([&](const KvSlot& slot) {
     std::uint32_t index;

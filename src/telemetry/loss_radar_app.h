@@ -12,7 +12,7 @@
 #include <array>
 #include <memory>
 
-#include "src/controller/key_value_table.h"
+#include "src/controller/sharded_key_value_table.h"
 #include "src/core/adapter.h"
 #include "src/telemetry/loss_radar.h"
 
@@ -42,7 +42,7 @@ class LossRadarApp final : public TelemetryAppAdapter {
   void ChargeResources(ResourceLedger& ledger) const override;
 
   /// Rebuild an IBF from a merged window table (cells keyed by SliceKey).
-  LossRadar FromTable(const KeyValueTable& table) const;
+  LossRadar FromTable(TableView table) const;
 
   std::size_t cells() const noexcept { return cells_; }
   std::uint64_t seed() const noexcept { return seed_; }

@@ -2,8 +2,8 @@
 
 namespace ow {
 
-std::vector<FlowLossReport> InferFlowLoss(const KeyValueTable& upstream,
-                                          const KeyValueTable& downstream,
+std::vector<FlowLossReport> InferFlowLoss(TableView upstream,
+                                          TableView downstream,
                                           std::uint64_t min_loss) {
   std::vector<FlowLossReport> reports;
   upstream.ForEach([&](const KvSlot& up) {

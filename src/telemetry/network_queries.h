@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "src/common/metrics.h"
-#include "src/controller/key_value_table.h"
+#include "src/controller/sharded_key_value_table.h"
 
 namespace ow {
 
@@ -25,8 +25,8 @@ struct FlowLossReport {
 /// least `min_loss` in the same window. With consistent windows every
 /// entry is real loss; with skewed local clocks boundary packets masquerade
 /// as losses (see Exp#9).
-std::vector<FlowLossReport> InferFlowLoss(const KeyValueTable& upstream,
-                                          const KeyValueTable& downstream,
+std::vector<FlowLossReport> InferFlowLoss(TableView upstream,
+                                          TableView downstream,
                                           std::uint64_t min_loss = 1);
 
 /// Convenience overload on plain count maps (window handler snapshots).

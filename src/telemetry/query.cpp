@@ -187,7 +187,7 @@ bool QueryAdapter::OverThreshold(const KvSlot& slot) const {
   return slot.attrs[0] >= def_.threshold;
 }
 
-FlowSet QueryAdapter::Detect(const KeyValueTable& table) const {
+FlowSet QueryAdapter::Detect(TableView table) const {
   FlowSet out;
   table.ForEach([&](const KvSlot& slot) {
     if (OverThreshold(slot)) out.insert(slot.key);

@@ -19,7 +19,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/packet.h"
-#include "src/controller/key_value_table.h"
+#include "src/controller/sharded_key_value_table.h"
 #include "src/core/adapter.h"
 #include "src/core/state_layout.h"
 #include "src/trace/trace.h"
@@ -80,7 +80,7 @@ class QueryAdapter final : public TelemetryAppAdapter {
   bool OverThreshold(const KvSlot& slot) const;
 
   /// All keys whose merged statistics exceed the threshold.
-  FlowSet Detect(const KeyValueTable& table) const;
+  FlowSet Detect(TableView table) const;
 
  private:
   std::size_t CellOf(const FlowKey& key) const;

@@ -128,7 +128,7 @@ TEST(AfrBatching, BatchedRunMatchesUnbatchedDetections) {
     spec.subwindow_size = 50 * kMilli;
     RunConfig cfg = RunConfig::Make(spec);
     cfg.data_plane.afr_batch = batch;
-    return RunOmniWindow(trace, app, cfg, [&](const KeyValueTable& t) {
+    return RunOmniWindow(trace, app, cfg, [&](TableView t) {
       return app->Detect(t);
     });
   };

@@ -118,7 +118,7 @@ TEST(NetworkRunner, ThreeSwitchLineAgreesOnWindows) {
         return apps.back();
       },
       cfg,
-      [&](const KeyValueTable& table) { return apps[0]->Detect(table); });
+      [&](TableView table) { return apps[0]->Detect(table); });
 
   ASSERT_EQ(result.per_switch.size(), 3u);
   ASSERT_GE(result.per_switch[0].windows.size(), 3u);

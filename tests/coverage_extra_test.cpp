@@ -133,7 +133,7 @@ TEST(ByteValueApp, SumBytesEndToEnd) {
   spec.subwindow_size = 50 * kMilli;
   const RunResult result = RunOmniWindow(
       trace, app, RunConfig::Make(spec),
-      [&](const KeyValueTable& t) { return app->Detect(t); });
+      [&](TableView t) { return app->Detect(t); });
   const FlowKey elephant(FlowKeyKind::kDstIp, FiveTuple{.dst_ip = 9});
   EXPECT_TRUE(result.AllDetected().contains(elephant));
   for (const auto& w : result.windows) {
@@ -157,7 +157,7 @@ TEST(EmptyTraffic, NoWindowsNoCrash) {
   spec.subwindow_size = 50 * kMilli;
   const RunResult result = RunOmniWindow(
       empty, app, RunConfig::Make(spec),
-      [&](const KeyValueTable& t) { return app->Detect(t); });
+      [&](TableView t) { return app->Detect(t); });
   EXPECT_EQ(result.data_plane.packets_measured, 1u);  // the sentinel only
   for (const auto& w : result.windows) {
     EXPECT_TRUE(w.detected.empty());
@@ -183,7 +183,7 @@ TEST(SingleSubwindowWindows, WEquals1EmitsEverySubWindow) {
   spec.window_size = spec.subwindow_size = 50 * kMilli;  // W = 1
   const RunResult result = RunOmniWindow(
       trace, app, RunConfig::Make(spec),
-      [&](const KeyValueTable& t) { return app->Detect(t); });
+      [&](TableView t) { return app->Detect(t); });
   EXPECT_GE(result.windows.size(), 5u);
   for (const auto& w : result.windows) {
     EXPECT_EQ(w.span.count(), 1u);

@@ -59,7 +59,7 @@ TEST(EndToEnd, DetectsSynFloodWithTumblingWindows) {
   RunConfig cfg = RunConfig::Make(TumblingSpec());
   const RunResult result = RunOmniWindow(
       s.trace, app, cfg,
-      [&](const KeyValueTable& table) { return app->Detect(table); });
+      [&](TableView table) { return app->Detect(table); });
 
   EXPECT_GE(result.windows.size(), 4u);
   EXPECT_TRUE(result.AllDetected().contains(s.victim));
@@ -75,7 +75,7 @@ TEST(EndToEnd, MergedCountsMatchIdealForHotKey) {
   RunConfig cfg = RunConfig::Make(TumblingSpec());
 
   std::map<SubWindowNum, std::uint64_t> victim_counts;
-  auto detect = [&](const KeyValueTable& table) {
+  auto detect = [&](TableView table) {
     FlowSet out;
     const KvSlot* slot = table.Find(s.victim);
     if (slot) out.insert(s.victim);
@@ -108,7 +108,7 @@ TEST(EndToEnd, SlidingWindowsOverlap) {
   RunConfig cfg = RunConfig::Make(spec);
   const RunResult result = RunOmniWindow(
       s.trace, app, cfg,
-      [&](const KeyValueTable& table) { return app->Detect(table); });
+      [&](TableView table) { return app->Detect(table); });
 
   ASSERT_GE(result.windows.size(), 3u);
   // Consecutive sliding windows advance by one sub-window and span four.
@@ -146,7 +146,7 @@ TEST(EndToEnd, StateIsResetBetweenSubWindows) {
   RunConfig cfg = RunConfig::Make(TumblingSpec(100 * kMilli, 50 * kMilli));
   const RunResult result = RunOmniWindow(
       trace, app, cfg,
-      [&](const KeyValueTable& table) { return app->Detect(table); });
+      [&](TableView table) { return app->Detect(table); });
 
   const FlowKey victim =
       FlowKey(FlowKeyKind::kDstIp, FiveTuple{.dst_ip = 9});
@@ -166,7 +166,7 @@ TEST(EndToEnd, InvertibleSketchPathWorks) {
   ASSERT_TRUE(app->TracksOwnKeys());
   RunConfig cfg = RunConfig::Make(TumblingSpec());
   const RunResult result = RunOmniWindow(
-      s.trace, app, cfg, [&](const KeyValueTable& table) {
+      s.trace, app, cfg, [&](TableView table) {
         FlowSet out;
         table.ForEach([&](const KvSlot& slot) {
           if (slot.attrs[0] >= 150) out.insert(slot.key);
@@ -229,7 +229,7 @@ TEST(EndToEnd, RdmaPathMatchesPacketPath) {
     RunConfig cfg = RunConfig::Make(TumblingSpec());
     cfg.data_plane.rdma = rdma;
     cfg.controller.rdma = rdma;
-    return RunOmniWindow(s.trace, app, cfg, [&](const KeyValueTable& table) {
+    return RunOmniWindow(s.trace, app, cfg, [&](TableView table) {
       return app->Detect(table);
     });
   };

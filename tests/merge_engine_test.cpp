@@ -1,0 +1,278 @@
+// Sharded table + parallel merge engine unit tests, plus the merge-order
+// algebra checks the parallel path relies on: a shard worker sees its
+// records in batch order, but different shard counts interleave KEYS
+// differently, so every MergeKind must be order-independent across
+// sub-windows for the sharding to be safe.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "src/common/hash.h"
+
+#include "src/controller/merge.h"
+#include "src/controller/merge_engine.h"
+#include "src/controller/sharded_key_value_table.h"
+
+namespace ow {
+namespace {
+
+FlowKey Key(std::uint32_t v) {
+  return FlowKey(FlowKeyKind::kFiveTuple, FiveTuple{v, ~v, 7, 9, 17});
+}
+
+FlowRecord Rec(std::uint32_t key, std::uint64_t a0, SubWindowNum sw,
+               std::uint32_t seq) {
+  FlowRecord rec;
+  rec.key = Key(key);
+  rec.attrs = {a0, a0 ^ 0x9E37u, a0 * 3, a0 + 1};
+  rec.num_attrs = 4;
+  rec.subwindow = sw;
+  rec.seq_id = seq;
+  return rec;
+}
+
+// ------------------------------------------------------- ShardedKeyValueTable
+
+TEST(ShardedKeyValueTable, RoutesEveryKeyToExactlyOneShard) {
+  ShardedKeyValueTable table(1 << 12, 4);
+  ASSERT_EQ(table.shard_count(), 4u);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    bool created = false;
+    table.FindOrInsert(Key(i), created);
+    EXPECT_TRUE(created);
+  }
+  EXPECT_EQ(table.size(), 1000u);
+  std::size_t across = 0;
+  for (std::size_t s = 0; s < table.shard_count(); ++s) {
+    across += table.shard(s).size();
+    // The shard that owns a key finds it; the facade agrees.
+    table.shard(s).ForEach([&](const KvSlot& slot) {
+      EXPECT_EQ(table.ShardOf(slot.key), s);
+    });
+  }
+  EXPECT_EQ(across, 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_NE(table.Find(Key(i)), nullptr);
+  }
+  EXPECT_EQ(table.Find(Key(100'000)), nullptr);
+}
+
+TEST(ShardedKeyValueTable, ShardChoiceIsSpreadAcrossShards) {
+  ShardedKeyValueTable table(1 << 12, 8);
+  std::map<std::size_t, std::size_t> hist;
+  for (std::uint32_t i = 0; i < 8000; ++i) ++hist[table.ShardOf(Key(i))];
+  ASSERT_EQ(hist.size(), 8u);  // every shard used
+  for (const auto& [shard, n] : hist) {
+    EXPECT_GT(n, 8000u / 16) << "shard " << shard << " starved";
+  }
+}
+
+TEST(ShardedKeyValueTable, EraseAndClearDelegate) {
+  ShardedKeyValueTable table(1 << 8, 2);
+  bool created = false;
+  table.FindOrInsert(Key(1), created);
+  table.FindOrInsert(Key(2), created);
+  EXPECT_TRUE(table.Erase(Key(1)));
+  EXPECT_FALSE(table.Erase(Key(1)));
+  EXPECT_EQ(table.size(), 1u);
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Find(Key(2)), nullptr);
+}
+
+TEST(ShardedKeyValueTable, SingleShardMatchesBareTable) {
+  ShardedKeyValueTable sharded(1 << 8, 1);
+  KeyValueTable bare(1 << 8);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    bool c1 = false, c2 = false;
+    KvSlot& a = sharded.FindOrInsert(Key(i % 40), c1);
+    KvSlot& b = bare.FindOrInsert(Key(i % 40), c2);
+    EXPECT_EQ(c1, c2);
+    a.attrs[0] += i;
+    b.attrs[0] += i;
+  }
+  EXPECT_EQ(sharded.size(), bare.size());
+  sharded.ForEach([&](const KvSlot& slot) {
+    const KvSlot* other = bare.Find(slot.key);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(slot.attrs[0], other->attrs[0]);
+  });
+}
+
+// -------------------------------------------- load accounting (TryFindOrInsert)
+
+TEST(KeyValueTableLoad, TryFindOrInsertCountsRejectionsInsteadOfThrowing) {
+  KeyValueTable table(16);
+  bool created = false;
+  std::size_t accepted = 0;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    if (table.TryFindOrInsert(Key(i), created) != nullptr) ++accepted;
+  }
+  EXPECT_EQ(accepted, 14u);  // 7/8 of 16
+  EXPECT_EQ(table.rejected_inserts(), 2u);
+  EXPECT_DOUBLE_EQ(table.load_factor(), 14.0 / 16.0);
+  // Existing keys still resolve at the load limit, without counting.
+  EXPECT_NE(table.TryFindOrInsert(Key(0), created), nullptr);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(table.rejected_inserts(), 2u);
+  // The throwing entry point still throws, and also counts.
+  EXPECT_THROW(table.FindOrInsert(Key(99), created), std::length_error);
+  EXPECT_EQ(table.rejected_inserts(), 3u);
+  // Clear keeps the counter (it is a lifetime stat).
+  table.Clear();
+  EXPECT_EQ(table.rejected_inserts(), 3u);
+  EXPECT_DOUBLE_EQ(table.load_factor(), 0.0);
+}
+
+// ---------------------------------------------------------------- MergeEngine
+
+std::vector<FlowRecord> RandomBatch(std::size_t n, std::uint32_t keys,
+                                    std::uint64_t seed, SubWindowNum sw) {
+  std::vector<FlowRecord> batch;
+  batch.reserve(n);
+  std::uint64_t s = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    s = Mix64(s + 1);
+    batch.push_back(Rec(std::uint32_t(s % keys), (s >> 13) % 1000, sw,
+                        std::uint32_t(i)));
+  }
+  return batch;
+}
+
+std::map<FlowKey, std::array<std::uint64_t, 4>> Dump(
+    const ShardedKeyValueTable& table) {
+  std::map<FlowKey, std::array<std::uint64_t, 4>> out;
+  table.ForEach([&](const KvSlot& slot) { out[slot.key] = slot.attrs; });
+  return out;
+}
+
+class MergeEngineEquivalence : public ::testing::TestWithParam<MergeKind> {};
+
+TEST_P(MergeEngineEquivalence, ParallelMatchesSequentialBitForBit) {
+  const MergeKind kind = GetParam();
+
+  // Reference: today's sequential two-pass merge into one table.
+  ShardedKeyValueTable reference(1 << 12, 1);
+  std::vector<std::vector<FlowRecord>> batches;
+  for (SubWindowNum sw = 0; sw < 6; ++sw) {
+    batches.push_back(RandomBatch(2000, 700, 0xB00 + sw, sw));
+  }
+  for (const auto& batch : batches) {
+    for (const FlowRecord& rec : batch) {
+      bool created = false;
+      // Sequence the lookup before reading `created` (argument evaluation
+      // order would otherwise be unspecified).
+      KvSlot& slot = reference.FindOrInsert(rec.key, created);
+      ApplyMerge(kind, slot, created, rec);
+    }
+  }
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ShardedKeyValueTable table(1 << 12, threads);
+    MergeEngine engine(threads);
+    for (const auto& batch : batches) {
+      const auto timing = engine.MergeBatch(kind, batch, table);
+      EXPECT_GE(timing.Total(), 0);
+    }
+    EXPECT_EQ(Dump(table), Dump(reference)) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, MergeEngineEquivalence,
+                         ::testing::Values(MergeKind::kFrequency,
+                                           MergeKind::kExistence,
+                                           MergeKind::kMax, MergeKind::kMin,
+                                           MergeKind::kDistinction,
+                                           MergeKind::kXorSum));
+
+TEST(MergeEngine, ManySmallBatchesReuseThePool) {
+  MergeEngine engine(4);
+  ShardedKeyValueTable table(1 << 10, 4);
+  for (int round = 0; round < 200; ++round) {
+    const auto batch =
+        RandomBatch(50, 100, 0xC0FFEE + round, SubWindowNum(round));
+    engine.MergeBatch(MergeKind::kFrequency, batch, table);
+  }
+  EXPECT_GT(table.size(), 0u);
+  EXPECT_EQ(table.rejected_inserts(), 0u);
+}
+
+TEST(MergeEngine, RejectsShardCountMismatch) {
+  MergeEngine engine(2);
+  ShardedKeyValueTable table(1 << 8, 4);
+  const auto batch = RandomBatch(10, 10, 1, 0);
+  EXPECT_THROW(engine.MergeBatch(MergeKind::kFrequency, batch, table),
+               std::invalid_argument);
+}
+
+TEST(MergeEngine, CountsRejectedInsertsAcrossShards) {
+  // Tiny shards: 64 total slots over 4 shards, flooded with unique keys.
+  MergeEngine engine(4);
+  ShardedKeyValueTable table(64, 4);
+  const auto batch = RandomBatch(4000, 4000, 77, 0);
+  engine.MergeBatch(MergeKind::kFrequency, batch, table);
+  EXPECT_GT(table.rejected_inserts(), 0u);
+  EXPECT_LE(table.size(), table.capacity());
+}
+
+// ------------------------------------------- merge-order independence (§4.2)
+
+// kXorSum and kDistinction must give the same merged slot regardless of the
+// order sub-windows arrive in. Every permutation of the records must yield
+// a bit-identical slot.
+void CheckAllPermutations(MergeKind kind,
+                          const std::vector<FlowRecord>& records) {
+  std::vector<std::size_t> order(records.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::optional<KvSlot> expected;
+  std::sort(order.begin(), order.end());
+  do {
+    KvSlot slot;
+    bool first = true;
+    for (const std::size_t i : order) {
+      ApplyMerge(kind, slot, first, records[i]);
+      first = false;
+    }
+    if (!expected) {
+      expected = slot;
+    } else {
+      EXPECT_EQ(slot.attrs, expected->attrs);
+      EXPECT_EQ(slot.num_attrs, expected->num_attrs);
+      EXPECT_EQ(slot.last_subwindow, expected->last_subwindow);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(MergeOrderIndependence, XorSumIsCommutativeAcrossSubWindows) {
+  // IBF cells: attr0 counts sum, attrs 1..3 are XOR signatures.
+  std::vector<FlowRecord> records;
+  for (SubWindowNum sw = 0; sw < 5; ++sw) {
+    FlowRecord rec = Rec(42, 100 + sw * 13, sw, sw);
+    rec.attrs[1] = Mix64(sw * 3 + 1);
+    rec.attrs[2] = Mix64(sw * 3 + 2);
+    rec.attrs[3] = Mix64(sw * 3 + 3);
+    records.push_back(rec);
+  }
+  CheckAllPermutations(MergeKind::kXorSum, records);
+}
+
+TEST(MergeOrderIndependence, DistinctionIsCommutativeAcrossSubWindows) {
+  // 256-bit distinct signatures merge by OR.
+  std::vector<FlowRecord> records;
+  for (SubWindowNum sw = 0; sw < 5; ++sw) {
+    FlowRecord rec = Rec(42, 0, sw, sw);
+    for (std::size_t w = 0; w < 4; ++w) {
+      rec.attrs[w] = Mix64(0xD15 + sw * 4 + w) & Mix64(0x7E57 + sw + w);
+    }
+    records.push_back(rec);
+  }
+  CheckAllPermutations(MergeKind::kDistinction, records);
+}
+
+}  // namespace
+}  // namespace ow

@@ -105,7 +105,7 @@ TEST(MultiApp, MatchesSingleAppRuns) {
   auto single = [&](const QueryDef& def, std::uint64_t seed) {
     auto app = std::make_shared<QueryAdapter>(def, 4096, seed);
     return RunOmniWindow(s.trace, app, RunConfig::Make(Spec()),
-                         [&](const KeyValueTable& t) { return app->Detect(t); })
+                         [&](TableView t) { return app->Detect(t); })
         .windows;
   };
   const auto solo_syn = single(SynDef(), 0x111);

@@ -1,0 +1,112 @@
+// End-to-end determinism of the parallel controller: RunOmniWindow over the
+// standard evaluation trace must produce bit-identical results for every
+// merge_threads value — same emitted windows (spans, completion times,
+// detections) and same merged per-window table contents. This is the
+// acceptance gate for the sharded merge engine: parallelism is a throughput
+// knob, never a semantics knob.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/runner.h"
+
+namespace ow {
+namespace {
+
+using bench::EvalParams;
+using bench::MakeEvalTrace;
+using bench::SlidingSpec;
+using bench::TumblingSpec;
+
+/// Canonical dump of one window's merged table: every live slot, keyed and
+/// ordered by flow key, with all merge-relevant fields.
+struct SlotDump {
+  std::array<std::uint64_t, 4> attrs{};
+  std::uint8_t num_attrs = 0;
+  std::uint32_t last_subwindow = 0;
+  bool operator==(const SlotDump&) const = default;
+};
+using WindowDump = std::map<FlowKey, SlotDump>;
+
+struct DeterminismRun {
+  RunResult result;
+  std::vector<WindowDump> dumps;  ///< one per emitted window, in order
+};
+
+DeterminismRun RunWithThreads(const Trace& trace, const WindowSpec& spec,
+                              std::size_t merge_threads) {
+  const QueryDef def = StandardQuery(1);
+  EvalParams params;
+  auto app = std::make_shared<QueryAdapter>(def, params.window_cells / 4);
+  RunConfig cfg = RunConfig::Make(spec);
+  cfg.controller.merge_threads = merge_threads;
+
+  DeterminismRun run;
+  run.result = RunOmniWindow(trace, app, cfg, [&](TableView table) {
+    WindowDump dump;
+    table.ForEach([&](const KvSlot& slot) {
+      dump[slot.key] =
+          SlotDump{slot.attrs, slot.num_attrs, slot.last_subwindow};
+    });
+    run.dumps.push_back(std::move(dump));
+    return app->Detect(table);
+  });
+  return run;
+}
+
+void ExpectIdentical(const DeterminismRun& base, const DeterminismRun& other,
+                     std::size_t threads) {
+  SCOPED_TRACE("merge_threads=" + std::to_string(threads));
+  ASSERT_EQ(base.result.windows.size(), other.result.windows.size());
+  for (std::size_t i = 0; i < base.result.windows.size(); ++i) {
+    const EmittedWindow& a = base.result.windows[i];
+    const EmittedWindow& b = other.result.windows[i];
+    EXPECT_EQ(a.span.first, b.span.first) << "window " << i;
+    EXPECT_EQ(a.span.last, b.span.last) << "window " << i;
+    EXPECT_EQ(a.completed_at, b.completed_at) << "window " << i;
+    EXPECT_EQ(a.detected, b.detected) << "window " << i;
+  }
+  ASSERT_EQ(base.dumps.size(), other.dumps.size());
+  for (std::size_t i = 0; i < base.dumps.size(); ++i) {
+    EXPECT_EQ(base.dumps[i], other.dumps[i]) << "window " << i;
+  }
+  EXPECT_EQ(base.result.controller.afrs_received,
+            other.result.controller.afrs_received);
+  EXPECT_EQ(base.result.controller.windows_emitted,
+            other.result.controller.windows_emitted);
+  EXPECT_EQ(base.result.controller.inserts_rejected, 0u);
+  EXPECT_EQ(other.result.controller.inserts_rejected, 0u);
+}
+
+TEST(ParallelDeterminism, TumblingWindowsIdenticalAcrossThreadCounts) {
+  // Reduced-size standard trace so the 4-run sweep stays fast.
+  const Trace trace =
+      MakeEvalTrace(/*seed=*/31, /*duration=*/kSecond, /*pps=*/30'000,
+                    /*flows=*/4'000);
+  EvalParams params;
+  const WindowSpec spec = TumblingSpec(params);
+  const DeterminismRun base = RunWithThreads(trace, spec, 1);
+  ASSERT_GT(base.result.windows.size(), 0u);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    ExpectIdentical(base, RunWithThreads(trace, spec, threads), threads);
+  }
+}
+
+TEST(ParallelDeterminism, SlidingWindowsIdenticalAcrossThreadCounts) {
+  const Trace trace =
+      MakeEvalTrace(/*seed=*/32, /*duration=*/kSecond, /*pps=*/30'000,
+                    /*flows=*/4'000);
+  EvalParams params;
+  const WindowSpec spec = SlidingSpec(params);
+  const DeterminismRun base = RunWithThreads(trace, spec, 1);
+  ASSERT_GT(base.result.windows.size(), 0u);
+  for (const std::size_t threads : {4u}) {
+    ExpectIdentical(base, RunWithThreads(trace, spec, threads), threads);
+  }
+}
+
+}  // namespace
+}  // namespace ow

@@ -212,7 +212,7 @@ TEST(UniversalSketches, ElasticRunsUnderOmniWindow) {
   spec.window_size = 100 * kMilli;
   spec.subwindow_size = 50 * kMilli;
   const RunResult result = RunOmniWindow(
-      trace, app, RunConfig::Make(spec), [&](const KeyValueTable& table) {
+      trace, app, RunConfig::Make(spec), [&](TableView table) {
         FlowSet out;
         table.ForEach([&](const KvSlot& slot) {
           if (slot.attrs[0] >= 500) out.insert(slot.key);
