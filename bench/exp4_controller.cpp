@@ -39,7 +39,10 @@ void Report(const char* title, const std::vector<SubWindowTiming>& timings,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --obs-out=<prefix>: arm span tracing and dump <prefix>.stats.json +
+  // <prefix>.trace.json at exit (docs/observability.md).
+  const std::optional<std::string> obs_out = ObsOutFromArgs(argc, argv);
   const Trace trace = MakeEvalTrace(/*seed=*/4004);
   std::printf("Exp#4: controller time breakdown, Q1 (trace: %zu packets)\n\n",
               trace.packets.size());
@@ -87,6 +90,11 @@ int main() {
     if (threads == 1) base = o2 + o3;
     std::printf("%8zu %13.1f us %13.1f us %11.2fx\n", threads, o2, o3,
                 base / (o2 + o3));
+  }
+  if (obs_out && !DumpObs(*obs_out)) {
+    std::fprintf(stderr, "failed to write obs dump to %s.*\n",
+                 obs_out->c_str());
+    return 1;
   }
   return 0;
 }

@@ -1,6 +1,27 @@
 #include "bench/harness.h"
 
+#include <cstring>
+
+#include "src/obs/obs.h"
+
 namespace ow::bench {
+
+std::optional<std::string> ObsOutFromArgs(int argc, char** argv) {
+  constexpr const char* kFlag = "--obs-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      std::string prefix = argv[i] + std::strlen(kFlag);
+      if (prefix.empty()) return std::nullopt;
+      obs::Global().SetTracing(true);
+      return prefix;
+    }
+  }
+  return std::nullopt;
+}
+
+bool DumpObs(const std::string& prefix) {
+  return obs::Global().DumpToFiles(prefix);
+}
 
 Trace MakeEvalTrace(std::uint64_t seed, Nanos duration, double pps,
                     std::size_t flows) {

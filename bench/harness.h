@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,5 +62,16 @@ std::vector<BaselineWindowResult> ToBaselineResults(
 /// WindowSpec helpers.
 WindowSpec TumblingSpec(const EvalParams& p);
 WindowSpec SlidingSpec(const EvalParams& p);
+
+/// `--obs-out=<prefix>` support shared by the bench binaries. When the flag
+/// is present, arms span tracing on the global obs registry and returns the
+/// prefix; pass it to DumpObs after the run. Returns nullopt (and leaves
+/// tracing off) otherwise.
+std::optional<std::string> ObsOutFromArgs(int argc, char** argv);
+
+/// Write `<prefix>.stats.json` + `<prefix>.trace.json` from the global obs
+/// registry (see docs/observability.md for the schemas). Returns false if
+/// either file could not be written.
+bool DumpObs(const std::string& prefix);
 
 }  // namespace ow::bench

@@ -32,8 +32,12 @@ struct PrecisionRecall {
 };
 
 /// Precision/recall of `reported` against ground truth `actual`.
-/// Follows the paper's convention: empty ground truth with empty report is
-/// perfect; reporting anything against empty truth has precision 0.
+/// Empty-set convention (pinned by MetricsPrecisionRecall tests):
+///   * empty report  -> precision 1 (no claim is ever false), regardless of
+///     the truth set; recall is 1 only if the truth is also empty.
+///   * empty truth   -> recall 1 (nothing to find); a non-empty report
+///     against empty truth scores precision 0 through the general formula
+///     (zero true positives).
 inline PrecisionRecall ComputePrecisionRecall(const FlowSet& reported,
                                               const FlowSet& actual) {
   PrecisionRecall pr;
@@ -43,7 +47,7 @@ inline PrecisionRecall ComputePrecisionRecall(const FlowSet& reported,
     if (actual.contains(k)) ++pr.true_positives;
   }
   pr.precision = reported.empty()
-                     ? (actual.empty() ? 1.0 : 1.0)
+                     ? 1.0
                      : static_cast<double>(pr.true_positives) / reported.size();
   pr.recall = actual.empty()
                   ? 1.0

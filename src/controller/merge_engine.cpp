@@ -46,7 +46,12 @@ void MergeRecord(MergeKind kind, KvSlot& slot, bool created,
 
 MergeEngine::MergeEngine(std::size_t threads)
     : shards_(std::bit_ceil(std::max<std::size_t>(1, threads))),
-      tasks_(shards_) {
+      tasks_(shards_),
+      obs_batches_(&obs::Global().GetCounter("merge.batches")),
+      obs_records_(&obs::Global().GetCounter("merge.records")),
+      obs_partition_ns_(&obs::Global().GetHistogram("merge.partition_ns")),
+      obs_insert_ns_(&obs::Global().GetHistogram("merge.insert_ns")),
+      obs_merge_ns_(&obs::Global().GetHistogram("merge.merge_ns")) {
   workers_.reserve(shards_ - 1);
   for (std::size_t i = 1; i < shards_; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -64,6 +69,20 @@ MergeEngine::~MergeEngine() {
 
 void MergeEngine::RunShard(MergeKind kind, ShardTask& task,
                            KeyValueTable& shard) {
+  // One trace span per shard per batch, so the critical-path claim is
+  // inspectable in the Chrome trace (workers show up on their own tid
+  // lanes). The span object exists only on the traced branch: a live RAII
+  // frame across RunShardHot's loops pessimizes their codegen measurably.
+  if (obs::Global().tracing()) {
+    obs::ScopedSpan span(obs::Global(), "merge.shard");
+    RunShardHot(kind, task, shard);
+    return;
+  }
+  RunShardHot(kind, task, shard);
+}
+
+void MergeEngine::RunShardHot(MergeKind kind, ShardTask& task,
+                              KeyValueTable& shard) {
   // O2: slot lookups/inserts. Rejected inserts (shard load limit) leave a
   // null slot and are skipped by the merge; the shard counts them.
   task.slots.clear();
@@ -115,6 +134,18 @@ MergeEngine::BatchTiming MergeEngine::MergeBatch(
     throw std::invalid_argument(
         "MergeEngine::MergeBatch: table shard count != engine threads");
   }
+  // Same split as RunShard: the batch span wraps the traced branch only so
+  // the serial partition loop never runs under a live span frame.
+  if (obs::Global().tracing()) {
+    obs::ScopedSpan span(obs::Global(), "merge.batch");
+    return MergeBatchHot(kind, records, table);
+  }
+  return MergeBatchHot(kind, records, table);
+}
+
+MergeEngine::BatchTiming MergeEngine::MergeBatchHot(
+    MergeKind kind, std::span<const FlowRecord> records,
+    ShardedKeyValueTable& table) {
   BatchTiming timing;
 
   // Serial partition by shard. Stable: each shard sees its records in the
@@ -150,6 +181,11 @@ MergeEngine::BatchTiming MergeEngine::MergeBatch(
     timing.insert = std::max(timing.insert, task.insert_ns);
     timing.merge = std::max(timing.merge, task.merge_ns);
   }
+  obs_batches_->Add();
+  obs_records_->Add(records.size());
+  obs_partition_ns_->Record(std::uint64_t(timing.partition));
+  obs_insert_ns_->Record(std::uint64_t(timing.insert));
+  obs_merge_ns_->Record(std::uint64_t(timing.merge));
   return timing;
 }
 

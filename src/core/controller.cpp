@@ -36,6 +36,24 @@ OmniWindowController::OmniWindowController(ControllerConfig cfg,
       view_(table_),
       merge_engine_(table_.shard_count()) {
   cfg_.window.Validate();
+  obs::Registry& reg = obs::Global();
+  obs_.afrs_received = &reg.GetCounter("controller.afrs_received");
+  obs_.subwindows_finalized =
+      &reg.GetCounter("controller.subwindows_finalized");
+  obs_.subwindows_force_finalized =
+      &reg.GetCounter("controller.subwindows_force_finalized");
+  obs_.windows_emitted = &reg.GetCounter("controller.windows_emitted");
+  obs_.spilled_keys = &reg.GetCounter("controller.spilled_keys_stored");
+  obs_.trigger_gaps_recovered =
+      &reg.GetCounter("controller.trigger_gaps_recovered");
+  obs_.retransmissions = &reg.GetCounter("controller.retransmissions");
+  obs_.spike_packets = &reg.GetCounter("controller.spike_packets");
+  obs_.duplicate_afrs = &reg.GetCounter("controller.duplicate_afrs");
+  obs_.inserts_rejected = &reg.GetGauge("controller.inserts_rejected");
+  obs_.o2_insert_ns = &reg.GetHistogram("controller.o2_insert_ns");
+  obs_.o3_merge_ns = &reg.GetHistogram("controller.o3_merge_ns");
+  obs_.o4_process_ns = &reg.GetHistogram("controller.o4_process_ns");
+  obs_.o5_evict_ns = &reg.GetHistogram("controller.o5_evict_ns");
 }
 
 void OmniWindowController::AttachSwitch(Switch* sw) {
@@ -67,12 +85,20 @@ SubWindowTiming& OmniWindowController::TimingFor(SubWindowNum sw) {
 
 void OmniWindowController::OnPacket(const Packet& p, Nanos arrival) {
   if (!p.ow.present) return;
+  obs::ScopedSpan span(obs::Global(), "controller.on_packet");
   switch (p.ow.flag) {
     case OwFlag::kTrigger: {
       const SubWindowNum sw = p.ow.subwindow_num;
+      // Lamport-style gap recovery: a trigger for `sw` proves every earlier
+      // sub-window terminated too, so a missing one means its trigger was
+      // lost on the report path.
+      EnsureCollectedThrough(sw, arrival);
       PendingSubWindow& pending = pending_[sw];
       pending.subwindow = sw;
-      pending.expected_dataplane = p.ow.payload;
+      // max(): a duplicate trigger must not lower a count already raised by
+      // the completion notification.
+      pending.expected_dataplane =
+          std::max(pending.expected_dataplane, p.ow.payload);
       StartCollection(pending, arrival);
       // A new termination is the natural point to chase losses of OLDER
       // sub-windows. Skip the immediately preceding one: consecutive
@@ -94,6 +120,7 @@ void OmniWindowController::OnPacket(const Packet& p, Nanos arrival) {
       if (spilled_seen_[sw].insert(p.ow.injected_key).second) {
         spilled_[sw].push_back(p.ow.injected_key);
         ++stats_.spilled_keys_stored;
+        obs_.spilled_keys->Add();
       }
       return;
     }
@@ -120,16 +147,19 @@ void OmniWindowController::OnPacket(const Packet& p, Nanos arrival) {
         if (rec.seq_id != kNoExplicitIndex) {
           if (!pending.seqs_seen.insert(rec.seq_id).second) {
             ++stats_.duplicate_afrs;
+            obs_.duplicate_afrs->Add();
             continue;
           }
         } else {
           if (!pending.injected_keys_seen.insert(rec.key).second) {
             ++stats_.duplicate_afrs;
+            obs_.duplicate_afrs->Add();
             continue;
           }
         }
         pending.records.push_back(rec);
         ++stats_.afrs_received;
+        obs_.afrs_received->Add();
       }
       MaybeFinalize(arrival);
       return;
@@ -140,6 +170,7 @@ void OmniWindowController::OnPacket(const Packet& p, Nanos arrival) {
       // statistics it folds them into the not-yet-finalized sub-window so
       // the packet is not lost to measurement.
       ++stats_.spike_packets;
+      obs_.spike_packets->Add();
       const SubWindowNum sw = p.ow.payload;
       auto it = pending_.find(sw);
       if (it != pending_.end() && merge_kind_ == MergeKind::kFrequency) {
@@ -158,9 +189,26 @@ void OmniWindowController::OnPacket(const Packet& p, Nanos arrival) {
   }
 }
 
+void OmniWindowController::EnsureCollectedThrough(SubWindowNum through,
+                                                  Nanos now) {
+  // Every sub-window below `through` has terminated; one the controller has
+  // never heard of lost its trigger on the report path. Start its
+  // collection now — the switch replays the full C&R (its region has not
+  // been reset, and finished collections answer from the retransmission
+  // cache) and the completion notification establishes the record count.
+  for (SubWindowNum gap = next_to_finalize_; gap < through; ++gap) {
+    if (pending_.contains(gap)) continue;
+    PendingSubWindow& recovered = pending_[gap];
+    recovered.subwindow = gap;
+    obs_.trigger_gaps_recovered->Add();
+    StartCollection(recovered, now);
+  }
+}
+
 void OmniWindowController::StartCollection(PendingSubWindow& pending,
                                            Nanos now) {
   if (pending.collection_started) return;
+  obs::ScopedSpan span(obs::Global(), "controller.start_collection");
   pending.collection_started = true;
   const SubWindowNum sw = pending.subwindow;
   const auto& spilled = spilled_[sw];
@@ -238,7 +286,7 @@ void OmniWindowController::MaybeFinalize(Nanos now) {
   while (true) {
     auto it = pending_.find(next_to_finalize_);
     if (it == pending_.end() || !IsComplete(it->second)) return;
-    FinalizeSubWindow(it->second, now);
+    FinalizeSubWindow(it->second, now, /*complete=*/true);
     spilled_.erase(next_to_finalize_);
     spilled_seen_.erase(next_to_finalize_);
     pending_.erase(it);
@@ -247,7 +295,8 @@ void OmniWindowController::MaybeFinalize(Nanos now) {
 }
 
 void OmniWindowController::FinalizeSubWindow(PendingSubWindow& pending,
-                                             Nanos now) {
+                                             Nanos now, bool complete) {
+  obs::ScopedSpan span(obs::Global(), "controller.finalize_subwindow");
   if (cfg_.rdma) DrainRdma(pending);
   SubWindowTiming& t = TimingFor(pending.subwindow);
   if (transform_) {
@@ -266,10 +315,22 @@ void OmniWindowController::FinalizeSubWindow(PendingSubWindow& pending,
     t.o2_insert += bt.partition + bt.insert;
     t.o3_merge += bt.merge;
     stats_.inserts_rejected = table_.rejected_inserts();
+    obs_.inserts_rejected->Set(std::int64_t(stats_.inserts_rejected));
+    obs_.o2_insert_ns->Record(std::uint64_t(bt.partition + bt.insert));
+    obs_.o3_merge_ns->Record(std::uint64_t(bt.merge));
   }
   if (cfg_.rdma) UpdateHotKeys(pending);
   history_.emplace_back(pending.subwindow, std::move(pending.records));
-  ++stats_.subwindows_finalized;
+  if (complete) {
+    ++stats_.subwindows_finalized;
+    obs_.subwindows_finalized->Add();
+  } else {
+    // Retransmission attempts exhausted: the merged sub-window is missing
+    // records. Accounted separately so lossy runs are diagnosable instead
+    // of folding silently into the clean-finalize count.
+    ++stats_.subwindows_force_finalized;
+    obs_.subwindows_force_finalized->Add();
+  }
   EmitWindowsAfter(pending.subwindow, now);
 }
 
@@ -290,16 +351,21 @@ void OmniWindowController::EmitWindowsAfter(SubWindowNum sw, Nanos now) {
   const SubWindowSpan span{SubWindowNum(sw + 1 - W), sw};
   // O4: process the merged result.
   {
+    obs::ScopedSpan ospan(obs::Global(), "controller.o4_process");
     WallTimer timer;
     if (handler_) {
       handler_(WindowResult{span, &view_, now});
     }
-    t.o4_process += timer.Elapsed();
+    const Nanos elapsed = timer.Elapsed();
+    t.o4_process += elapsed;
+    obs_.o4_process_ns->Record(std::uint64_t(elapsed));
   }
   ++stats_.windows_emitted;
+  obs_.windows_emitted->Add();
 
   // O5 / O6: retire sub-windows that no future window needs.
   {
+    obs::ScopedSpan ospan(obs::Global(), "controller.o5_evict");
     WallTimer timer;
     if (sliding) {
       EvictFromTable(SubWindowNum(sw + 1 - W + S));
@@ -308,7 +374,9 @@ void OmniWindowController::EmitWindowsAfter(SubWindowNum sw, Nanos now) {
       table_floor_ = sw + 1;
     }
     TrimHistory();
-    t.o5_evict += timer.Elapsed();
+    const Nanos elapsed = timer.Elapsed();
+    t.o5_evict += elapsed;
+    obs_.o5_evict_ns->Record(std::uint64_t(elapsed));
   }
 }
 
@@ -396,6 +464,7 @@ std::optional<SubWindowSpan> OmniWindowController::RetainedSpan() const {
 void OmniWindowController::RequestRetransmissions(PendingSubWindow& pending,
                                                   Nanos now) {
   if (!switch_) return;
+  obs::ScopedSpan span(obs::Global(), "controller.request_retransmissions");
   ++pending.retransmit_attempts;
   Nanos tx_time = now;
   // Missing data-plane sequence numbers.
@@ -410,6 +479,24 @@ void OmniWindowController::RequestRetransmissions(PendingSubWindow& pending,
     col.ow.payload = s;
     switch_->EnqueueFromController(col, tx_time + kWireLatency);
     ++stats_.retransmissions_requested;
+    obs_.retransmissions->Add();
+  }
+  // The completion notification itself may have been lost: without it the
+  // final record count is unknown, so the per-seq chase above cannot cover
+  // the tail. Probe with an enumeration request — the switch answers a
+  // finished collection from its retransmission cache with a fresh
+  // notification.
+  if (!cfg_.rdma && !pending.count_final) {
+    tx_time += cfg_.costs.per_tx_packet;
+    Packet col;
+    col.ow.present = true;
+    col.ow.app_id = cfg_.app_id;
+    col.ow.flag = OwFlag::kCollection;
+    col.ow.subwindow_num = pending.subwindow;
+    col.ow.payload = kNoExplicitIndex;
+    switch_->EnqueueFromController(col, tx_time + kWireLatency);
+    ++stats_.retransmissions_requested;
+    obs_.retransmissions->Add();
   }
   // Missing injected keys.
   for (const FlowKey& key : spilled_[pending.subwindow]) {
@@ -423,6 +510,7 @@ void OmniWindowController::RequestRetransmissions(PendingSubWindow& pending,
     inj.ow.injected_key = key;
     switch_->EnqueueFromController(inj, tx_time + kWireLatency);
     ++stats_.retransmissions_requested;
+    obs_.retransmissions->Add();
   }
 }
 
@@ -437,6 +525,7 @@ void OmniWindowController::DrainRdma(PendingSubWindow& pending) {
     if (!IsEncodedRecord(slot)) break;
     pending.records.push_back(DecodeFlowRecord(slot));
     ++stats_.afrs_received;
+    obs_.afrs_received->Add();
     std::fill(bytes.begin() + off, bytes.begin() + off + kAfrWireBytes, 0);
   }
   // Hot-key mirror: one 32-byte attr block per hot slot.
@@ -457,6 +546,7 @@ void OmniWindowController::DrainRdma(PendingSubWindow& pending) {
     rec.seq_id = kNoExplicitIndex;
     pending.records.push_back(rec);
     ++stats_.afrs_received;
+    obs_.afrs_received->Add();
     for (std::size_t i = 0; i < 4; ++i) table_mr_->WriteU64(off + i * 8, 0);
   }
 }
@@ -476,6 +566,7 @@ void OmniWindowController::UpdateHotKeys(const PendingSubWindow& pending) {
 }
 
 bool OmniWindowController::Flush(Nanos now) {
+  obs::ScopedSpan span(obs::Global(), "controller.flush");
   bool asked = false;
   for (auto& [sw, pending] : pending_) {
     if (pending.collection_started &&
@@ -486,13 +577,15 @@ bool OmniWindowController::Flush(Nanos now) {
     }
   }
   if (asked) return false;
-  // Force-finalize whatever remains, in order.
+  // Finalize whatever remains, in order. Sub-windows that are complete but
+  // were blocked behind an incomplete earlier one count as clean finalizes;
+  // only the ones still missing records are "forced".
   while (!pending_.empty()) {
     auto it = pending_.begin();
     if (it->first != next_to_finalize_ && it->first > next_to_finalize_) {
       next_to_finalize_ = it->first;
     }
-    FinalizeSubWindow(it->second, now);
+    FinalizeSubWindow(it->second, now, IsComplete(it->second));
     spilled_.erase(it->first);
     spilled_seen_.erase(it->first);
     pending_.erase(it);

@@ -32,6 +32,7 @@
 #include "src/controller/sharded_key_value_table.h"
 #include "src/core/data_plane.h"
 #include "src/core/window.h"
+#include "src/obs/obs.h"
 #include "src/switchsim/pipeline.h"
 
 namespace ow {
@@ -133,6 +134,13 @@ class OmniWindowController {
   /// recovered), force-finalizes the remainder and returns true.
   bool Flush(Nanos now);
 
+  /// Management-path recovery: callers that learn the data plane's current
+  /// sub-window out of band (e.g. the runner reading it over the reliable
+  /// switch-OS channel) report it here; any earlier sub-window the
+  /// controller never got a trigger for starts collection immediately.
+  /// Also invoked internally on every trigger (Lamport-style gap recovery).
+  void EnsureCollectedThrough(SubWindowNum through, Nanos now);
+
   const std::vector<SubWindowTiming>& timings() const { return timings_; }
   const ShardedKeyValueTable& table() const { return table_; }
   TableView view() const { return TableView(table_); }
@@ -148,7 +156,13 @@ class OmniWindowController {
 
   struct Stats {
     std::uint64_t afrs_received = 0;
+    /// Sub-windows finalized with a COMPLETE record set (every expected
+    /// sequence number / injected key accounted for).
     std::uint64_t subwindows_finalized = 0;
+    /// Sub-windows Flush gave up on after kMaxRetransmitAttempts and
+    /// finalized with missing records. Disjoint from subwindows_finalized;
+    /// the total processed is the sum of the two.
+    std::uint64_t subwindows_force_finalized = 0;
     std::uint64_t windows_emitted = 0;
     std::uint64_t spilled_keys_stored = 0;
     std::uint64_t retransmissions_requested = 0;
@@ -181,9 +195,10 @@ class OmniWindowController {
   static constexpr std::uint8_t kMaxRetransmitAttempts = 8;
 
   void StartCollection(PendingSubWindow& pending, Nanos now);
+
   bool IsComplete(const PendingSubWindow& pending) const;
   void MaybeFinalize(Nanos now);
-  void FinalizeSubWindow(PendingSubWindow& pending, Nanos now);
+  void FinalizeSubWindow(PendingSubWindow& pending, Nanos now, bool complete);
   void EmitWindowsAfter(SubWindowNum sw, Nanos now);
   void EvictFromTable(SubWindowNum keep_from);
   void TrimHistory();
@@ -224,6 +239,27 @@ class OmniWindowController {
 
   std::vector<SubWindowTiming> timings_;
   Stats stats_;
+
+  /// Registry-backed mirrors of Stats plus phase latency histograms
+  /// (docs/observability.md). New observability goes through these rather
+  /// than growing Stats; the struct stays for the existing accessors.
+  struct ObsInstruments {
+    obs::Counter* afrs_received;
+    obs::Counter* subwindows_finalized;
+    obs::Counter* subwindows_force_finalized;
+    obs::Counter* windows_emitted;
+    obs::Counter* spilled_keys;
+    obs::Counter* trigger_gaps_recovered;
+    obs::Counter* retransmissions;
+    obs::Counter* spike_packets;
+    obs::Counter* duplicate_afrs;
+    obs::Gauge* inserts_rejected;
+    obs::Histogram* o2_insert_ns;
+    obs::Histogram* o3_merge_ns;
+    obs::Histogram* o4_process_ns;
+    obs::Histogram* o5_evict_ns;
+  };
+  ObsInstruments obs_;
 };
 
 }  // namespace ow

@@ -267,6 +267,19 @@ void OmniWindowProgram::HandleCollection(Packet& p, PipelineActions& act) {
   // sub-window than the active one waits (recirculates) until its start is
   // processed; one for an earlier sub-window is stale and dies.
   if (!collect_.active || p.ow.subwindow_num != collect_.subwindow) {
+    // A cached sub-window already ran its C&R: this is the controller
+    // probing because the completion notification was lost on the report
+    // path. Re-announce the final count from the cache instead of dying.
+    auto cached = afr_cache_.find(p.ow.subwindow_num);
+    if (cached != afr_cache_.end()) {
+      Packet done;
+      done.ow.present = true;
+      done.ow.flag = OwFlag::kAfrReport;
+      done.ow.subwindow_num = p.ow.subwindow_num;
+      done.ow.payload = std::uint32_t(cached->second.size());
+      act.to_controller.push_back(std::move(done));
+      return;
+    }
     const bool future =
         (collect_.active && p.ow.subwindow_num > collect_.subwindow) ||
         (!collect_.active && !pending_starts_.empty());

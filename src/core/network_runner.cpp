@@ -14,6 +14,7 @@ NetworkRunResult RunOmniWindowLine(
   std::vector<Switch*> switches;
   std::vector<std::shared_ptr<OmniWindowProgram>> programs;
   std::vector<std::unique_ptr<OmniWindowController>> controllers;
+  std::vector<std::unique_ptr<Link>> report_links;
   NetworkRunResult result;
   result.per_switch.resize(cfg.num_switches);
 
@@ -26,6 +27,17 @@ NetworkRunResult RunOmniWindowLine(
     auto controller = std::make_unique<OmniWindowController>(
         cfg.base.controller, program->app().merge_kind());
     controller->AttachSwitch(sw);
+    // Interpose the report link on the switch->controller path (AttachSwitch
+    // wired a direct handler). Injections stay direct: the controller talks
+    // to its own switch over the management port, reports ride the fabric.
+    OmniWindowController* ctrl = controller.get();
+    report_links.push_back(std::make_unique<Link>(
+        cfg.report_link,
+        [ctrl](Packet p, Nanos arrival) { ctrl->OnPacket(p, arrival); },
+        cfg.report_link_seed + i));
+    Link* report = report_links.back().get();
+    sw->SetControllerHandler(
+        [report](const Packet& p, Nanos now) { report->Transmit(p, now); });
     controller->SetWindowHandler(
         [&result, i, &detect](const WindowResult& w) {
           EmittedWindow ew;
@@ -57,8 +69,13 @@ NetworkRunResult RunOmniWindowLine(
   // so drive the network between rounds.
   for (int round = 0; round < 16; ++round) {
     bool all_done = true;
-    for (auto& controller : controllers) {
-      if (!controller->Flush(trace.Duration())) all_done = false;
+    for (std::size_t i = 0; i < controllers.size(); ++i) {
+      // Management-path check: the data plane's current sub-window travels
+      // the reliable switch-OS channel, so a final trigger lost on the
+      // report link cannot strand its sub-window.
+      controllers[i]->EnsureCollectedThrough(programs[i]->current_subwindow(),
+                                             trace.Duration());
+      if (!controllers[i]->Flush(trace.Duration())) all_done = false;
     }
     if (all_done) break;
     net.RunUntilQuiescent(horizon);
@@ -69,6 +86,9 @@ NetworkRunResult RunOmniWindowLine(
     result.per_switch[i].controller = controllers[i]->stats();
   }
   for (Link* link : links) result.link_dropped += link->dropped();
+  for (const auto& link : report_links) {
+    result.report_dropped += link->dropped();
+  }
   return result;
 }
 

@@ -22,6 +22,12 @@ struct NetworkRunConfig {
   std::size_t num_switches = 2;
   LinkParams link;  ///< between consecutive switches
   std::uint64_t link_seed = 0x11417C5ull;
+  /// Switch -> controller report path (AFR reports, triggers, spilled
+  /// keys). Defaults to a perfect wire — identical to the historical
+  /// direct attachment; give it loss/jitter to exercise the controller's
+  /// retransmission machinery end to end (lossy-collection tests).
+  LinkParams report_link{.latency = 0, .jitter = 0};
+  std::uint64_t report_link_seed = 0x0B50117ull;
 };
 
 struct SwitchRun {
@@ -32,7 +38,8 @@ struct SwitchRun {
 
 struct NetworkRunResult {
   std::vector<SwitchRun> per_switch;
-  std::uint64_t link_dropped = 0;  ///< total drops across inner links
+  std::uint64_t link_dropped = 0;    ///< total drops across inner links
+  std::uint64_t report_dropped = 0;  ///< drops on switch->controller links
 };
 
 /// Replay `trace` through a chain of `cfg.num_switches` switches.

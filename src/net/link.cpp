@@ -1,21 +1,34 @@
 #include "src/net/link.h"
 
+#include <algorithm>
+
 namespace ow {
 
 void Link::Transmit(Packet p, Nanos now) {
   ++transmitted_;
-  if (params_.loss_rate > 0 && rng_.Bernoulli(params_.loss_rate)) {
+  obs_transmitted_->Add();
+  // Every feature draws exactly once per transmitted packet from its own
+  // stream, whether or not it is enabled and whether or not the packet is
+  // ultimately dropped. This keeps each stream aligned to the packet index,
+  // so sweeping loss_rate leaves the jitter/spike schedule of surviving
+  // packets untouched (and vice versa).
+  const bool lose = loss_rng_.Bernoulli(params_.loss_rate);
+  const Nanos jit = Nanos(jitter_rng_.Uniform(
+      std::max<std::uint64_t>(1, std::uint64_t(params_.jitter))));
+  const bool spike = spike_rng_.Bernoulli(params_.spike_rate);
+
+  if (lose) {
     ++dropped_;
+    obs_dropped_->Add();
     return;
   }
-  Nanos delay = params_.latency;
-  if (params_.jitter > 0) {
-    delay += Nanos(rng_.Uniform(std::uint64_t(params_.jitter)));
-  }
-  if (params_.spike_rate > 0 && rng_.Bernoulli(params_.spike_rate)) {
+  Nanos delay = params_.latency + jit;
+  if (spike) {
     delay += params_.spike_extra;
     ++spiked_;
+    obs_spiked_->Add();
   }
+  obs_delay_->Record(std::uint64_t(delay));
   deliver_(std::move(p), now + delay);
 }
 

@@ -3,7 +3,11 @@
 // A Link connects a packet producer to a consumer with configurable
 // propagation latency, jitter, random loss, and rare latency spikes (the
 // delayed packets §5 of the paper handles via preserved sub-windows). Links
-// are deterministic given their seed.
+// are deterministic given their seed, and the determinism is per-feature:
+// loss, jitter and spikes each draw from their own RNG stream, once per
+// transmitted packet, so toggling one feature (e.g. sweeping loss_rate)
+// never reshuffles the schedule the other features produce for the packets
+// that survive.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +15,7 @@
 
 #include "src/common/packet.h"
 #include "src/common/rng.h"
+#include "src/obs/obs.h"
 
 namespace ow {
 
@@ -27,7 +32,17 @@ class Link {
   using Deliver = std::function<void(Packet, Nanos)>;
 
   Link(LinkParams params, Deliver deliver, std::uint64_t seed = 0x117C)
-      : params_(params), deliver_(std::move(deliver)), rng_(seed) {}
+      : params_(params),
+        deliver_(std::move(deliver)),
+        // Distinct per-feature streams: the constants are arbitrary tags the
+        // SplitMix64 seeding mixes into decorrelated states.
+        loss_rng_(seed ^ 0x4C4F5353'4C4F5353ull),
+        jitter_rng_(seed ^ 0x4A495454'4A495454ull),
+        spike_rng_(seed ^ 0x53504B45'53504B45ull),
+        obs_transmitted_(&obs::Global().GetCounter("link.transmitted")),
+        obs_dropped_(&obs::Global().GetCounter("link.dropped")),
+        obs_spiked_(&obs::Global().GetCounter("link.spiked")),
+        obs_delay_(&obs::Global().GetHistogram("link.delay_ns")) {}
 
   /// Transmit `p` at time `now`; the consumer sees it after the link delay
   /// (or never, on loss).
@@ -40,7 +55,13 @@ class Link {
  private:
   LinkParams params_;
   Deliver deliver_;
-  Rng rng_;
+  Rng loss_rng_;
+  Rng jitter_rng_;
+  Rng spike_rng_;
+  obs::Counter* obs_transmitted_;
+  obs::Counter* obs_dropped_;
+  obs::Counter* obs_spiked_;
+  obs::Histogram* obs_delay_;
   std::uint64_t transmitted_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t spiked_ = 0;

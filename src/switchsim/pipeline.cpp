@@ -4,7 +4,15 @@
 
 namespace ow {
 
-Switch::Switch(int id, SwitchTimings timings) : id_(id), timings_(timings) {}
+Switch::Switch(int id, SwitchTimings timings)
+    : id_(id),
+      timings_(timings),
+      obs_passes_(&obs::Global().GetCounter("switch.passes")),
+      obs_recirc_passes_(&obs::Global().GetCounter("switch.recirc_passes")),
+      obs_to_controller_(
+          &obs::Global().GetCounter("switch.to_controller_packets")),
+      obs_forwarded_(&obs::Global().GetCounter("switch.forwarded")),
+      obs_dropped_(&obs::Global().GetCounter("switch.dropped_in_pipeline")) {}
 
 void Switch::SetProgram(std::shared_ptr<SwitchProgram> program) {
   program_ = std::move(program);
@@ -23,9 +31,23 @@ void Switch::Dispatch(Event ev) {
   if (!program_) {
     throw std::logic_error("Switch " + std::to_string(id_) + ": no program");
   }
+  // One span per pipeline pass (wire, injected and recirculated alike):
+  // in the Chrome trace, collection enumeration shows up as the burst of
+  // recirculation passes between the trigger and the AFR reports. Costs a
+  // relaxed load + branch unless tracing is enabled.
+  obs::ScopedSpan span(obs::Global(),
+                       ev.source == PacketSource::kRecirculation
+                           ? "switch.pass.recirc"
+                           : (ev.source == PacketSource::kController
+                                  ? "switch.pass.injected"
+                                  : "switch.pass.wire"));
   for (RegisterArray* r : registers_) r->BeginPass();
   ++total_passes_;
-  if (ev.source == PacketSource::kRecirculation) ++recirc_passes_;
+  obs_passes_->Add();
+  if (ev.source == PacketSource::kRecirculation) {
+    ++recirc_passes_;
+    obs_recirc_passes_->Add();
+  }
 
   PipelineActions act;
   program_->Process(ev.packet, ev.time, ev.source, act);
@@ -35,12 +57,16 @@ void Switch::Dispatch(Event ev) {
                  PacketSource::kRecirculation, std::move(p)});
   }
   if (to_controller_) {
+    obs_to_controller_->Add(act.to_controller.size());
     for (const Packet& p : act.to_controller) {
       to_controller_(p, ev.time + timings_.to_controller_latency);
     }
   }
   if (!act.drop && forward_) {
+    obs_forwarded_->Add();
     forward_(ev.packet, ev.time + timings_.pipeline_latency);
+  } else if (act.drop) {
+    obs_dropped_->Add();
   }
 }
 

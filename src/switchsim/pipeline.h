@@ -23,6 +23,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/packet.h"
+#include "src/obs/obs.h"
 #include "src/switchsim/register_array.h"
 #include "src/switchsim/resources.h"
 
@@ -136,6 +137,14 @@ class Switch {
   std::uint64_t next_seq_ = 0;
   std::uint64_t total_passes_ = 0;
   std::uint64_t recirc_passes_ = 0;
+
+  // Registry-backed pass/egress counters (docs/observability.md); shared
+  // across all Switch instances by name.
+  obs::Counter* obs_passes_;
+  obs::Counter* obs_recirc_passes_;
+  obs::Counter* obs_to_controller_;
+  obs::Counter* obs_forwarded_;
+  obs::Counter* obs_dropped_;
 };
 
 }  // namespace ow

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "src/common/types.h"
+#include "src/obs/obs.h"
 #include "src/switchsim/register_array.h"
 
 namespace ow {
@@ -27,7 +28,11 @@ struct SwitchOsTimings {
 class SwitchOsDriver {
  public:
   explicit SwitchOsDriver(SwitchOsTimings timings = {})
-      : timings_(timings) {}
+      : timings_(timings),
+        obs_entries_read_(
+            &obs::Global().GetCounter("switch_os.entries_read")),
+        obs_entries_reset_(
+            &obs::Global().GetCounter("switch_os.entries_reset")) {}
 
   /// Read all entries of `reg` into `out` (appended). Sequential: the OS
   /// cannot parallelize register access (Exp#8's linear scaling).
@@ -49,6 +54,9 @@ class SwitchOsDriver {
 
  private:
   SwitchOsTimings timings_;
+  // Registry-backed driver-path counters (docs/observability.md).
+  obs::Counter* obs_entries_read_;
+  obs::Counter* obs_entries_reset_;
 };
 
 }  // namespace ow

@@ -190,6 +190,34 @@ TEST(Metrics, EmptySetsArePerfect) {
   EXPECT_DOUBLE_EQ(pr.recall, 1.0);
 }
 
+// Pins the empty-set convention documented on ComputePrecisionRecall for
+// all four empty/non-empty combinations (the empty-report arm used to be a
+// dead ternary that returned 1.0 either way).
+TEST(Metrics, PrecisionRecallEmptyConventions) {
+  const FlowSet some{FlowKey(FlowKeyKind::kSrcIp, FiveTuple{1, 0, 0, 0, 0})};
+
+  // Empty report, non-empty truth: nothing claimed falsely, everything
+  // missed.
+  auto pr = ComputePrecisionRecall({}, some);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.F1(), 0.0);
+
+  // Non-empty report, empty truth: every claim false, nothing to find.
+  pr = ComputePrecisionRecall(some, {});
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+
+  // Both empty: perfect. Both non-empty and equal: perfect.
+  pr = ComputePrecisionRecall({}, {});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  pr = ComputePrecisionRecall(some, some);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_EQ(pr.true_positives, 1u);
+}
+
 TEST(Metrics, AverageRelativeError) {
   FiveTuple t1{1, 0, 0, 0, 0}, t2{2, 0, 0, 0, 0};
   FlowCounts truth{{FlowKey(FlowKeyKind::kSrcIp, t1), 100},

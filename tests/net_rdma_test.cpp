@@ -41,6 +41,65 @@ TEST(Link, SpikesAddConfiguredDelay) {
   EXPECT_EQ(link.spiked(), 1u);
 }
 
+// Per-feature RNG streams (loss/jitter/spike) must stay packet-aligned when
+// a feature is toggled: turning loss on must not perturb the jitter or
+// spike schedule of the packets that survive.
+TEST(Link, LossTogglingDoesNotPerturbDelaySchedule) {
+  const LinkParams base{.latency = 1000,
+                        .jitter = 400,
+                        .spike_rate = 0.05,
+                        .spike_extra = 7000};
+  auto run = [&](double loss) {
+    std::vector<std::pair<std::uint32_t, Nanos>> arrivals;
+    LinkParams params = base;
+    params.loss_rate = loss;
+    Link link(params,
+              [&](Packet p, Nanos t) { arrivals.emplace_back(p.ft.src_ip, t); },
+              /*seed=*/1234);
+    for (std::uint32_t i = 0; i < 4000; ++i) {
+      Packet p;
+      p.ft.src_ip = i;  // stamp the index to identify survivors
+      link.Transmit(p, 0);
+    }
+    return arrivals;
+  };
+
+  const auto lossless = run(0.0);
+  ASSERT_EQ(lossless.size(), 4000u);
+  const auto lossy = run(0.25);
+  ASSERT_FALSE(lossy.empty());
+  EXPECT_LT(lossy.size(), lossless.size());
+  for (const auto& [idx, t] : lossy) {
+    EXPECT_EQ(t, lossless[idx].second) << "packet " << idx;
+  }
+}
+
+TEST(Link, SpikeTogglingShiftsOnlySpikedPackets) {
+  const LinkParams base{.latency = 1000, .jitter = 400, .spike_extra = 7000};
+  auto run = [&](double spike_rate) {
+    std::vector<Nanos> arrivals;
+    LinkParams params = base;
+    params.spike_rate = spike_rate;
+    Link link(params, [&](Packet, Nanos t) { arrivals.push_back(t); },
+              /*seed=*/99);
+    for (int i = 0; i < 2000; ++i) link.Transmit(Packet{}, 0);
+    return arrivals;
+  };
+
+  const auto calm = run(0.0);
+  const auto spiky = run(0.1);
+  ASSERT_EQ(calm.size(), spiky.size());
+  std::size_t spiked = 0;
+  for (std::size_t i = 0; i < calm.size(); ++i) {
+    // Same jitter draw either way; spiking adds exactly spike_extra.
+    if (spiky[i] != calm[i]) {
+      EXPECT_EQ(spiky[i], calm[i] + base.spike_extra) << "packet " << i;
+      ++spiked;
+    }
+  }
+  EXPECT_GT(spiked, 0u);
+}
+
 // Program that stamps its switch id into the packet seq (to observe path).
 class StampProgram : public SwitchProgram {
  public:

@@ -9,16 +9,22 @@
 //   owtrace csv <trace.owtr> <out.csv> | owtrace fromcsv <in.csv> <out.owtr>
 //       Convert between the binary format and CSV for external tooling.
 //
+// Every command accepts `--obs-out=<prefix>`: spans are traced for the
+// command body and <prefix>.stats.json + <prefix>.trace.json are written at
+// exit (docs/observability.md).
+//
 // Useful for caching a deterministic workload across bench runs and for
 // feeding identical traffic to external tools.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/common/metrics.h"
+#include "src/obs/obs.h"
 #include "src/trace/generator.h"
 #include "src/trace/trace_io.h"
 
@@ -100,18 +106,23 @@ int Info(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: owtrace <generate|info> ...\n");
-    return 2;
+namespace {
+
+int Dispatch(int argc, char** argv) {
+  if (std::strcmp(argv[1], "generate") == 0) {
+    obs::ScopedSpan span(obs::Global(), "owtrace.generate");
+    return Generate(argc, argv);
   }
-  if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
-  if (std::strcmp(argv[1], "info") == 0) return Info(argc, argv);
+  if (std::strcmp(argv[1], "info") == 0) {
+    obs::ScopedSpan span(obs::Global(), "owtrace.info");
+    return Info(argc, argv);
+  }
   if (std::strcmp(argv[1], "csv") == 0) {
     if (argc < 4) {
       std::fprintf(stderr, "usage: owtrace csv <trace.owtr> <out.csv>\n");
       return 2;
     }
+    obs::ScopedSpan span(obs::Global(), "owtrace.csv");
     ExportTraceCsv(LoadTrace(argv[2]), argv[3]);
     std::printf("wrote %s\n", argv[3]);
     return 0;
@@ -122,10 +133,42 @@ int main(int argc, char** argv) {
                    "usage: owtrace fromcsv <in.csv> <out.owtr>\n");
       return 2;
     }
+    obs::ScopedSpan span(obs::Global(), "owtrace.fromcsv");
     SaveTrace(ImportTraceCsv(argv[2]), argv[3]);
     std::printf("wrote %s\n", argv[3]);
     return 0;
   }
   std::fprintf(stderr, "owtrace: unknown command '%s'\n", argv[1]);
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off --obs-out=<prefix> (position-independent) before dispatching.
+  std::string obs_out;
+  int n = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--obs-out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      obs_out = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[n++] = argv[i];
+    }
+  }
+  argc = n;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: owtrace <generate|info|csv|fromcsv> ... "
+                 "[--obs-out=<prefix>]\n");
+    return 2;
+  }
+  if (!obs_out.empty()) obs::Global().SetTracing(true);
+  const int rc = Dispatch(argc, argv);
+  if (!obs_out.empty() && !obs::Global().DumpToFiles(obs_out)) {
+    std::fprintf(stderr, "failed to write obs dump to %s.*\n",
+                 obs_out.c_str());
+    return rc ? rc : 1;
+  }
+  return rc;
 }
