@@ -8,7 +8,6 @@
 // two switches and decode as phantom losses, collapsing precision as D
 // grows (2 us .. 512 us sweep).
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <memory>
 #include <set>
@@ -81,10 +80,13 @@ Outcome RunScenario(bool consistent, Nanos deviation, std::uint64_t seed) {
   up->SetProgram(prog_up);
   down->SetProgram(prog_down);
 
-  // Custom link delivery so we know exactly which packets arrived.
+  // Custom link delivery so we know exactly which packets arrived. Keyed by
+  // the canonical FlowKey encoding — NOT the raw FiveTuple bytes, whose
+  // padding is indeterminate and would poison the hash.
   std::set<std::pair<std::uint64_t, std::uint32_t>> delivered;
   auto id_of = [](const Packet& p) {
-    return std::make_pair(HashValue(p.ft, 0x1D0Full), p.seq);
+    return std::make_pair(p.Key(FlowKeyKind::kFiveTuple).Hash(0x1D0Full),
+                          p.seq);
   };
   Link* link = net.ConnectToSink(
       up, {.latency = 20 * kMicro, .jitter = 10 * kMicro, .loss_rate = 0.001},
@@ -108,17 +110,10 @@ Outcome RunScenario(bool consistent, Nanos deviation, std::uint64_t seed) {
       ++out.reported;
       // A decoded id is a real loss only if the packet never reached the
       // downstream switch; otherwise it was binned into a different
-      // sub-window there (a phantom). Rebuild the five-tuple from the key
-      // bytes the IBF preserved to recompute the delivery id.
-      FiveTuple ft{};
-      const auto kb = id.key.bytes();
-      std::memcpy(&ft.src_ip, kb.data() + 0, 4);
-      std::memcpy(&ft.dst_ip, kb.data() + 4, 4);
-      std::memcpy(&ft.src_port, kb.data() + 8, 2);
-      std::memcpy(&ft.dst_port, kb.data() + 10, 2);
-      ft.proto = kb[12];
+      // sub-window there (a phantom). The IBF preserved the canonical
+      // FlowKey, so the delivery id recomputes directly from it.
       const bool arrived =
-          delivered.contains({HashValue(ft, 0x1D0Full), id.seq});
+          delivered.contains({id.key.Hash(0x1D0Full), id.seq});
       if (!arrived) ++out.true_hits;
     }
   }

@@ -1,6 +1,9 @@
 #include "bench/harness.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "src/obs/obs.h"
 
@@ -21,6 +24,56 @@ std::optional<std::string> ObsOutFromArgs(int argc, char** argv) {
 
 bool DumpObs(const std::string& prefix) {
   return obs::Global().DumpToFiles(prefix);
+}
+
+bool WriteThroughputJson(const std::string& path, const std::string& bench,
+                         const std::string& trace_desc, double min_time_sec,
+                         const std::string& item_name,
+                         const std::vector<BenchThroughputRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", bench.c_str());
+  std::fprintf(f, "  \"trace\": %s,\n", trace_desc.c_str());
+  std::fprintf(f, "  \"min_time_sec\": %.3f,\n", min_time_sec);
+  std::fprintf(f, "  \"host_cpus\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchThroughputRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"%ss\": %llu, \"rounds\": %d, "
+                 "\"ns_per_%s\": %.1f, \"%ss_per_sec\": %.0f}%s\n",
+                 r.workload.c_str(), item_name.c_str(),
+                 static_cast<unsigned long long>(r.items), r.rounds,
+                 item_name.c_str(), r.ns_per_item, item_name.c_str(),
+                 r.items_per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+double MinTimeFromArgs(int argc, char** argv, double def) {
+  constexpr const char* kFlag = "--min-time=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      const double v = std::atof(argv[i] + std::strlen(kFlag));
+      if (v > 0) return v;
+    }
+  }
+  return def;
+}
+
+std::string OutPathFromArgs(int argc, char** argv, const std::string& def) {
+  constexpr const char* kFlag = "--out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0 &&
+        argv[i][std::strlen(kFlag)] != '\0') {
+      return argv[i] + std::strlen(kFlag);
+    }
+  }
+  return def;
 }
 
 Trace MakeEvalTrace(std::uint64_t seed, Nanos duration, double pps,

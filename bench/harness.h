@@ -74,4 +74,32 @@ std::optional<std::string> ObsOutFromArgs(int argc, char** argv);
 /// either file could not be written.
 bool DumpObs(const std::string& prefix);
 
+/// BENCH_*.json emission (schema family shared by perf_merge and
+/// perf_pipeline: a "bench" tag, a "trace" descriptor, host_cpus and a
+/// "results" array of per-workload rows) --------------------------------
+
+struct BenchThroughputRow {
+  std::string workload;
+  std::uint64_t items = 0;       ///< items (packets/records) per round
+  int rounds = 0;
+  double ns_per_item = 0;
+  double items_per_sec = 0;
+};
+
+/// Write rows as `{"bench": <bench>, "trace": {...<trace_desc>...},
+/// "min_time_sec": ..., "host_cpus": ..., "results": [...]}` with the row
+/// fields named `ns_per_<item_name>` / `<item_name>s_per_sec`. Returns
+/// false if the file could not be written.
+bool WriteThroughputJson(const std::string& path, const std::string& bench,
+                         const std::string& trace_desc, double min_time_sec,
+                         const std::string& item_name,
+                         const std::vector<BenchThroughputRow>& rows);
+
+/// `--min-time=<seconds>` flag (perf smoke runs pass a small value);
+/// returns `def` when absent or malformed.
+double MinTimeFromArgs(int argc, char** argv, double def);
+
+/// `--out=<path>` flag; returns `def` when absent.
+std::string OutPathFromArgs(int argc, char** argv, const std::string& def);
+
 }  // namespace ow::bench

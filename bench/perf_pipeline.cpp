@@ -3,11 +3,20 @@
 // Not a paper experiment — this measures THIS repository's data-plane model
 // so users can size their runs: packets/second through OmniWindowProgram
 // with a Sonata-style count query, a distinct-signature query, an MV-Sketch
-// app and FlowRadar, plus the bare pipeline dispatch cost.
-#include <benchmark/benchmark.h>
-
+// app and FlowRadar. Results go to BENCH_pipeline.json (override with
+// --out=<path>) in the same schema family as BENCH_merge.json; --min-time=N
+// bounds the measured seconds per workload (CI smoke runs pass a small
+// value). Timing covers RunBatch over the preloaded trace only — switch
+// construction and enqueueing are excluded, as in the historical
+// google-benchmark version.
+#include <chrono>
+#include <cstdio>
+#include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench/harness.h"
 #include "src/core/data_plane.h"
 #include "src/sketch/mv_sketch.h"
 #include "src/telemetry/flow_radar.h"
@@ -18,6 +27,7 @@
 namespace {
 
 using namespace ow;
+using namespace ow::bench;
 
 Trace& TestTrace() {
   static Trace trace = [] {
@@ -32,61 +42,92 @@ Trace& TestTrace() {
   return trace;
 }
 
-void DriveTrace(benchmark::State& state, AdapterPtr app) {
+/// One timed round: build a fresh switch + program, preload the trace, and
+/// measure draining it. Returns elapsed nanoseconds of the drain only.
+double TimedRound(const std::function<AdapterPtr()>& make_app) {
   const Trace& trace = TestTrace();
   OmniWindowConfig cfg;
   cfg.signal.kind = SignalKind::kTimeout;
   cfg.signal.subwindow_size = 100 * kMilli;
-  for (auto _ : state) {
-    state.PauseTiming();
-    Switch sw(0);
-    auto program = std::make_shared<OmniWindowProgram>(cfg, app);
-    sw.SetProgram(program);
-    sw.SetControllerHandler([](const Packet&, Nanos) {});
-    for (const Packet& p : trace.packets) sw.EnqueueFromWire(p, p.ts);
-    state.ResumeTiming();
-    sw.RunUntilIdle(trace.Duration() + kSecond);
-    benchmark::DoNotOptimize(program->stats().packets_measured);
+  Switch sw(0);
+  auto program = std::make_shared<OmniWindowProgram>(cfg, make_app());
+  sw.SetProgram(program);
+  sw.SetControllerHandler([](const Packet&, Nanos) {});
+  for (const Packet& p : trace.packets) sw.EnqueueFromWire(p, p.ts);
+  const auto t0 = std::chrono::steady_clock::now();
+  sw.RunBatch(trace.Duration() + kSecond);
+  const auto t1 = std::chrono::steady_clock::now();
+  // Keep the result alive so the drain cannot be optimized away.
+  volatile std::uint64_t sink = program->stats().packets_measured;
+  (void)sink;
+  return double(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+BenchThroughputRow RunWorkload(const std::string& name, double min_time_sec,
+                               const std::function<AdapterPtr()>& make_app) {
+  TimedRound(make_app);  // warm-up (page-in, allocator steady state)
+  double total_ns = 0;
+  int rounds = 0;
+  while (total_ns < min_time_sec * 1e9 || rounds < 2) {
+    total_ns += TimedRound(make_app);
+    ++rounds;
   }
-  state.SetItemsProcessed(std::int64_t(state.iterations()) *
-                          std::int64_t(trace.packets.size()));
+  BenchThroughputRow row;
+  row.workload = name;
+  row.items = TestTrace().packets.size();
+  row.rounds = rounds;
+  row.ns_per_item = total_ns / (double(rounds) * double(row.items));
+  row.items_per_sec = 1e9 / row.ns_per_item;
+  std::printf("  %-16s %8.1f ns/packet  %8.2f Mpkt/s  (%d rounds)\n",
+              name.c_str(), row.ns_per_item, row.items_per_sec / 1e6, rounds);
+  return row;
 }
-
-void BM_CountQuery(benchmark::State& state) {
-  const QueryDef def = QueryBuilder("count")
-                           .KeyBy(FlowKeyKind::kDstIp)
-                           .Count()
-                           .Threshold(100)
-                           .Build();
-  DriveTrace(state, std::make_shared<QueryAdapter>(def, 1 << 14));
-}
-
-void BM_DistinctQuery(benchmark::State& state) {
-  const QueryDef def = QueryBuilder("distinct")
-                           .KeyBy(FlowKeyKind::kDstIp)
-                           .Distinct(elements::SrcIp)
-                           .Threshold(100)
-                           .Build();
-  DriveTrace(state, std::make_shared<QueryAdapter>(def, 1 << 14));
-}
-
-void BM_MvSketchApp(benchmark::State& state) {
-  DriveTrace(state, std::make_shared<FrequencySketchApp>(
-                        "mv", FlowKeyKind::kFiveTuple,
-                        FrequencyValue::kPackets, [] {
-                          return std::make_unique<MvSketch>(4, 4096);
-                        }));
-}
-
-void BM_FlowRadarApp(benchmark::State& state) {
-  DriveTrace(state, std::make_shared<FlowRadarApp>(3, 8192));
-}
-
-BENCHMARK(BM_CountQuery)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_DistinctQuery)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_MvSketchApp)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_FlowRadarApp)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string out = OutPathFromArgs(argc, argv, "BENCH_pipeline.json");
+  const double min_time = MinTimeFromArgs(argc, argv, 2.0);
+  const Trace& trace = TestTrace();
+  std::printf("perf_pipeline: %zu packets, min-time %.2fs per workload\n",
+              trace.packets.size(), min_time);
+
+  std::vector<BenchThroughputRow> rows;
+  rows.push_back(RunWorkload("count_query", min_time, [] {
+    const QueryDef def = QueryBuilder("count")
+                             .KeyBy(FlowKeyKind::kDstIp)
+                             .Count()
+                             .Threshold(100)
+                             .Build();
+    return std::make_shared<QueryAdapter>(def, 1 << 14);
+  }));
+  rows.push_back(RunWorkload("distinct_query", min_time, [] {
+    const QueryDef def = QueryBuilder("distinct")
+                             .KeyBy(FlowKeyKind::kDstIp)
+                             .Distinct(elements::SrcIp)
+                             .Threshold(100)
+                             .Build();
+    return std::make_shared<QueryAdapter>(def, 1 << 14);
+  }));
+  rows.push_back(RunWorkload("mv_sketch", min_time, [] {
+    return std::make_shared<FrequencySketchApp>(
+        "mv", FlowKeyKind::kFiveTuple, FrequencyValue::kPackets,
+        [] { return std::make_unique<MvSketch>(4, 4096); });
+  }));
+  rows.push_back(RunWorkload("flow_radar", min_time, [] {
+    return std::make_shared<FlowRadarApp>(3, 8192);
+  }));
+
+  char trace_desc[128];
+  std::snprintf(trace_desc, sizeof(trace_desc),
+                "{\"name\": \"GenerateBackground(77)\", \"packets\": %zu}",
+                trace.packets.size());
+  if (!WriteThroughputJson(out, "switch_pipeline", trace_desc, min_time,
+                           "packet", rows)) {
+    std::perror("perf_pipeline: fopen");
+    return 1;
+  }
+  std::printf("  wrote %s\n", out.c_str());
+  return 0;
+}

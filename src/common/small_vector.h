@@ -1,0 +1,130 @@
+// Small-buffer vector for hot-path scratch storage.
+//
+// The switch event engine hands every pipeline pass a reusable
+// PipelineActions scratch; its action lists must not heap-allocate on the
+// ordinary forwarding path (most passes request zero or one action).
+// SmallVector stores up to `N` elements inline and spills to the heap only
+// beyond that; clear() destroys elements but keeps whatever capacity was
+// reached, so a reused scratch reaches a zero-allocation steady state even
+// when a burst once exceeded the inline budget.
+//
+// Deliberately minimal: the subset of the std::vector interface the
+// pipeline needs (push_back / emplace_back, range-for, clear, indexing).
+// Move-only — the action lists are drained in place, never copied.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ow {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "SmallVector needs a nonzero inline capacity");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() noexcept : data_(InlinePtr()), size_(0), capacity_(N) {}
+
+  SmallVector(SmallVector&& other) noexcept : SmallVector() {
+    if (other.data_ != other.InlinePtr()) {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.InlinePtr();
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      }
+      size_ = other.size_;
+      other.clear();
+    }
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      this->~SmallVector();
+      ::new (static_cast<void*>(this)) SmallVector(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallVector(const SmallVector&) = delete;
+  SmallVector& operator=(const SmallVector&) = delete;
+
+  ~SmallVector() {
+    clear();
+    if (data_ != InlinePtr()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+  }
+
+  void push_back(const T& v) { ::new (Slot()) T(v); }
+  void push_back(T&& v) { ::new (Slot()) T(std::move(v)); }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    return *::new (Slot()) T(std::forward<Args>(args)...);
+  }
+
+  /// Destroys the elements; retains the current (inline or spilled)
+  /// capacity for reuse.
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  T& back() noexcept { return data_[size_ - 1]; }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool spilled() const noexcept { return data_ != InlinePtr(); }
+
+ private:
+  void* Slot() {
+    if (size_ == capacity_) Grow();
+    return static_cast<void*>(data_ + size_++);
+  }
+
+  void Grow() {
+    const std::size_t new_cap = capacity_ * 2;
+    T* fresh = static_cast<T*>(::operator new(
+        new_cap * sizeof(T), std::align_val_t(alignof(T))));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (data_ != InlinePtr()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  T* InlinePtr() noexcept { return reinterpret_cast<T*>(inline_); }
+  const T* InlinePtr() const noexcept {
+    return reinterpret_cast<const T*>(inline_);
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_;
+  std::size_t size_;
+  std::size_t capacity_;
+};
+
+}  // namespace ow

@@ -12,16 +12,24 @@ KeyValueTable::KeyValueTable(std::size_t capacity) {
   mask_ = capacity - 1;
 }
 
+std::uint64_t KeyValueTable::HashOf(const FlowKey& key) {
+  return key.Hash(0x7AB1E0FFull);
+}
+
 std::size_t KeyValueTable::Probe(const FlowKey& key) const {
-  return static_cast<std::size_t>(key.Hash(0x7AB1E0FFull)) & mask_;
+  return static_cast<std::size_t>(HashOf(key)) & mask_;
 }
 
 KvSlot* KeyValueTable::Find(const FlowKey& key) {
-  std::size_t i = Probe(key);
+  const std::uint64_t h = HashOf(key);
+  const std::uint32_t tag = static_cast<std::uint32_t>(h >> 32);
+  std::size_t i = static_cast<std::size_t>(h) & mask_;
   for (std::size_t n = 0; n <= mask_; ++n, i = (i + 1) & mask_) {
     KvSlot& s = slots_[i];
     if (s.state == KvSlot::State::kEmpty) return nullptr;
-    if (s.state == KvSlot::State::kLive && s.key == key) return &s;
+    if (s.state == KvSlot::State::kLive && s.hash_tag == tag && s.key == key) {
+      return &s;
+    }
   }
   return nullptr;
 }
@@ -36,11 +44,13 @@ KvSlot& KeyValueTable::FindOrInsert(const FlowKey& key, bool& created) {
 }
 
 KvSlot* KeyValueTable::TryFindOrInsert(const FlowKey& key, bool& created) {
-  std::size_t i = Probe(key);
+  const std::uint64_t h = HashOf(key);
+  const std::uint32_t tag = static_cast<std::uint32_t>(h >> 32);
+  std::size_t i = static_cast<std::size_t>(h) & mask_;
   KvSlot* first_tombstone = nullptr;
   for (std::size_t n = 0; n <= mask_; ++n, i = (i + 1) & mask_) {
     KvSlot& s = slots_[i];
-    if (s.state == KvSlot::State::kLive && s.key == key) {
+    if (s.state == KvSlot::State::kLive && s.hash_tag == tag && s.key == key) {
       created = false;
       return &s;
     }
@@ -56,6 +66,7 @@ KvSlot* KeyValueTable::TryFindOrInsert(const FlowKey& key, bool& created) {
       if (!first_tombstone) ++used_;
       target = KvSlot{};
       target.key = key;
+      target.hash_tag = tag;
       target.state = KvSlot::State::kLive;
       ++live_;
       created = true;

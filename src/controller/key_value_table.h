@@ -23,6 +23,12 @@ struct KvSlot {
   std::array<std::uint64_t, 4> attrs{};
   std::uint8_t num_attrs = 0;
   std::uint32_t last_subwindow = 0;  ///< most recent sub-window contributing
+  /// Upper 32 bits of the probe hash, cached at insert. Probing compares
+  /// this tag before the full FlowKey — a probe chain walk touches one word
+  /// per mismatched slot instead of the whole key. The tag bits are disjoint
+  /// from the index bits (low bits & mask), so they discriminate within a
+  /// chain.
+  std::uint32_t hash_tag = 0;
   enum class State : std::uint8_t { kEmpty, kLive, kTombstone };
   State state = State::kEmpty;
 };
@@ -85,6 +91,7 @@ class KeyValueTable {
   void ForEach(const std::function<void(const KvSlot&)>& fn) const;
 
  private:
+  static std::uint64_t HashOf(const FlowKey& key);
   std::size_t Probe(const FlowKey& key) const;
 
   std::vector<KvSlot> slots_;

@@ -66,6 +66,81 @@ void ApplyMerge(MergeKind kind, KvSlot& slot, bool created,
 #define OW_NO_VECTORIZE
 #endif
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define OW_HAVE_AVX2_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace {
+
+#ifdef OW_HAVE_AVX2_KERNELS
+
+/// Runtime feature gate, resolved once per process.
+bool HasAvx2() noexcept {
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+}
+
+__attribute__((target("avx2"))) void SumAvx2(std::uint64_t* a,
+                                             const std::uint64_t* v,
+                                             std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_add_epi64(va, vv));
+  }
+  for (; i < n; ++i) a[i] += v[i];
+}
+
+__attribute__((target("avx2"))) void MaxAvx2(std::uint64_t* a,
+                                             const std::uint64_t* v,
+                                             std::size_t n) {
+  // AVX2 has no unsigned 64-bit compare; bias both operands by 2^63 and use
+  // the signed compare (monotone under the shift), then blend the winners.
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i v_gt_a = _mm256_cmpgt_epi64(_mm256_xor_si256(vv, bias),
+                                              _mm256_xor_si256(va, bias));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_blendv_epi8(va, vv, v_gt_a));
+  }
+  for (; i < n; ++i) {
+    if (v[i] > a[i]) a[i] = v[i];
+  }
+}
+
+#endif  // OW_HAVE_AVX2_KERNELS
+
+/// Portable fallback, written for the auto-vectorizer (non-x86 hosts, and
+/// x86 CPUs without AVX2).
+void SumPortable(std::uint64_t* __restrict a, const std::uint64_t* __restrict v,
+                 std::size_t n) {
+#pragma GCC ivdep
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] += v[i];
+  }
+}
+
+void MaxPortable(std::uint64_t* __restrict a, const std::uint64_t* __restrict v,
+                 std::size_t n) {
+#pragma GCC ivdep
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = a[i] > v[i] ? a[i] : v[i];
+  }
+}
+
+}  // namespace
+
 OW_NO_VECTORIZE
 void BatchSumScalar(std::span<std::uint64_t> acc,
                     std::span<const std::uint64_t> vals) {
@@ -82,13 +157,13 @@ void BatchSumSimd(std::span<std::uint64_t> acc,
   if (acc.size() != vals.size()) {
     throw std::invalid_argument("BatchSumSimd: size mismatch");
   }
-  std::uint64_t* __restrict a = acc.data();
-  const std::uint64_t* __restrict v = vals.data();
-  const std::size_t n = acc.size();
-#pragma GCC ivdep
-  for (std::size_t i = 0; i < n; ++i) {
-    a[i] += v[i];
+#ifdef OW_HAVE_AVX2_KERNELS
+  if (HasAvx2()) {
+    SumAvx2(acc.data(), vals.data(), acc.size());
+    return;
   }
+#endif
+  SumPortable(acc.data(), vals.data(), acc.size());
 }
 
 OW_NO_VECTORIZE
@@ -107,13 +182,21 @@ void BatchMaxSimd(std::span<std::uint64_t> acc,
   if (acc.size() != vals.size()) {
     throw std::invalid_argument("BatchMaxSimd: size mismatch");
   }
-  std::uint64_t* __restrict a = acc.data();
-  const std::uint64_t* __restrict v = vals.data();
-  const std::size_t n = acc.size();
-#pragma GCC ivdep
-  for (std::size_t i = 0; i < n; ++i) {
-    a[i] = a[i] > v[i] ? a[i] : v[i];
+#ifdef OW_HAVE_AVX2_KERNELS
+  if (HasAvx2()) {
+    MaxAvx2(acc.data(), vals.data(), acc.size());
+    return;
   }
+#endif
+  MaxPortable(acc.data(), vals.data(), acc.size());
+}
+
+bool BatchKernelsUseAvx2() noexcept {
+#ifdef OW_HAVE_AVX2_KERNELS
+  return HasAvx2();
+#else
+  return false;
+#endif
 }
 
 }  // namespace ow

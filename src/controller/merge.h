@@ -10,8 +10,9 @@
 // the AFR abstraction exists to avoid).
 //
 // The batch kernels at the bottom are the Exp#7 subjects: the same sum/max
-// reduction written once as a defiantly scalar loop and once in a
-// vectorization-friendly form (standing in for the paper's AVX-512 path).
+// reduction written once as a defiantly scalar loop and once with explicit
+// AVX2 intrinsics (runtime-dispatched, standing in for the paper's AVX-512
+// path; hosts without AVX2 fall back to a vectorization-friendly loop).
 #pragma once
 
 #include <array>
@@ -52,7 +53,9 @@ using Signature256 = SpreadSignature;
 void BatchSumScalar(std::span<std::uint64_t> acc,
                     std::span<const std::uint64_t> vals);
 
-/// acc[i] += vals[i], written for the auto-vectorizer (SIMD stand-in).
+/// acc[i] += vals[i] with explicit AVX2 intrinsics when the host CPU has
+/// them (checked once at runtime); portable vectorizer-friendly loop
+/// otherwise.
 void BatchSumSimd(std::span<std::uint64_t> acc,
                   std::span<const std::uint64_t> vals);
 
@@ -60,8 +63,12 @@ void BatchSumSimd(std::span<std::uint64_t> acc,
 void BatchMaxScalar(std::span<std::uint64_t> acc,
                     std::span<const std::uint64_t> vals);
 
-/// acc[i] = max(acc[i], vals[i]), vectorization-friendly.
+/// acc[i] = max(acc[i], vals[i]); AVX2 (unsigned max via sign-bias compare)
+/// with runtime dispatch, portable loop otherwise.
 void BatchMaxSimd(std::span<std::uint64_t> acc,
                   std::span<const std::uint64_t> vals);
+
+/// True when the Simd kernels above resolve to the AVX2 path on this host.
+bool BatchKernelsUseAvx2() noexcept;
 
 }  // namespace ow

@@ -55,11 +55,11 @@ RunResult RunOmniWindow(const Trace& trace, AdapterPtr app, RunConfig cfg,
   sw.EnqueueFromWire(sentinel, sentinel.ts);
 
   const Nanos horizon = trace.Duration() + 10 * kSecond;
-  sw.RunUntilIdle(horizon);
+  sw.RunBatch(horizon);
   // Final flush: chase losses (bounded retransmission rounds), then
   // force-finalize whatever remains.
   while (!controller.Flush(trace.Duration())) {
-    sw.RunUntilIdle(horizon);
+    sw.RunBatch(horizon);
   }
 
   result.data_plane = program->stats();

@@ -46,19 +46,31 @@ Link* Network::ConnectToSink(Switch* a, LinkParams params, Link::Deliver sink,
 Nanos Network::RunUntilQuiescent(Nanos max_time) {
   Nanos last = -1;
   while (true) {
+    // Pick the switch with the earliest pending event, and the next-earliest
+    // event time among the OTHER switches. The earliest switch may batch all
+    // the way to that bound: links only ever schedule downstream arrivals at
+    // or after the causing event, so no other device can create work for it
+    // before `bound`, and per-switch event order — the only order that
+    // matters, device state is per-switch — is untouched.
     Switch* earliest = nullptr;
     Nanos t = -1;
+    Nanos others = -1;
     for (auto& node : nodes_) {
       const Nanos nt = node->sw->NextEventTime();
-      if (nt >= 0 && nt <= max_time && (t < 0 || nt < t)) {
+      if (nt < 0 || nt > max_time) continue;
+      if (t < 0 || nt < t) {
+        others = t;
         t = nt;
         earliest = node->sw.get();
+      } else if (others < 0 || nt < others) {
+        others = nt;
       }
     }
     if (!earliest) break;
-    earliest->RunUntil(t);
-    clock_.AdvanceTo(t);
-    last = t;
+    const Nanos bound = others < 0 ? max_time : others;
+    earliest->RunBatch(bound);
+    if (earliest->last_event_time() > last) last = earliest->last_event_time();
+    clock_.AdvanceTo(earliest->last_event_time());
   }
   return last;
 }

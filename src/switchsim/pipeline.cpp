@@ -1,6 +1,8 @@
 #include "src/switchsim/pipeline.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace ow {
 
@@ -15,22 +17,66 @@ Switch::Switch(int id, SwitchTimings timings)
       obs_dropped_(&obs::Global().GetCounter("switch.dropped_in_pipeline")) {}
 
 void Switch::SetProgram(std::shared_ptr<SwitchProgram> program) {
+  for (RegisterArray* r : registers_) r->BindPassEpoch(nullptr);
   program_ = std::move(program);
   registers_ = program_ ? program_->Registers() : std::vector<RegisterArray*>{};
+  for (RegisterArray* r : registers_) r->BindPassEpoch(&pass_epoch_);
 }
 
 void Switch::EnqueueFromWire(Packet p, Nanos arrival) {
-  queue_.push({arrival, next_seq_++, PacketSource::kWire, std::move(p)});
+  Event ev{arrival, next_seq_++, PacketSource::kWire, std::move(p)};
+  // In-order arrivals ride the FIFO lane; a late arrival (links with jitter
+  // can reorder) falls back to the heap so the (time, seq) total order is
+  // preserved exactly.
+  if (fifo_enabled_ && (FifoEmpty() || arrival >= FifoTailTime())) {
+    FifoPush(std::move(ev));
+  } else {
+    HeapPush(std::move(ev));
+  }
 }
 
 void Switch::EnqueueFromController(Packet p, Nanos arrival) {
-  queue_.push({arrival, next_seq_++, PacketSource::kController, std::move(p)});
+  HeapPush({arrival, next_seq_++, PacketSource::kController, std::move(p)});
 }
 
-void Switch::Dispatch(Event ev) {
-  if (!program_) {
-    throw std::logic_error("Switch " + std::to_string(id_) + ": no program");
+void Switch::FifoPush(Event ev) {
+  if (fifo_size_ == fifo_.size()) GrowFifo();
+  fifo_[(fifo_head_ + fifo_size_) & (fifo_.size() - 1)] = std::move(ev);
+  ++fifo_size_;
+}
+
+Switch::Event Switch::FifoPop() noexcept {
+  Event ev = std::move(fifo_[fifo_head_]);
+  fifo_head_ = (fifo_head_ + 1) & (fifo_.size() - 1);
+  --fifo_size_;
+  return ev;
+}
+
+void Switch::GrowFifo() {
+  // Ring indexing masks with size-1, so capacity must stay a power of two.
+  const std::size_t new_cap = std::max<std::size_t>(64, fifo_.size() * 2);
+  std::vector<Event> bigger(new_cap);
+  const std::size_t mask = fifo_.empty() ? 0 : fifo_.size() - 1;
+  for (std::size_t i = 0; i < fifo_size_; ++i) {
+    bigger[i] = std::move(fifo_[(fifo_head_ + i) & mask]);
   }
+  fifo_ = std::move(bigger);
+  fifo_head_ = 0;
+}
+
+void Switch::HeapPush(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+}
+
+Switch::Event Switch::HeapPop() noexcept {
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+void Switch::DispatchEvent(Event& ev, PassCounts& counts) {
   // One span per pipeline pass (wire, injected and recirculated alike):
   // in the Chrome trace, collection enumeration shows up as the burst of
   // recirculation passes between the trigger and the AFR reports. Costs a
@@ -41,56 +87,101 @@ void Switch::Dispatch(Event ev) {
                            : (ev.source == PacketSource::kController
                                   ? "switch.pass.injected"
                                   : "switch.pass.wire"));
-  for (RegisterArray* r : registers_) r->BeginPass();
+  ++pass_epoch_;  // arms every bound register array for this pass
+  last_dispatched_ = ev.time;
   ++total_passes_;
-  obs_passes_->Add();
+  ++counts.passes;
   if (ev.source == PacketSource::kRecirculation) {
     ++recirc_passes_;
-    obs_recirc_passes_->Add();
+    ++counts.recirc;
   }
 
-  PipelineActions act;
-  program_->Process(ev.packet, ev.time, ev.source, act);
+  scratch_.Clear();
+  program_->Process(ev.packet, ev.time, ev.source, scratch_);
 
-  for (Packet& p : act.recirculate) {
-    queue_.push({ev.time + timings_.recirc_latency, next_seq_++,
-                 PacketSource::kRecirculation, std::move(p)});
+  for (Packet& p : scratch_.recirculate) {
+    HeapPush({ev.time + timings_.recirc_latency, next_seq_++,
+              PacketSource::kRecirculation, std::move(p)});
   }
-  if (to_controller_) {
-    obs_to_controller_->Add(act.to_controller.size());
-    for (const Packet& p : act.to_controller) {
+  if (to_controller_ && !scratch_.to_controller.empty()) {
+    counts.to_controller += scratch_.to_controller.size();
+    for (const Packet& p : scratch_.to_controller) {
       to_controller_(p, ev.time + timings_.to_controller_latency);
     }
   }
-  if (!act.drop && forward_) {
-    obs_forwarded_->Add();
+  if (!scratch_.drop && forward_) {
+    ++counts.forwarded;
     forward_(ev.packet, ev.time + timings_.pipeline_latency);
-  } else if (act.drop) {
-    obs_dropped_->Add();
+  } else if (scratch_.drop) {
+    ++counts.dropped;
   }
 }
 
-void Switch::RunUntil(Nanos t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    Event ev = queue_.top();
-    queue_.pop();
-    Dispatch(std::move(ev));
-  }
+void Switch::FlushCounts(const PassCounts& counts) noexcept {
+  if (counts.passes) obs_passes_->Add(counts.passes);
+  if (counts.recirc) obs_recirc_passes_->Add(counts.recirc);
+  if (counts.to_controller) obs_to_controller_->Add(counts.to_controller);
+  if (counts.forwarded) obs_forwarded_->Add(counts.forwarded);
+  if (counts.dropped) obs_dropped_->Add(counts.dropped);
 }
+
+std::size_t Switch::RunBatch(Nanos max_time, std::size_t max_events) {
+  if (!program_ && (!FifoEmpty() || !heap_.empty())) {
+    throw std::logic_error("Switch " + std::to_string(id_) + ": no program");
+  }
+  std::size_t processed = 0;
+  PassCounts counts;
+  // Counter deltas survive an exception out of Process (the historical
+  // engine updated the registry before each pass).
+  struct Flusher {
+    Switch* sw;
+    PassCounts* c;
+    ~Flusher() { sw->FlushCounts(*c); }
+  } flusher{this, &counts};
+
+  while (processed < max_events) {
+    // Fast lane: a run of in-order wire packets with nothing on the heap
+    // (the steady state between collection rounds) needs no lane
+    // comparison — pop, process, repeat.
+    while (!FifoEmpty() && heap_.empty() && processed < max_events) {
+      if (FifoFront().time > max_time) return processed;
+      Event ev = FifoPop();
+      DispatchEvent(ev, counts);
+      ++processed;
+    }
+    if (processed >= max_events) break;
+
+    const bool have_fifo = !FifoEmpty();
+    const bool have_heap = !heap_.empty();
+    if (!have_fifo && !have_heap) break;
+    bool use_fifo = have_fifo;
+    if (have_fifo && have_heap) {
+      const Event& f = FifoFront();
+      const Event& h = heap_.front();
+      use_fifo = f.time != h.time ? f.time < h.time : f.seq < h.seq;
+    }
+    const Nanos front_time = use_fifo ? FifoFront().time : heap_.front().time;
+    if (front_time > max_time) break;
+    Event ev = use_fifo ? FifoPop() : HeapPop();
+    DispatchEvent(ev, counts);
+    ++processed;
+  }
+  return processed;
+}
+
+void Switch::RunUntil(Nanos t) { RunBatch(t); }
 
 Nanos Switch::RunUntilIdle(Nanos max_time) {
-  Nanos last = -1;
-  while (!queue_.empty() && queue_.top().time <= max_time) {
-    Event ev = queue_.top();
-    queue_.pop();
-    last = ev.time;
-    Dispatch(std::move(ev));
-  }
-  return last;
+  return RunBatch(max_time) == 0 ? -1 : last_dispatched_;
 }
 
 Nanos Switch::NextEventTime() const {
-  return queue_.empty() ? -1 : queue_.top().time;
+  Nanos t = -1;
+  if (!FifoEmpty()) t = FifoFront().time;
+  if (!heap_.empty() && (t < 0 || heap_.front().time < t)) {
+    t = heap_.front().time;
+  }
+  return t;
 }
 
 }  // namespace ow

@@ -11,18 +11,29 @@
 //   * clone to CPU  — mirror a copy toward the controller port,
 //   * forward/drop  — normal egress.
 //
-// Before every pass the switch calls BeginPass() on each register array the
-// program declared, arming the one-SALU-access-per-pass check.
+// Event engine (docs/pipeline_performance.md): pending events live in two
+// lanes that together realize one total order by (time, seq). Wire packets
+// arriving in non-decreasing time order — the overwhelmingly common case,
+// traces are replayed chronologically — go to a FIFO ring with O(1)
+// push/pop; recirculations, controller injections and out-of-order wire
+// arrivals go to a binary heap. Dispatch pops whichever lane fronts the
+// smaller (time, seq), which reproduces the historical single
+// priority-queue order bit for bit. Events are moved, never copied; each
+// pass reuses a per-switch PipelineActions scratch whose action lists store
+// small bursts inline, so an ordinary forwarding pass performs zero heap
+// allocations. Register arrays are armed per pass by bumping one shared
+// epoch counter instead of touching every array (see register_array.h).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/packet.h"
+#include "src/common/small_vector.h"
 #include "src/obs/obs.h"
 #include "src/switchsim/register_array.h"
 #include "src/switchsim/resources.h"
@@ -36,11 +47,18 @@ enum class PacketSource : std::uint8_t {
   kRecirculation = 2,  ///< the recirculation port
 };
 
-/// Side effects one pipeline pass may request.
+/// Side effects one pipeline pass may request. The switch reuses one
+/// instance across passes; programs only ever append.
 struct PipelineActions {
   bool drop = false;
-  std::vector<Packet> recirculate;
-  std::vector<Packet> to_controller;
+  SmallVector<Packet, 2> recirculate;
+  SmallVector<Packet, 2> to_controller;
+
+  void Clear() noexcept {
+    drop = false;
+    recirculate.clear();
+    to_controller.clear();
+  }
 };
 
 /// The data-plane program (P4 stand-in). Implementations live in src/core.
@@ -53,8 +71,8 @@ class SwitchProgram {
   virtual void Process(Packet& p, Nanos now, PacketSource src,
                        PipelineActions& act) = 0;
 
-  /// Register arrays the program owns; the switch arms their per-pass access
-  /// check before every Process call.
+  /// Register arrays the program owns; the switch binds their per-pass
+  /// access check to its pass epoch when the program is installed.
   virtual std::vector<RegisterArray*> Registers() { return {}; }
 
   /// Charge this program's hardware usage to `ledger` (Exp#5).
@@ -78,6 +96,11 @@ class Switch {
 
   explicit Switch(int id, SwitchTimings timings = {});
 
+  // Register arrays hold a pointer to this switch's pass epoch; the switch
+  // must stay put.
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
   int id() const noexcept { return id_; }
   const SwitchTimings& timings() const noexcept { return timings_; }
 
@@ -93,6 +116,12 @@ class Switch {
     to_controller_ = std::move(handler);
   }
 
+  /// A/B switch for the FIFO wire lane (on by default). With the lane off,
+  /// every event goes through the heap — the historical engine. Results
+  /// must be identical either way (pipeline_fastpath_test).
+  void SetFifoLaneEnabled(bool enabled) noexcept { fifo_enabled_ = enabled; }
+  bool fifo_lane_enabled() const noexcept { return fifo_enabled_; }
+
   void EnqueueFromWire(Packet p, Nanos arrival);
   void EnqueueFromController(Packet p, Nanos arrival);
 
@@ -104,8 +133,19 @@ class Switch {
   /// time of the last processed event.
   Nanos RunUntilIdle(Nanos max_time);
 
+  /// Batched drain: process up to `max_events` events with time <=
+  /// `max_time`, favoring tight runs of same-lane events (no per-event lane
+  /// comparison while the heap is empty). Returns the number of events
+  /// processed. RunUntil / RunUntilIdle are thin wrappers over this.
+  std::size_t RunBatch(
+      Nanos max_time,
+      std::size_t max_events = std::numeric_limits<std::size_t>::max());
+
   /// Earliest pending event time, or -1 when idle.
   Nanos NextEventTime() const;
+
+  /// Time of the most recently dispatched event (-1 before any dispatch).
+  Nanos last_event_time() const noexcept { return last_dispatched_; }
 
   /// Total passes executed (normal + recirculated) — used by tests and by
   /// the recirculation-overhead accounting.
@@ -119,13 +159,38 @@ class Switch {
     PacketSource source;
     Packet packet;
   };
-  struct EventOrder {
+  /// min-heap comparator: `a` pops after `b`.
+  struct EventAfter {
     bool operator()(const Event& a, const Event& b) const {
       return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
 
-  void Dispatch(Event ev);
+  /// Obs-counter deltas accumulated per drain and flushed once (registry
+  /// counters are atomics; batching keeps them off the per-event path).
+  struct PassCounts {
+    std::uint64_t passes = 0;
+    std::uint64_t recirc = 0;
+    std::uint64_t to_controller = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  void DispatchEvent(Event& ev, PassCounts& counts);
+  void FlushCounts(const PassCounts& counts) noexcept;
+
+  // FIFO ring lane (power-of-two capacity).
+  bool FifoEmpty() const noexcept { return fifo_size_ == 0; }
+  const Event& FifoFront() const noexcept { return fifo_[fifo_head_]; }
+  Nanos FifoTailTime() const noexcept {
+    return fifo_[(fifo_head_ + fifo_size_ - 1) & (fifo_.size() - 1)].time;
+  }
+  void FifoPush(Event ev);
+  Event FifoPop() noexcept;
+  void GrowFifo();
+
+  void HeapPush(Event ev);
+  Event HeapPop() noexcept;
 
   int id_;
   SwitchTimings timings_;
@@ -133,10 +198,22 @@ class Switch {
   std::vector<RegisterArray*> registers_;
   PacketHandler forward_;
   PacketHandler to_controller_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+
+  std::vector<Event> fifo_;
+  std::size_t fifo_head_ = 0;
+  std::size_t fifo_size_ = 0;
+  std::vector<Event> heap_;
+  bool fifo_enabled_ = true;
+
   std::uint64_t next_seq_ = 0;
+  Nanos last_dispatched_ = -1;
   std::uint64_t total_passes_ = 0;
   std::uint64_t recirc_passes_ = 0;
+  /// Pass-epoch counter the program's register arrays are bound to;
+  /// incremented before every Process call (starts >0 so a freshly bound
+  /// array is accessible on the first pass).
+  std::uint64_t pass_epoch_ = 0;
+  PipelineActions scratch_;
 
   // Registry-backed pass/egress counters (docs/observability.md); shared
   // across all Switch instances by name.

@@ -11,18 +11,16 @@ RegisterArray::RegisterArray(std::string name, std::size_t entries,
   cells_.assign(entries, 0);
 }
 
-void RegisterArray::CheckAccess(std::size_t index) {
-  if (index >= cells_.size()) {
-    throw std::out_of_range("RegisterArray " + name_ + ": index " +
-                            std::to_string(index) + " out of " +
-                            std::to_string(cells_.size()));
-  }
-  if (accessed_) {
-    throw std::logic_error(
-        "RegisterArray " + name_ +
-        ": second SALU access in one pipeline pass (violates RMT C4)");
-  }
-  accessed_ = true;
+void RegisterArray::ThrowOutOfRange(std::size_t index) const {
+  throw std::out_of_range("RegisterArray " + name_ + ": index " +
+                          std::to_string(index) + " out of " +
+                          std::to_string(cells_.size()));
+}
+
+void RegisterArray::ThrowDoubleAccess() const {
+  throw std::logic_error(
+      "RegisterArray " + name_ +
+      ": second SALU access in one pipeline pass (violates RMT C4)");
 }
 
 std::uint64_t RegisterArray::ControlRead(std::size_t index) const {

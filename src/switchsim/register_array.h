@@ -3,11 +3,19 @@
 // An RMT register array is a block of per-stage SRAM manipulated by exactly
 // one Stateful ALU: each packet pass may read-modify-write a SINGLE location
 // of the array (paper §2, C4). RegisterArray enforces that restriction —
-// each pass (delimited by BeginPass, invoked by the Switch before every
-// pipeline traversal) permits at most one access; a second access throws.
-// This is what makes the simulated data plane honest: code that would not
-// compile to Tofino (e.g. traversing state inline, or double-accessing a
-// region) fails loudly here too.
+// each pass permits at most one access; a second access throws. This is
+// what makes the simulated data plane honest: code that would not compile
+// to Tofino (e.g. traversing state inline, or double-accessing a region)
+// fails loudly here too.
+//
+// Pass delimiting has two modes:
+//   * Standalone (tests, adapters driven outside a Switch): call
+//     BeginPass() before every pass, exactly as before.
+//   * Bound (the Switch binds every array of the installed program via
+//     BindPassEpoch): the array compares its last-access stamp against the
+//     switch's pass-epoch counter, so starting a pass is one shared counter
+//     increment instead of touching every array — arrays the program does
+//     not access in a pass cost nothing.
 #pragma once
 
 #include <cstdint>
@@ -24,8 +32,19 @@ class RegisterArray {
   RegisterArray(std::string name, std::size_t entries,
                 std::size_t entry_bytes = 4);
 
-  /// Called by the pipeline at the start of every packet pass.
+  /// Standalone pass delimiter (callers driving the array outside a
+  /// Switch). A bound array ignores it — the epoch is authoritative.
   void BeginPass() noexcept { accessed_ = false; }
+
+  /// Bind to (or, with nullptr, release from) a pass-epoch counter owned by
+  /// a Switch. While bound, an access is legal iff the array has not been
+  /// accessed at the current epoch value; the counter must outlive the
+  /// binding and start from a value > 0.
+  void BindPassEpoch(const std::uint64_t* epoch) noexcept {
+    pass_epoch_ = epoch;
+    last_access_epoch_ = 0;
+    accessed_ = false;
+  }
 
   /// SALU read-modify-write: returns the old value, stores `next(old)`.
   /// Consumes this pass's single access.
@@ -62,7 +81,19 @@ class RegisterArray {
   const std::string& name() const noexcept { return name_; }
 
  private:
-  void CheckAccess(std::size_t index);
+  void CheckAccess(std::size_t index) {
+    if (index >= cells_.size()) ThrowOutOfRange(index);
+    if (pass_epoch_) {
+      if (last_access_epoch_ == *pass_epoch_) ThrowDoubleAccess();
+      last_access_epoch_ = *pass_epoch_;
+    } else {
+      if (accessed_) ThrowDoubleAccess();
+      accessed_ = true;
+    }
+  }
+  [[noreturn]] void ThrowOutOfRange(std::size_t index) const;
+  [[noreturn]] void ThrowDoubleAccess() const;
+
   std::uint64_t Truncate(std::uint64_t v) const noexcept {
     return entry_bytes_ >= 8 ? v
                              : (v & ((1ull << (entry_bytes_ * 8)) - 1));
@@ -71,6 +102,8 @@ class RegisterArray {
   std::string name_;
   std::size_t entry_bytes_;
   std::vector<std::uint64_t> cells_;
+  const std::uint64_t* pass_epoch_ = nullptr;
+  std::uint64_t last_access_epoch_ = 0;
   bool accessed_ = false;
 };
 

@@ -89,6 +89,88 @@ TEST(KeyValueTable, StableOffsetsForRdma) {
   EXPECT_EQ(&slot, table.Find(Key(9)));
 }
 
+TEST(KeyValueTable, CollisionHeavyChainsResolveCorrectly) {
+  // A minimum-size table (8 slots, 7 usable) forces every key into one probe
+  // chain, so lookups must walk past slots whose index collides but whose
+  // cached hash_tag (and key) differ. Regression for the tag-before-key
+  // compare: a wrong/stale tag makes a live key unfindable.
+  KeyValueTable table(8);
+  ASSERT_EQ(table.capacity(), 8u);
+  bool created = false;
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    table.FindOrInsert(Key(i), created).attrs[0] = 1000 + i;
+    EXPECT_TRUE(created);
+  }
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    KvSlot* s = table.Find(Key(i));
+    ASSERT_NE(s, nullptr) << "key " << i;
+    EXPECT_EQ(s->attrs[0], 1000u + i);
+    EXPECT_EQ(s->key, Key(i));
+  }
+  // Re-lookup through FindOrInsert must not create duplicates.
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    table.FindOrInsert(Key(i), created);
+    EXPECT_FALSE(created) << "key " << i;
+  }
+  EXPECT_EQ(table.size(), 7u);
+  // An absent key must walk the full chain and miss.
+  EXPECT_EQ(table.Find(Key(999)), nullptr);
+}
+
+TEST(KeyValueTable, TombstoneReuseRefreshesHashTag) {
+  // Erase leaves the old key's tag behind in the tombstone; reusing that
+  // slot for a DIFFERENT key must overwrite the tag, or the new key becomes
+  // unfindable under the tag-first compare. Cycle insert/erase through an
+  // 8-slot table: once tombstones saturate it, every successful insert goes
+  // through tombstone reuse. (An insert can legitimately be refused when
+  // its probe lands straight on the lone empty slot — tombstones count
+  // toward the 7/8 load limit — so we only require that most succeed.)
+  KeyValueTable table(8);
+  bool created = false;
+  std::uint32_t succeeded = 0;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    KvSlot* s = table.TryFindOrInsert(Key(i), created);
+    if (!s) continue;  // refused at load limit; acceptable
+    EXPECT_TRUE(created);
+    s->attrs[0] = 1000 + i;
+    KvSlot* found = table.Find(Key(i));
+    ASSERT_NE(found, nullptr) << "key " << i << " vanished after insert";
+    EXPECT_EQ(found->attrs[0], 1000u + i);
+    EXPECT_TRUE(table.Erase(Key(i)));
+    EXPECT_EQ(table.Find(Key(i)), nullptr);
+    ++succeeded;
+  }
+  // The table never rejects everything: reuse keeps working.
+  EXPECT_GE(succeeded, 20u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(KeyValueTable, HighLoadRandomizedFindAll) {
+  // Near the 7/8 load limit, chains are long and wrap the table; every
+  // inserted key must remain findable with its own attrs.
+  KeyValueTable table(1 << 12);
+  const std::size_t n = (1 << 12) * 7 / 8 - 1;
+  bool created = false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    KvSlot* s = table.TryFindOrInsert(Key(i * 2654435761u), created);
+    ASSERT_NE(s, nullptr) << "insert " << i;
+    s->attrs[0] = i;
+  }
+  EXPECT_EQ(table.size(), n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    KvSlot* s = table.Find(Key(i * 2654435761u));
+    ASSERT_NE(s, nullptr) << "find " << i;
+    EXPECT_EQ(s->attrs[0], i);
+  }
+}
+
+TEST(KeyValueTable, SlotLayoutKeepsRdmaOffsets) {
+  // The hash_tag field must not disturb the RDMA-published layout: attrs
+  // offset and slot stride are part of the switch-facing address contract.
+  EXPECT_EQ(offsetof(KvSlot, attrs), 16u);
+  EXPECT_EQ(sizeof(KvSlot), 64u);
+}
+
 TEST(KeyValueTable, ForEachVisitsOnlyLive) {
   KeyValueTable table(64);
   bool created = false;
@@ -193,6 +275,84 @@ TEST(BatchKernels, MaxVariantsAgree) {
   BatchMaxScalar(a1, v);
   BatchMaxSimd(a2, v);
   EXPECT_EQ(a1, a2);
+}
+
+TEST(BatchKernels, RemainderLanesAgree) {
+  // Exercise every tail length around the 4-wide AVX2 stride, including
+  // empty spans.
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (std::size_t n = 0; n <= 9; ++n) {
+    std::vector<std::uint64_t> a1(n), a2(n), v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a1[i] = a2[i] = next();
+      v[i] = next();
+    }
+    std::vector<std::uint64_t> m1 = a1, m2 = a2;
+    BatchSumScalar(a1, v);
+    BatchSumSimd(a2, v);
+    EXPECT_EQ(a1, a2) << "sum, n=" << n;
+    BatchMaxScalar(m1, v);
+    BatchMaxSimd(m2, v);
+    EXPECT_EQ(m1, m2) << "max, n=" << n;
+  }
+}
+
+TEST(BatchKernels, MaxIsUnsignedAcrossSignBit) {
+  // Values straddling 2^63 catch a signed-compare AVX2 max (the intrinsic
+  // set has no unsigned 64-bit compare; the kernel must bias operands).
+  std::vector<std::uint64_t> a1 = {0x8000000000000000ull, 1ull,
+                                   0xFFFFFFFFFFFFFFFFull, 0ull,
+                                   0x7FFFFFFFFFFFFFFFull};
+  std::vector<std::uint64_t> v = {1ull, 0x8000000000000000ull, 0ull,
+                                  0xFFFFFFFFFFFFFFFFull,
+                                  0x8000000000000000ull};
+  std::vector<std::uint64_t> a2 = a1;
+  BatchMaxScalar(a1, v);
+  BatchMaxSimd(a2, v);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(a2[0], 0x8000000000000000ull);
+  EXPECT_EQ(a2[1], 0x8000000000000000ull);
+  EXPECT_EQ(a2[4], 0x8000000000000000ull);
+}
+
+TEST(BatchKernels, SumWrapsModulo64) {
+  std::vector<std::uint64_t> a1 = {0xFFFFFFFFFFFFFFFFull, 5},
+                             v = {2, 0xFFFFFFFFFFFFFFFBull};
+  std::vector<std::uint64_t> a2 = a1;
+  BatchSumScalar(a1, v);
+  BatchSumSimd(a2, v);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(a2[0], 1u);
+  EXPECT_EQ(a2[1], 0u);
+}
+
+TEST(BatchKernels, LargeRandomAgree) {
+  std::uint64_t rng = 0xA5A5A5A55A5A5A5Aull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  const std::size_t n = 4099;  // prime: misaligned tail
+  std::vector<std::uint64_t> a1(n), v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a1[i] = next();
+    v[i] = next();
+  }
+  std::vector<std::uint64_t> a2 = a1, m1 = a1, m2 = a1;
+  BatchSumScalar(a1, v);
+  BatchSumSimd(a2, v);
+  EXPECT_EQ(a1, a2);
+  BatchMaxScalar(m1, v);
+  BatchMaxSimd(m2, v);
+  EXPECT_EQ(m1, m2);
 }
 
 TEST(BatchKernels, SizeMismatchThrows) {

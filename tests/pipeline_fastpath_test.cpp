@@ -1,0 +1,206 @@
+// A/B determinism test for the switch event engine (PR: zero-allocation
+// batched fast path). The FIFO wire lane plus per-switch scratch must be a
+// pure performance change: with the lane enabled (fast path) and disabled
+// (every event through the heap — the historical engine), a full OmniWindow
+// run over the same trace must produce bit-identical results: the same
+// emitted windows and detections, the same data-plane and controller stats,
+// the same total/recirc pass counts, and the same obs counter deltas.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/obs/obs.h"
+#include "src/telemetry/query.h"
+#include "src/trace/generator.h"
+
+namespace ow {
+namespace {
+
+/// Everything observable about one run, for exact comparison.
+struct RunFingerprint {
+  std::vector<EmittedWindow> windows;
+  OmniWindowProgram::Stats dp;
+  OmniWindowController::Stats ctrl;
+  std::uint64_t total_passes = 0;
+  std::uint64_t recirc_passes = 0;
+  std::vector<std::uint64_t> obs_deltas;  // switch.* counters, fixed order
+};
+
+const char* kObsCounters[] = {
+    "switch.passes",           "switch.recirc_passes",
+    "switch.to_controller_packets", "switch.forwarded",
+    "switch.dropped_in_pipeline",
+};
+
+/// RunOmniWindow with the engine knob exposed: same wiring as
+/// src/core/runner.cpp, plus SetFifoLaneEnabled before the replay.
+RunFingerprint RunWithLane(const Trace& trace, AdapterPtr app, RunConfig cfg,
+                           bool fifo_lane,
+                           std::function<FlowSet(TableView)> detect) {
+  std::vector<std::uint64_t> obs_before;
+  for (const char* name : kObsCounters) {
+    obs_before.push_back(obs::Global().GetCounter(name).value());
+  }
+
+  cfg.controller.window = cfg.window;
+  cfg.data_plane.signal.subwindow_size = cfg.window.subwindow_size;
+
+  Switch sw(/*id=*/0, cfg.switch_timings);
+  sw.SetFifoLaneEnabled(fifo_lane);
+  auto program = std::make_shared<OmniWindowProgram>(cfg.data_plane, app);
+  sw.SetProgram(program);
+
+  OmniWindowController controller(cfg.controller, app->merge_kind());
+  controller.AttachSwitch(&sw);
+
+  RunFingerprint fp;
+  controller.SetWindowHandler([&](const WindowResult& w) {
+    EmittedWindow ew;
+    ew.span = w.span;
+    ew.completed_at = w.completed_at;
+    if (detect) ew.detected = detect(*w.table);
+    fp.windows.push_back(std::move(ew));
+  });
+
+  for (const Packet& p : trace.packets) sw.EnqueueFromWire(p, p.ts);
+  Packet sentinel;
+  sentinel.ts = trace.Duration() + cfg.window.subwindow_size;
+  sw.EnqueueFromWire(sentinel, sentinel.ts);
+
+  const Nanos horizon = trace.Duration() + 10 * kSecond;
+  sw.RunBatch(horizon);
+  while (!controller.Flush(trace.Duration())) {
+    sw.RunBatch(horizon);
+  }
+
+  fp.dp = program->stats();
+  fp.ctrl = controller.stats();
+  fp.total_passes = sw.total_passes();
+  fp.recirc_passes = sw.recirc_passes();
+  for (std::size_t i = 0; i < obs_before.size(); ++i) {
+    fp.obs_deltas.push_back(
+        obs::Global().GetCounter(kObsCounters[i]).value() - obs_before[i]);
+  }
+  return fp;
+}
+
+void ExpectIdentical(const RunFingerprint& fast, const RunFingerprint& heap) {
+  ASSERT_EQ(fast.windows.size(), heap.windows.size());
+  for (std::size_t i = 0; i < fast.windows.size(); ++i) {
+    EXPECT_EQ(fast.windows[i].span.first, heap.windows[i].span.first)
+        << "window " << i;
+    EXPECT_EQ(fast.windows[i].span.last, heap.windows[i].span.last)
+        << "window " << i;
+    EXPECT_EQ(fast.windows[i].completed_at, heap.windows[i].completed_at)
+        << "window " << i;
+    EXPECT_EQ(fast.windows[i].detected, heap.windows[i].detected)
+        << "window " << i;
+  }
+
+  EXPECT_EQ(fast.dp.packets_measured, heap.dp.packets_measured);
+  EXPECT_EQ(fast.dp.terminations, heap.dp.terminations);
+  EXPECT_EQ(fast.dp.afr_generated, heap.dp.afr_generated);
+  EXPECT_EQ(fast.dp.reset_passes, heap.dp.reset_passes);
+  EXPECT_EQ(fast.dp.spilled_keys, heap.dp.spilled_keys);
+  EXPECT_EQ(fast.dp.stale_packets, heap.dp.stale_packets);
+  EXPECT_EQ(fast.dp.collect_overruns, heap.dp.collect_overruns);
+  EXPECT_EQ(fast.dp.rdma_writes, heap.dp.rdma_writes);
+  EXPECT_EQ(fast.dp.rdma_fetch_adds, heap.dp.rdma_fetch_adds);
+
+  EXPECT_EQ(fast.ctrl.afrs_received, heap.ctrl.afrs_received);
+  EXPECT_EQ(fast.ctrl.subwindows_finalized, heap.ctrl.subwindows_finalized);
+  EXPECT_EQ(fast.ctrl.subwindows_force_finalized,
+            heap.ctrl.subwindows_force_finalized);
+  EXPECT_EQ(fast.ctrl.windows_emitted, heap.ctrl.windows_emitted);
+  EXPECT_EQ(fast.ctrl.spilled_keys_stored, heap.ctrl.spilled_keys_stored);
+  EXPECT_EQ(fast.ctrl.retransmissions_requested,
+            heap.ctrl.retransmissions_requested);
+  EXPECT_EQ(fast.ctrl.spike_packets, heap.ctrl.spike_packets);
+  EXPECT_EQ(fast.ctrl.duplicate_afrs, heap.ctrl.duplicate_afrs);
+  EXPECT_EQ(fast.ctrl.inserts_rejected, heap.ctrl.inserts_rejected);
+
+  EXPECT_EQ(fast.total_passes, heap.total_passes);
+  EXPECT_EQ(fast.recirc_passes, heap.recirc_passes);
+  ASSERT_EQ(fast.obs_deltas.size(), heap.obs_deltas.size());
+  for (std::size_t i = 0; i < fast.obs_deltas.size(); ++i) {
+    EXPECT_EQ(fast.obs_deltas[i], heap.obs_deltas[i])
+        << "obs counter " << kObsCounters[i];
+  }
+}
+
+WindowSpec TumblingSpec(Nanos window, Nanos sub) {
+  WindowSpec spec;
+  spec.type = WindowType::kTumbling;
+  spec.window_size = window;
+  spec.subwindow_size = sub;
+  spec.slide = window;
+  return spec;
+}
+
+TEST(PipelineFastPath, QueryDrivenRunIsBitIdentical) {
+  // Exp#1-style workload: SYN-flood victim over background traffic, Sonata
+  // count query, tumbling windows.
+  TraceConfig tc;
+  tc.seed = 3;
+  tc.duration = 500 * kMilli;
+  tc.packets_per_sec = 5'000;
+  tc.num_flows = 500;
+  TraceGenerator gen(tc);
+  Trace trace = gen.GenerateBackground();
+  gen.InjectSynFlood(trace, 50 * kMilli, 300 * kMilli, 600);
+  trace.SortByTime();
+
+  auto make_app = [] {
+    return std::make_shared<QueryAdapter>(StandardQuery(5), 4096);
+  };
+  RunConfig cfg = RunConfig::Make(TumblingSpec(100 * kMilli, 50 * kMilli));
+
+  auto app_fast = make_app();
+  const RunFingerprint fast =
+      RunWithLane(trace, app_fast, cfg, /*fifo_lane=*/true,
+                  [&](TableView t) { return app_fast->Detect(t); });
+  auto app_heap = make_app();
+  const RunFingerprint heap =
+      RunWithLane(trace, app_heap, cfg, /*fifo_lane=*/false,
+                  [&](TableView t) { return app_heap->Detect(t); });
+
+  // Sanity: the workload is non-trivial on both engines.
+  ASSERT_GE(fast.windows.size(), 4u);
+  ASSERT_GT(fast.dp.afr_generated, 0u);
+  ExpectIdentical(fast, heap);
+}
+
+TEST(PipelineFastPath, RecirculationHeavyRunIsBitIdentical) {
+  // Many flows + short sub-windows maximize AFR enumeration recirculation,
+  // the traffic the heap lane carries even on the fast path.
+  TraceConfig tc;
+  tc.seed = 21;
+  tc.duration = 300 * kMilli;
+  tc.packets_per_sec = 20'000;
+  tc.num_flows = 2'000;
+  TraceGenerator gen(tc);
+  const Trace trace = gen.GenerateBackground();
+
+  auto make_app = [] {
+    return std::make_shared<QueryAdapter>(StandardQuery(3), 1 << 13);
+  };
+  RunConfig cfg = RunConfig::Make(TumblingSpec(50 * kMilli, 25 * kMilli));
+
+  auto app_fast = make_app();
+  const RunFingerprint fast =
+      RunWithLane(trace, app_fast, cfg, /*fifo_lane=*/true,
+                  [&](TableView t) { return app_fast->Detect(t); });
+  auto app_heap = make_app();
+  const RunFingerprint heap =
+      RunWithLane(trace, app_heap, cfg, /*fifo_lane=*/false,
+                  [&](TableView t) { return app_heap->Detect(t); });
+
+  // The point of this workload: heavy recirculation traffic.
+  ASSERT_GT(fast.recirc_passes, 1'000u);
+  ExpectIdentical(fast, heap);
+}
+
+}  // namespace
+}  // namespace ow
