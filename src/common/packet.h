@@ -57,6 +57,10 @@ struct OwHeader {
                                ///< several apps share a pipeline
   FlowKey injected_key;        ///< valid for kFlowkeyInject / kSpilledKey
   std::uint32_t payload = 0;   ///< flag-specific scalar (e.g. #keys in sw)
+  bool degraded = false;       ///< count announcements only: the switch knows
+                               ///< this sub-window's state was damaged by an
+                               ///< overrun force-finish, so the announced
+                               ///< count undercounts reality
   std::vector<FlowRecord> afrs;///< records appended during collection
 };
 

@@ -4,8 +4,25 @@
 
 namespace ow {
 
+namespace {
+
+// FNV-1a over every byte except the checksum field itself. The checksum
+// lives in the first half of the slot but covers the second half, so a
+// WRITE whose commit was truncated mid-record cannot verify.
+std::uint32_t SlotChecksum(std::span<const std::uint8_t, kAfrWireBytes> s) {
+  std::uint32_t h = 0x811C9DC5u;
+  for (std::size_t i = 0; i < kAfrWireBytes; ++i) {
+    if (i >= 28 && i < 32) continue;  // checksum field
+    h = (h ^ s[i]) * 0x01000193u;
+  }
+  return h;
+}
+
+}  // namespace
+
 // Layout: [0] marker (0xA5), [1] key kind, [2..14] key bytes, [15] key len,
-// [16..19] subwindow, [20..23] seq, [24] num_attrs, [32..63] attrs.
+// [16..19] subwindow, [20..23] seq, [24] num_attrs, [28..31] checksum,
+// [32..63] attrs.
 void EncodeFlowRecord(const FlowRecord& rec,
                       std::span<std::uint8_t, kAfrWireBytes> out) {
   std::memset(out.data(), 0, kAfrWireBytes);
@@ -18,6 +35,8 @@ void EncodeFlowRecord(const FlowRecord& rec,
   std::memcpy(out.data() + 20, &rec.seq_id, 4);
   out[24] = rec.num_attrs;
   std::memcpy(out.data() + 32, rec.attrs.data(), 32);
+  const std::uint32_t sum = SlotChecksum(out);
+  std::memcpy(out.data() + 28, &sum, 4);
 }
 
 FlowRecord DecodeFlowRecord(std::span<const std::uint8_t, kAfrWireBytes> in) {
@@ -33,6 +52,13 @@ FlowRecord DecodeFlowRecord(std::span<const std::uint8_t, kAfrWireBytes> in) {
 
 bool IsEncodedRecord(std::span<const std::uint8_t, kAfrWireBytes> in) {
   return in[0] == 0xA5;
+}
+
+bool IsIntactRecord(std::span<const std::uint8_t, kAfrWireBytes> in) {
+  if (in[0] != 0xA5) return false;
+  std::uint32_t stored;
+  std::memcpy(&stored, in.data() + 28, 4);
+  return stored == SlotChecksum(in);
 }
 
 }  // namespace ow

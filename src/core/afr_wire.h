@@ -24,4 +24,10 @@ FlowRecord DecodeFlowRecord(std::span<const std::uint8_t, kAfrWireBytes> in);
 /// True if the 64-byte slot at `in` holds a record (non-zero marker).
 bool IsEncodedRecord(std::span<const std::uint8_t, kAfrWireBytes> in);
 
+/// True if the slot holds a record AND its embedded checksum matches —
+/// i.e. the RDMA write that produced it committed in full. A slot whose
+/// marker landed but whose tail was truncated (partial WRITE completion)
+/// fails this check and must be treated as a hole, not a record.
+bool IsIntactRecord(std::span<const std::uint8_t, kAfrWireBytes> in);
+
 }  // namespace ow

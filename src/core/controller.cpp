@@ -34,7 +34,11 @@ OmniWindowController::OmniWindowController(ControllerConfig cfg,
       merge_kind_(merge_kind),
       table_(cfg.kv_capacity, cfg.merge_threads),
       view_(table_),
-      merge_engine_(table_.shard_count()) {
+      merge_engine_(table_.shard_count()),
+      // Distinct per-feature recovery streams, decorrelated via tag XOR
+      // (the net::Link seeding discipline).
+      retry_rng_(cfg.fault_seed ^ 0x52455452'59524E47ull),
+      stall_rng_(cfg.fault_seed ^ 0x5354414C'4C524E47ull) {
   cfg_.window.Validate();
   obs::Registry& reg = obs::Global();
   obs_.afrs_received = &reg.GetCounter("controller.afrs_received");
@@ -49,7 +53,13 @@ OmniWindowController::OmniWindowController(ControllerConfig cfg,
   obs_.retransmissions = &reg.GetCounter("controller.retransmissions");
   obs_.spike_packets = &reg.GetCounter("controller.spike_packets");
   obs_.duplicate_afrs = &reg.GetCounter("controller.duplicate_afrs");
+  obs_.windows_partial = &reg.GetCounter("controller.windows_partial");
+  obs_.merge_stalls = &reg.GetCounter("fault.controller.merge_stalls");
+  obs_.rdma_holes = &reg.GetCounter("fault.rdma.holes_detected");
+  obs_.switch_degraded =
+      &reg.GetCounter("controller.subwindows_degraded_by_switch");
   obs_.inserts_rejected = &reg.GetGauge("controller.inserts_rejected");
+  obs_.retry_attempts = &reg.GetHistogram("controller.retry_attempts");
   obs_.o2_insert_ns = &reg.GetHistogram("controller.o2_insert_ns");
   obs_.o3_merge_ns = &reg.GetHistogram("controller.o3_merge_ns");
   obs_.o4_process_ns = &reg.GetHistogram("controller.o4_process_ns");
@@ -107,7 +117,7 @@ void OmniWindowController::OnPacket(const Packet& p, Nanos arrival) {
       // no-op requests.
       for (auto& [old_sw, old_pending] : pending_) {
         if (old_sw + 1 < sw && old_pending.collection_started &&
-            old_pending.retransmit_attempts < kMaxRetransmitAttempts &&
+            old_pending.retransmit_attempts < cfg_.retry.max_attempts &&
             !IsComplete(old_pending)) {
           RequestRetransmissions(old_pending, arrival);
         }
@@ -132,19 +142,36 @@ void OmniWindowController::OnPacket(const Packet& p, Nanos arrival) {
       SubWindowTiming& t = TimingFor(sw);
       if (p.ow.afrs.empty()) {
         // Completion notification. payload = the final enumerated count
-        // (non-RDMA), or the buffer record count (RDMA, where it also
-        // marks the memory regions drainable).
+        // (both modes; in RDMA mode it also marks the memory regions
+        // drainable, and the drain happens right here — waiting until
+        // finalize would let the next collection's buffer writes overwrite
+        // slots this one has not read yet).
+        pending.expected_dataplane =
+            std::max(pending.expected_dataplane, p.ow.payload);
+        pending.count_final = true;
+        if (p.ow.degraded) {
+          // The switch aborted this sub-window's C&R (overrun force-finish)
+          // or destroyed its region before collecting it: the announced
+          // count undercounts the truth and no retry can recover the gap.
+          // Degrade the covering window explicitly.
+          degraded_.insert(sw);
+          ++stats_.subwindows_degraded_by_switch;
+          obs_.switch_degraded->Add();
+        }
         if (cfg_.rdma) {
           pending.rdma_done = true;
-        } else {
-          pending.expected_dataplane =
-              std::max(pending.expected_dataplane, p.ow.payload);
-          pending.count_final = true;
+          DrainRdma(pending);
         }
       }
       for (const FlowRecord& rec : p.ow.afrs) {
         t.o1_collect += cfg_.costs.per_rx_packet;
         if (rec.seq_id != kNoExplicitIndex) {
+          if (cfg_.rdma && pending.mirror_keys.contains(rec.key)) {
+            // Chased hot-key seq: the value already merged via the mirror
+            // drain; the report only proves the sequence number exists.
+            pending.seqs_seen.insert(rec.seq_id);
+            continue;
+          }
           if (!pending.seqs_seen.insert(rec.seq_id).second) {
             ++stats_.duplicate_afrs;
             obs_.duplicate_afrs->Add();
@@ -181,6 +208,12 @@ void OmniWindowController::OnPacket(const Packet& p, Nanos arrival) {
         rec.subwindow = sw;
         rec.seq_id = 0xFFFFFFFFu;
         it->second.records.push_back(rec);
+      } else {
+        // The copy cannot be folded back (sub-window already finalized, or
+        // the statistic is not invertible): the measurement for that
+        // sub-window is knowably short one packet. Degrade the covering
+        // window explicitly instead of staying silently wrong.
+        degraded_.insert(sw);
       }
       return;
     }
@@ -265,7 +298,13 @@ void OmniWindowController::StartCollection(PendingSubWindow& pending,
 
 bool OmniWindowController::IsComplete(const PendingSubWindow& p) const {
   if (!p.collection_started) return false;
-  if (cfg_.rdma) return p.rdma_done;
+  if (cfg_.rdma) {
+    if (!p.rdma_done) return false;
+    // A clean drain (no fault-induced holes) is complete on its own. With
+    // holes, fall through to the generic coverage check: the seq chase
+    // recovers the lost WRITEs through the report path.
+    if (p.rdma_holes == 0) return true;
+  }
   if (!p.count_final) return false;
   if (p.injected_keys_seen.size() < p.expected_injected) return false;
   if (p.seqs_seen.size() < p.expected_dataplane) return false;
@@ -297,7 +336,11 @@ void OmniWindowController::MaybeFinalize(Nanos now) {
 void OmniWindowController::FinalizeSubWindow(PendingSubWindow& pending,
                                              Nanos now, bool complete) {
   obs::ScopedSpan span(obs::Global(), "controller.finalize_subwindow");
+  // Normally drained at notification time; this covers force-finalize of a
+  // sub-window whose notification never arrived (DrainRdma is idempotent).
   if (cfg_.rdma) DrainRdma(pending);
+  obs_.retry_attempts->Record(pending.retransmit_attempts);
+  if (!complete) degraded_.insert(pending.subwindow);
   SubWindowTiming& t = TimingFor(pending.subwindow);
   if (transform_) {
     // §8: construct AFRs from migrated state (e.g. FlowRadar decode).
@@ -314,6 +357,14 @@ void OmniWindowController::FinalizeSubWindow(PendingSubWindow& pending,
         merge_engine_.MergeBatch(merge_kind_, pending.records, table_);
     t.o2_insert += bt.partition + bt.insert;
     t.o3_merge += bt.merge;
+    if (cfg_.fault_profile.merge_stall_rate > 0 &&
+        stall_rng_.Bernoulli(cfg_.fault_profile.merge_stall_rate)) {
+      // Injected stall: inflates the simulated O3 budget only — results
+      // are never touched, so stalled runs stay bit-identical in content.
+      t.o3_merge += cfg_.fault_profile.merge_stall;
+      ++stats_.merge_stalls;
+      obs_.merge_stalls->Add();
+    }
     stats_.inserts_rejected = table_.rejected_inserts();
     obs_.inserts_rejected->Set(std::int64_t(stats_.inserts_rejected));
     obs_.o2_insert_ns->Record(std::uint64_t(bt.partition + bt.insert));
@@ -349,12 +400,19 @@ void OmniWindowController::EmitWindowsAfter(SubWindowNum sw, Nanos now) {
 
   SubWindowTiming& t = TimingFor(sw);
   const SubWindowSpan span{SubWindowNum(sw + 1 - W), sw};
+  bool partial = false;
+  for (SubWindowNum d : degraded_) {
+    if (span.Contains(d)) {
+      partial = true;
+      break;
+    }
+  }
   // O4: process the merged result.
   {
     obs::ScopedSpan ospan(obs::Global(), "controller.o4_process");
     WallTimer timer;
     if (handler_) {
-      handler_(WindowResult{span, &view_, now});
+      handler_(WindowResult{span, &view_, now, partial});
     }
     const Nanos elapsed = timer.Elapsed();
     t.o4_process += elapsed;
@@ -362,6 +420,14 @@ void OmniWindowController::EmitWindowsAfter(SubWindowNum sw, Nanos now) {
   }
   ++stats_.windows_emitted;
   obs_.windows_emitted->Add();
+  if (partial) {
+    ++stats_.windows_partial;
+    obs_.windows_partial->Add();
+  }
+  // Degraded marks below the next window's first sub-window can never be
+  // covered again.
+  const SubWindowNum next_first = sliding ? span.first + S : sw + 1;
+  degraded_.erase(degraded_.begin(), degraded_.lower_bound(next_first));
 
   // O5 / O6: retire sub-windows that no future window needs.
   {
@@ -465,8 +531,32 @@ void OmniWindowController::RequestRetransmissions(PendingSubWindow& pending,
                                                   Nanos now) {
   if (!switch_) return;
   obs::ScopedSpan span(obs::Global(), "controller.request_retransmissions");
+  if (cfg_.rdma && pending.rdma_done && pending.rdma_holes == 0) {
+    // Clean RDMA drain: nothing on the report path to chase. (Legacy runs
+    // always land here, so arming zero faults changes nothing.)
+    return;
+  }
   ++pending.retransmit_attempts;
-  Nanos tx_time = now;
+  // Capped exponential backoff (default policy: 0, the historical
+  // immediate reissue). One jitter draw per round keeps the stream aligned
+  // to the attempt index.
+  Nanos tx_time =
+      now + cfg_.retry.DelayFor(pending.retransmit_attempts - 1, retry_rng_);
+  if (cfg_.rdma && !pending.rdma_done) {
+    // Only the completion notification can be outstanding before the drain;
+    // probe for it (the switch re-notifies a finished collection).
+    tx_time += cfg_.costs.per_tx_packet;
+    Packet col;
+    col.ow.present = true;
+    col.ow.app_id = cfg_.app_id;
+    col.ow.flag = OwFlag::kCollection;
+    col.ow.subwindow_num = pending.subwindow;
+    col.ow.payload = kNoExplicitIndex;
+    switch_->EnqueueFromController(col, tx_time + kWireLatency);
+    ++stats_.retransmissions_requested;
+    obs_.retransmissions->Add();
+    return;
+  }
   // Missing data-plane sequence numbers.
   for (std::uint32_t s = 0; s < pending.expected_dataplane; ++s) {
     if (pending.seqs_seen.contains(s)) continue;
@@ -516,18 +606,41 @@ void OmniWindowController::RequestRetransmissions(PendingSubWindow& pending,
 
 void OmniWindowController::DrainRdma(PendingSubWindow& pending) {
   if (!buffer_mr_ || !table_mr_) return;
-  // Cold-key buffer: decode sequential 64-byte records.
+  if (pending.rdma_drained) return;
+  pending.rdma_drained = true;
+  // Cold-key buffer: decode sequential 64-byte records up to the NIC's
+  // write high-water mark. Slots the writer attempted but whose record is
+  // missing or fails its checksum (dropped / truncated WRITE) are counted
+  // as holes the seq chase must fill; every scanned slot is zeroed so
+  // fault-corrupted bytes cannot resurface in a later collection.
   auto bytes = buffer_mr_->bytes();
-  for (std::size_t off = 0; off + kAfrWireBytes <= bytes.size();
+  const std::size_t limit =
+      std::min<std::size_t>(bytes.size(), buffer_mr_->write_hwm());
+  for (std::size_t off = 0; off + kAfrWireBytes <= limit;
        off += kAfrWireBytes) {
-    std::span<const std::uint8_t, kAfrWireBytes> slot(
-        bytes.data() + off, kAfrWireBytes);
-    if (!IsEncodedRecord(slot)) break;
-    pending.records.push_back(DecodeFlowRecord(slot));
-    ++stats_.afrs_received;
-    obs_.afrs_received->Add();
+    std::span<const std::uint8_t, kAfrWireBytes> slot(bytes.data() + off,
+                                                      kAfrWireBytes);
+    if (IsIntactRecord(slot)) {
+      const FlowRecord rec = DecodeFlowRecord(slot);
+      bool fresh;
+      if (rec.seq_id != kNoExplicitIndex) {
+        fresh = pending.seqs_seen.insert(rec.seq_id).second;
+      } else {
+        fresh = pending.injected_keys_seen.insert(rec.key).second;
+      }
+      if (fresh) {
+        pending.records.push_back(rec);
+        ++stats_.afrs_received;
+        obs_.afrs_received->Add();
+      }
+    } else {
+      ++pending.rdma_holes;
+      ++stats_.rdma_holes_detected;
+      obs_.rdma_holes->Add();
+    }
     std::fill(bytes.begin() + off, bytes.begin() + off + kAfrWireBytes, 0);
   }
+  buffer_mr_->ResetWriteHwm();
   // Hot-key mirror: one 32-byte attr block per hot slot.
   for (const auto& [key, slot_index] : hot_slots_) {
     const std::size_t off = slot_index * 32;
@@ -545,9 +658,17 @@ void OmniWindowController::DrainRdma(PendingSubWindow& pending) {
     rec.subwindow = pending.subwindow;
     rec.seq_id = kNoExplicitIndex;
     pending.records.push_back(rec);
+    pending.mirror_keys.insert(key);
     ++stats_.afrs_received;
     obs_.afrs_received->Add();
     for (std::size_t i = 0; i < 4; ++i) table_mr_->WriteU64(off + i * 8, 0);
+  }
+  // A spilled key that went hot mid-stream lands in the mirror instead of
+  // producing an injected-key record; its mirror value covers it.
+  for (const FlowKey& key : spilled_[pending.subwindow]) {
+    if (pending.mirror_keys.contains(key)) {
+      pending.injected_keys_seen.insert(key);
+    }
   }
 }
 
@@ -570,7 +691,7 @@ bool OmniWindowController::Flush(Nanos now) {
   bool asked = false;
   for (auto& [sw, pending] : pending_) {
     if (pending.collection_started &&
-        pending.retransmit_attempts < kMaxRetransmitAttempts &&
+        pending.retransmit_attempts < cfg_.retry.max_attempts &&
         !IsComplete(pending)) {
       RequestRetransmissions(pending, now);
       asked = true;

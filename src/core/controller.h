@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "src/common/packet.h"
+#include "src/common/rng.h"
 #include "src/controller/dpdk_model.h"
+#include "src/fault/fault.h"
 #include "src/controller/key_value_table.h"
 #include "src/controller/merge.h"
 #include "src/controller/merge_engine.h"
@@ -72,6 +74,15 @@ struct ControllerConfig {
   /// App identity stamped on every injected packet, so a MultiAppProgram
   /// pipeline can route it to the right sub-program.
   std::uint8_t app_id = 0;
+  /// Recovery policy for collection-packet reissue / notification probes /
+  /// RDMA-path re-collection. The default (8 attempts, no backoff delay)
+  /// reproduces the historical immediate-reissue behavior exactly.
+  fault::RetryPolicy retry;
+  /// Controller-side fault injection (merge stalls). Inert by default.
+  fault::ControllerFaultProfile fault_profile;
+  /// Seed for the controller's recovery-side RNG streams (retry jitter,
+  /// merge-stall schedule).
+  std::uint64_t fault_seed = 0xFA017BA5Eull;
 };
 
 /// One completed window handed to the application. `table` views the
@@ -81,6 +92,11 @@ struct WindowResult {
   SubWindowSpan span;
   const TableView* table = nullptr;
   Nanos completed_at = 0;  ///< simulated time
+  /// True when any sub-window in `span` exhausted its retry budget (or lost
+  /// unfoldable latency-spike copies) and was finalized with records
+  /// missing. A partial window is explicitly degraded, never silently
+  /// wrong: consumers must not treat its contents as exact.
+  bool partial = false;
 };
 
 /// Exp#4 per-sub-window controller time breakdown. O1 is simulated
@@ -171,6 +187,17 @@ class OmniWindowController {
     /// AFRs dropped because their table shard hit the 7/8 load limit
     /// (KeyValueTable::rejected_inserts summed across shards).
     std::uint64_t inserts_rejected = 0;
+    /// Windows emitted with the partial flag set (degraded, not wrong).
+    std::uint64_t windows_partial = 0;
+    /// Injected merge stalls (fault_profile.merge_stall_rate).
+    std::uint64_t merge_stalls = 0;
+    /// Invalid (fault-truncated or dropped) RDMA buffer slots detected by
+    /// the drain's checksum scan.
+    std::uint64_t rdma_holes_detected = 0;
+    /// Sub-windows the switch itself reported as damaged (overrun
+    /// force-finish destroyed or truncated their state; degraded bit on
+    /// the count announcement).
+    std::uint64_t subwindows_degraded_by_switch = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -183,16 +210,23 @@ class OmniWindowController {
     std::set<std::uint32_t> seqs_seen;
     std::set<FlowKey> injected_keys_seen;
     bool collection_started = false;
-    std::uint8_t retransmit_attempts = 0;
+    std::uint32_t retransmit_attempts = 0;
     bool rdma_done = false;
     /// The switch's completion notification carried the FINAL enumerated
     /// count; before it arrives, coverage of the trigger-time count is not
     /// sufficient (keys may have been added before collection started).
     bool count_final = false;
+    /// The RDMA memory regions for this sub-window have been drained.
+    bool rdma_drained = false;
+    /// Buffer slots in [0, write high-water mark) whose record was missing
+    /// or failed its checksum — each is a lost/truncated WRITE the seq
+    /// chase must recover (or the window degrades to partial).
+    std::uint32_t rdma_holes = 0;
+    /// Keys whose attrs were drained from the hot-key mirror. Chased seq
+    /// retransmissions for these arrive as report packets carrying values
+    /// the mirror already merged; they cover the seq without re-counting.
+    std::set<FlowKey> mirror_keys;
   };
-  /// Retransmission rounds per sub-window before giving up (reports AND
-  /// their retransmissions can both be lost).
-  static constexpr std::uint8_t kMaxRetransmitAttempts = 8;
 
   void StartCollection(PendingSubWindow& pending, Nanos now);
 
@@ -225,6 +259,13 @@ class OmniWindowController {
   /// Controller-resident (spilled) keys per sub-window awaiting injection.
   std::map<SubWindowNum, std::vector<FlowKey>> spilled_;
   std::map<SubWindowNum, std::set<FlowKey, std::less<FlowKey>>> spilled_seen_;
+  /// Sub-windows finalized with missing records (retry budget exhausted or
+  /// unfoldable spike copies). Windows covering any of them emit with the
+  /// partial flag; entries are pruned once no future window can cover them.
+  std::set<SubWindowNum> degraded_;
+  /// Recovery-side per-feature RNG streams (same discipline as net::Link).
+  Rng retry_rng_;
+  Rng stall_rng_;
   SubWindowNum next_to_finalize_ = 0;
   /// Sub-windows below this are no longer reflected in table_.
   SubWindowNum table_floor_ = 0;
@@ -253,7 +294,12 @@ class OmniWindowController {
     obs::Counter* retransmissions;
     obs::Counter* spike_packets;
     obs::Counter* duplicate_afrs;
+    obs::Counter* windows_partial;
+    obs::Counter* merge_stalls;
+    obs::Counter* rdma_holes;
+    obs::Counter* switch_degraded;
     obs::Gauge* inserts_rejected;
+    obs::Histogram* retry_attempts;
     obs::Histogram* o2_insert_ns;
     obs::Histogram* o3_merge_ns;
     obs::Histogram* o4_process_ns;

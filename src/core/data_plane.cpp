@@ -1,5 +1,6 @@
 #include "src/core/data_plane.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <stdexcept>
@@ -98,6 +99,7 @@ void OmniWindowProgram::HandleNormal(Packet& p, Nanos now,
 
   const int region = int(sw % 2);
   app_->Update(p, region);
+  if (sw > last_writer_[region]) last_writer_[region] = sw;
   ++stats_.packets_measured;
 
   // Flowkey tracking only serves AFR generation; state-migration apps and
@@ -157,6 +159,21 @@ void OmniWindowProgram::HandleCollectionStart(const Packet& p) {
   collect_.subwindow = sw;
   collect_.region = int(sw % 2);
   collect_.injected_remaining = p.ow.payload;
+  // Late-collection hazard: if a newer same-parity sub-window has already
+  // written this region (this C&R was delayed past the region's reuse
+  // point), the values enumerated now are contaminated by the newer
+  // sub-window's traffic, and the reset at enumeration end destroys that
+  // sub-window's state before its own C&R can read it. Neither is
+  // recoverable; mark the whole same-parity span so every count
+  // announcement for it carries the degraded bit.
+  if (last_writer_[collect_.region] > sw) {
+    for (SubWindowNum k = sw; k <= last_writer_[collect_.region]; k += 2) {
+      compromised_.insert(k);
+    }
+    while (compromised_.size() > 4 * kRetransmitCacheDepth) {
+      compromised_.erase(compromised_.begin());
+    }
+  }
   // Bound the retransmission cache to the last few sub-windows.
   while (afr_cache_.size() >= kRetransmitCacheDepth) {
     afr_cache_.erase(afr_cache_.begin());
@@ -277,6 +294,9 @@ void OmniWindowProgram::HandleCollection(Packet& p, PipelineActions& act) {
       done.ow.flag = OwFlag::kAfrReport;
       done.ow.subwindow_num = p.ow.subwindow_num;
       done.ow.payload = std::uint32_t(cached->second.size());
+      // A force-finished collection cached only a prefix of its records;
+      // announcing that truncated size as final must not read as exact.
+      done.ow.degraded = compromised_.contains(p.ow.subwindow_num);
       act.to_controller.push_back(std::move(done));
       return;
     }
@@ -312,6 +332,7 @@ void OmniWindowProgram::HandleCollection(Packet& p, PipelineActions& act) {
       done.ow.flag = OwFlag::kAfrReport;
       done.ow.subwindow_num = collect_.subwindow;
       done.ow.payload = collect_.num_keys;
+      done.ow.degraded = compromised_.contains(collect_.subwindow);
       act.to_controller.push_back(std::move(done));
     }
     p.ow.flag = OwFlag::kReset;
@@ -362,7 +383,22 @@ void OmniWindowProgram::HandleReset(Packet& p, PipelineActions& act) {
 }
 
 void OmniWindowProgram::ForceFinishCollection() {
-  if (!collect_.resetting) tracker_.Reset(collect_.region);
+  if (!collect_.resetting) {
+    // Aborting mid-enumeration loses data twice over: this sub-window's
+    // remaining records are never generated (its cached prefix must not be
+    // re-announced as a final count), and the region reset below destroys
+    // whatever newer same-parity sub-windows have written since. Mark the
+    // span so every count announcement for it carries the degraded bit.
+    for (SubWindowNum k = collect_.subwindow;
+         k <= std::max(last_writer_[collect_.region], collect_.subwindow);
+         k += 2) {
+      compromised_.insert(k);
+    }
+    while (compromised_.size() > 4 * kRetransmitCacheDepth) {
+      compromised_.erase(compromised_.begin());
+    }
+    tracker_.Reset(collect_.region);
+  }
   for (std::uint32_t i = collect_.reset_counter; i < app_->NumResetSlices();
        ++i) {
     app_->ResetSlice(collect_.region, i);

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 
 #include "src/common/packet.h"
 #include "src/controller/key_value_table.h"
@@ -136,6 +137,17 @@ class OmniWindowProgram final : public SwitchProgram {
   /// themselves be lost, so the cache must outlive several rounds.
   static constexpr std::size_t kRetransmitCacheDepth = 8;
   std::map<SubWindowNum, std::vector<FlowRecord>> afr_cache_;
+  /// Sub-windows whose measured state is knowably damaged: a late or
+  /// force-finished C&R enumerated a region a newer same-parity sub-window
+  /// had already written into, so its values are contaminated and the
+  /// region reset destroys the newer sub-window's state. Count
+  /// announcements for these carry the degraded bit so the controller can
+  /// flag the covering window instead of trusting an under-count as final.
+  /// Bounded like the cache.
+  std::set<SubWindowNum> compromised_;
+  /// Newest sub-window that has written each region (detects the
+  /// late-collection hazard above).
+  SubWindowNum last_writer_[2] = {0, 0};
   /// Records awaiting a (batched) report clone.
   std::vector<FlowRecord> report_batch_;
   /// RoCEv2 packet sequence number register (§8).

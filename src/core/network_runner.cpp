@@ -9,6 +9,8 @@ NetworkRunResult RunOmniWindowLine(
     std::function<FlowSet(TableView)> detect) {
   cfg.base.controller.window = cfg.base.window;
   cfg.base.data_plane.signal.subwindow_size = cfg.base.window.subwindow_size;
+  cfg.base.controller.fault_profile = cfg.base.fault.controller;
+  cfg.base.controller.fault_seed = cfg.base.fault.seed;
 
   Network net;
   std::vector<Switch*> switches;
@@ -36,6 +38,11 @@ NetworkRunResult RunOmniWindowLine(
         [ctrl](Packet p, Nanos arrival) { ctrl->OnPacket(p, arrival); },
         cfg.report_link_seed + i));
     Link* report = report_links.back().get();
+    if (cfg.base.fault.report_link.Any()) {
+      // Per-link seed offset mirrors the report_link_seed + i scheme.
+      report->ArmFaults(cfg.base.fault.report_link,
+                        cfg.base.fault.seed + 0x1000 + i);
+    }
     sw->SetControllerHandler(
         [report](const Packet& p, Nanos now) { report->Transmit(p, now); });
     controller->SetWindowHandler(
@@ -43,6 +50,7 @@ NetworkRunResult RunOmniWindowLine(
           EmittedWindow ew;
           ew.span = w.span;
           ew.completed_at = w.completed_at;
+          ew.partial = w.partial;
           if (detect) ew.detected = detect(*w.table);
           result.per_switch[i].windows.push_back(std::move(ew));
         });
@@ -54,6 +62,10 @@ NetworkRunResult RunOmniWindowLine(
   for (std::size_t i = 0; i + 1 < cfg.num_switches; ++i) {
     links.push_back(net.Connect(switches[i], switches[i + 1], cfg.link,
                                 cfg.link_seed + i));
+    if (cfg.base.fault.inner_link.Any()) {
+      links.back()->ArmFaults(cfg.base.fault.inner_link,
+                              cfg.base.fault.seed + 0x2000 + i);
+    }
   }
 
   for (const Packet& p : trace.packets) {

@@ -23,6 +23,8 @@ RunResult RunOmniWindow(const Trace& trace, AdapterPtr app, RunConfig cfg,
                         std::function<FlowSet(TableView)> detect) {
   cfg.controller.window = cfg.window;
   cfg.data_plane.signal.subwindow_size = cfg.window.subwindow_size;
+  cfg.controller.fault_profile = cfg.fault.controller;
+  cfg.controller.fault_seed = cfg.fault.seed;
 
   Switch sw(/*id=*/0, cfg.switch_timings);
   auto program = std::make_shared<OmniWindowProgram>(cfg.data_plane, app);
@@ -33,7 +35,13 @@ RunResult RunOmniWindow(const Trace& trace, AdapterPtr app, RunConfig cfg,
 
   RdmaNic nic;
   if (cfg.controller.rdma || cfg.data_plane.rdma) {
-    program->SetRdmaContext(controller.InitRdma(nic));
+    auto ctx = controller.InitRdma(nic);
+    if (cfg.fault.rdma.Any()) {
+      // Faults target the unacked cold-key append path only; the hot-key
+      // mirror and atomics stay reliable.
+      nic.ArmFaults(cfg.fault.rdma, cfg.fault.seed, ctx->buffer_rkey);
+    }
+    program->SetRdmaContext(std::move(ctx));
   }
 
   RunResult result;
@@ -41,6 +49,7 @@ RunResult RunOmniWindow(const Trace& trace, AdapterPtr app, RunConfig cfg,
     EmittedWindow ew;
     ew.span = w.span;
     ew.completed_at = w.completed_at;
+    ew.partial = w.partial;
     if (detect) ew.detected = detect(*w.table);
     result.windows.push_back(std::move(ew));
   });

@@ -16,6 +16,7 @@
 #include "src/core/controller.h"
 #include "src/core/data_plane.h"
 #include "src/core/window.h"
+#include "src/fault/fault.h"
 #include "src/trace/trace.h"
 
 namespace ow {
@@ -25,6 +26,13 @@ struct RunConfig {
   OmniWindowConfig data_plane;
   ControllerConfig controller;
   SwitchTimings switch_timings;
+  /// Fault-injection plan threaded through the substrates the run builds
+  /// (RDMA NIC, controller). Inert by default; the runner arms nothing when
+  /// no rate is set, so the unarmed path stays hook-free. Link profiles
+  /// apply in RunOmniWindowLine only (the single-switch runner has no
+  /// links); the switch-OS profile applies where a SwitchOsDriver is driven
+  /// (OS-baseline benches, the chaos harness).
+  fault::FaultPlan fault;
 
   /// Convenience constructor keeping the window spec and signal period in
   /// sync.
@@ -35,6 +43,7 @@ struct EmittedWindow {
   SubWindowSpan span;
   FlowSet detected;
   Nanos completed_at = 0;
+  bool partial = false;  ///< degraded (retry budget exhausted), not exact
 };
 
 struct RunResult {

@@ -1,0 +1,180 @@
+#include "src/fault/fault.h"
+
+namespace ow::fault {
+namespace {
+
+// Distinct decorrelation tags per feature stream, same discipline as the
+// ow::net::Link constructor. Tags must stay stable: tests pin schedules.
+constexpr std::uint64_t kLinkDropTag = 0x11AD1709C0FFEE01ull;
+constexpr std::uint64_t kLinkDupTag = 0x22BE2810D0FFEE02ull;
+constexpr std::uint64_t kLinkReorderTag = 0x33CF3921E0FFEE03ull;
+constexpr std::uint64_t kOsTimeoutTag = 0x44D04A32F0FFEE04ull;
+constexpr std::uint64_t kOsSlowTag = 0x55E15B4300FFEE05ull;
+constexpr std::uint64_t kOsBackoffTag = 0x66F26C5410FFEE06ull;
+constexpr std::uint64_t kRdmaDropTag = 0x77037D6520FFEE07ull;
+constexpr std::uint64_t kRdmaPartialTag = 0x88148E7630FFEE08ull;
+
+}  // namespace
+
+double PhaseScale(const std::vector<FaultPhase>& phases, Nanos now) noexcept {
+  if (phases.empty()) return 1.0;
+  for (const FaultPhase& p : phases) {
+    if (now >= p.start && now < p.end) return p.scale;
+  }
+  return 0.0;
+}
+
+const char* ChaosKindName(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kLoss:
+      return "loss";
+    case ChaosKind::kReorder:
+      return "reorder";
+    case ChaosKind::kRpcTimeout:
+      return "rpc-timeout";
+    case ChaosKind::kRdmaFail:
+      return "rdma-fail";
+  }
+  return "unknown";
+}
+
+FaultPlan MakeChaosPlan(ChaosKind kind, double intensity, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  switch (kind) {
+    case ChaosKind::kLoss:
+      plan.report_link.drop_rate = intensity;
+      break;
+    case ChaosKind::kReorder:
+      plan.report_link.reorder_rate = intensity;
+      plan.report_link.dup_rate = intensity / 2.0;
+      break;
+    case ChaosKind::kRpcTimeout:
+      plan.switch_os.timeout_rate = intensity;
+      plan.switch_os.slow_rate = intensity;
+      plan.controller.merge_stall_rate = intensity;
+      break;
+    case ChaosKind::kRdmaFail:
+      plan.rdma.write_drop_rate = intensity;
+      plan.rdma.partial_rate = intensity / 2.0;
+      break;
+  }
+  return plan;
+}
+
+LinkFaultInjector::LinkFaultInjector(LinkFaultProfile profile,
+                                     std::uint64_t seed)
+    : profile_(profile),
+      drop_rng_(seed ^ kLinkDropTag),
+      dup_rng_(seed ^ kLinkDupTag),
+      reorder_rng_(seed ^ kLinkReorderTag),
+      obs_drops_(&obs::Global().GetCounter("fault.link.injected_drops")),
+      obs_duplicates_(&obs::Global().GetCounter("fault.link.duplicates")),
+      obs_reorders_(&obs::Global().GetCounter("fault.link.reorders")) {}
+
+LinkFaultInjector::Decision LinkFaultInjector::Decide(Nanos now) {
+  // Each feature draws exactly once per packet, whether or not it fires and
+  // whether or not the packet was already consumed by an earlier feature:
+  // intensity sweeps on one axis must not reshuffle the others.
+  const double scale = PhaseScale(profile_.phases, now);
+  const bool drop = drop_rng_.Bernoulli(profile_.drop_rate * scale);
+  const bool dup = dup_rng_.Bernoulli(profile_.dup_rate * scale);
+  const bool reorder = reorder_rng_.Bernoulli(profile_.reorder_rate * scale);
+
+  Decision d;
+  if (drop) {
+    d.drop = true;
+    ++drops_;
+    obs_drops_->Add(1);
+    return d;
+  }
+  if (reorder) {
+    d.extra_delay = profile_.reorder_delay;
+    ++reorders_;
+    obs_reorders_->Add(1);
+  }
+  if (dup) {
+    d.duplicate = true;
+    d.dup_gap = profile_.dup_gap;
+    ++duplicates_;
+    obs_duplicates_->Add(1);
+  }
+  return d;
+}
+
+SwitchOsFaultInjector::SwitchOsFaultInjector(SwitchOsFaultProfile profile,
+                                             RetryPolicy retry,
+                                             std::uint64_t seed)
+    : profile_(profile),
+      retry_(retry),
+      timeout_rng_(seed ^ kOsTimeoutTag),
+      slow_rng_(seed ^ kOsSlowTag),
+      backoff_rng_(seed ^ kOsBackoffTag),
+      obs_timeouts_(&obs::Global().GetCounter("fault.switch_os.rpc_timeouts")),
+      obs_slow_ops_(&obs::Global().GetCounter("fault.switch_os.slow_ops")),
+      obs_degraded_(&obs::Global().GetCounter("fault.switch_os.degraded_ops")),
+      obs_attempts_(
+          &obs::Global().GetHistogram("fault.switch_os.rpc_attempts")) {}
+
+SwitchOsFaultInjector::OpOutcome SwitchOsFaultInjector::OnOp(Nanos now) {
+  const double scale = PhaseScale(profile_.phases, now);
+  OpOutcome out;
+
+  // Timeout/retry loop under the policy. A timed-out attempt costs the full
+  // penalty plus the backoff delay before the next try. Exhausting the
+  // budget degrades the op: the driver still returns correct contents (the
+  // simulated switch state is local), it just arrives late and is counted.
+  const double timeout_rate = profile_.timeout_rate * scale;
+  while (timeout_rng_.Bernoulli(timeout_rate)) {
+    ++timeouts_;
+    obs_timeouts_->Add(1);
+    out.extra += profile_.timeout_penalty;
+    if (out.attempts >= retry_.max_attempts) {
+      out.degraded = true;
+      ++degraded_ops_;
+      obs_degraded_->Add(1);
+      break;
+    }
+    out.extra += retry_.DelayFor(out.attempts - 1, backoff_rng_);
+    ++out.attempts;
+  }
+
+  if (slow_rng_.Bernoulli(profile_.slow_rate * scale)) {
+    out.entry_scale = profile_.slow_factor;
+    ++slow_ops_;
+    obs_slow_ops_->Add(1);
+  }
+
+  obs_attempts_->Record(out.attempts);
+  return out;
+}
+
+RdmaFaultInjector::RdmaFaultInjector(RdmaFaultProfile profile,
+                                     std::uint64_t seed)
+    : profile_(profile),
+      drop_rng_(seed ^ kRdmaDropTag),
+      partial_rng_(seed ^ kRdmaPartialTag),
+      obs_dropped_(&obs::Global().GetCounter("fault.rdma.dropped_writes")),
+      obs_partial_(&obs::Global().GetCounter("fault.rdma.partial_writes")) {}
+
+RdmaFaultInjector::Decision RdmaFaultInjector::Decide(Nanos now) {
+  const double scale = PhaseScale(profile_.phases, now);
+  const bool drop = drop_rng_.Bernoulli(profile_.write_drop_rate * scale);
+  const bool partial = partial_rng_.Bernoulli(profile_.partial_rate * scale);
+
+  Decision d;
+  if (drop) {
+    d.drop = true;
+    ++dropped_writes_;
+    obs_dropped_->Add(1);
+    return d;
+  }
+  if (partial) {
+    d.partial = true;
+    ++partial_writes_;
+    obs_partial_->Add(1);
+  }
+  return d;
+}
+
+}  // namespace ow::fault

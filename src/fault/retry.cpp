@@ -1,0 +1,24 @@
+#include "src/fault/retry.h"
+
+#include <algorithm>
+
+namespace ow::fault {
+
+Nanos RetryPolicy::DelayFor(std::uint32_t attempt, Rng& rng) const {
+  // One draw per call, unconditionally: toggling base_delay or jitter_frac
+  // must not shift which sample later attempts observe.
+  const double u = rng.NextDouble();
+  if (base_delay <= 0) return 0;
+  double delay = static_cast<double>(base_delay);
+  const double cap = static_cast<double>(max_delay);
+  for (std::uint32_t i = 0; i < attempt && delay < cap; ++i) {
+    delay *= multiplier;
+  }
+  delay = std::min(delay, cap);
+  if (jitter_frac > 0) {
+    delay *= 1.0 + jitter_frac * (2.0 * u - 1.0);
+  }
+  return static_cast<Nanos>(std::max(0.0, delay));
+}
+
+}  // namespace ow::fault

@@ -1,0 +1,41 @@
+// Retry/timeout/backoff policy layer.
+//
+// Every recovery loop in the repository (collection-packet reissue,
+// completion-notification probes, RDMA-path re-collection, switch-OS RPC
+// retries) is governed by an explicit RetryPolicy instead of ad-hoc
+// constants: a bounded attempt budget and capped exponential backoff with
+// optional jitter. Jitter draws come from a caller-owned per-feature Rng
+// stream (the same discipline src/net/link.h uses), so a run is
+// bit-reproducible for a fixed seed and toggling jitter never perturbs any
+// other stochastic schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace ow::fault {
+
+struct RetryPolicy {
+  /// Rounds before a recovery loop gives up and degrades gracefully
+  /// (force-finalize + partial-window flag on the controller path).
+  std::uint32_t max_attempts = 8;
+  /// Delay before retry #0. 0 keeps the historical immediate-reissue
+  /// behavior (and makes DelayFor return 0 for every attempt).
+  Nanos base_delay = 0;
+  /// Cap on the exponentially grown delay.
+  Nanos max_delay = 500 * kMilli;
+  /// Growth factor per attempt.
+  double multiplier = 2.0;
+  /// Uniform jitter as a fraction of the delay: the returned delay is
+  /// scaled by a factor in [1 - jitter_frac, 1 + jitter_frac).
+  double jitter_frac = 0.0;
+
+  /// Backoff delay before retry number `attempt` (0-based). Draws exactly
+  /// one sample from `rng` on every call, whether or not jitter is enabled,
+  /// so the stream stays aligned to the attempt index.
+  Nanos DelayFor(std::uint32_t attempt, Rng& rng) const;
+};
+
+}  // namespace ow::fault

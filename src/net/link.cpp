@@ -16,8 +16,15 @@ void Link::Transmit(Packet p, Nanos now) {
   const Nanos jit = Nanos(jitter_rng_.Uniform(
       std::max<std::uint64_t>(1, std::uint64_t(params_.jitter))));
   const bool spike = spike_rng_.Bernoulli(params_.spike_rate);
+  // The fault injector keeps its own per-feature streams, drawn after the
+  // base features so arming it never shifts the base schedule.
+  fault::LinkFaultInjector::Decision fd;
+  if (faults_) fd = faults_->Decide(now);
 
-  if (lose) {
+  if (lose || fd.drop) {
+    // Injected drops fold into the same loss accounting the recovery layer
+    // and tests already observe; only the fault.link.* counters tell the
+    // two causes apart.
     ++dropped_;
     obs_dropped_->Add();
     return;
@@ -28,7 +35,12 @@ void Link::Transmit(Packet p, Nanos now) {
     ++spiked_;
     obs_spiked_->Add();
   }
+  delay += fd.extra_delay;
   obs_delay_->Record(std::uint64_t(delay));
+  if (fd.duplicate) {
+    Packet copy = p;
+    deliver_(std::move(copy), now + delay + fd.dup_gap);
+  }
   deliver_(std::move(p), now + delay);
 }
 

@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "src/common/packet.h"
 #include "src/common/rng.h"
+#include "src/fault/fault.h"
 #include "src/obs/obs.h"
 
 namespace ow {
@@ -48,6 +50,17 @@ class Link {
   /// (or never, on loss).
   void Transmit(Packet p, Nanos now);
 
+  /// Attach a fault schedule on top of the base loss/jitter/spike model.
+  /// The injector has its own per-feature streams, so arming it never
+  /// perturbs the base schedules; a zero-rate profile is behaviorally
+  /// identical to an unarmed link.
+  void ArmFaults(const fault::LinkFaultProfile& profile, std::uint64_t seed) {
+    faults_ = std::make_unique<fault::LinkFaultInjector>(profile, seed);
+  }
+  const fault::LinkFaultInjector* faults() const noexcept {
+    return faults_.get();
+  }
+
   std::uint64_t transmitted() const noexcept { return transmitted_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
   std::uint64_t spiked() const noexcept { return spiked_; }
@@ -58,6 +71,7 @@ class Link {
   Rng loss_rng_;
   Rng jitter_rng_;
   Rng spike_rng_;
+  std::unique_ptr<fault::LinkFaultInjector> faults_;
   obs::Counter* obs_transmitted_;
   obs::Counter* obs_dropped_;
   obs::Counter* obs_spiked_;

@@ -49,9 +49,19 @@ std::uint64_t RdmaNic::Execute(const RdmaRequest& req) {
       if (req.remote_offset + req.payload.size() > mr->size()) {
         throw std::out_of_range("RdmaNic: WRITE out of MR bounds");
       }
-      std::memcpy(mr->bytes().data() + req.remote_offset, req.payload.data(),
-                  req.payload.size());
+      // NIC time is charged and the attempt high-water mark advances even
+      // when a fault swallows the commit: the request crossed the wire, the
+      // drain logic just finds a hole where its bytes should be.
       nic_time_ += timings_.per_write;
+      mr->NoteWriteAttempt(req.remote_offset + req.payload.size());
+      std::size_t commit = req.payload.size();
+      if (faults_ && req.rkey == fault_rkey_) {
+        const auto fd = faults_->Decide(nic_time_);
+        if (fd.drop) return 0;
+        if (fd.partial) commit /= 2;
+      }
+      std::memcpy(mr->bytes().data() + req.remote_offset, req.payload.data(),
+                  commit);
       return 0;
     }
     case RdmaOpcode::kFetchAdd: {

@@ -14,6 +14,7 @@
 //    quantity Exp#6/#7 compare.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/fault/fault.h"
 
 namespace ow {
 
@@ -55,9 +57,20 @@ class MemoryRegion {
   std::uint64_t ReadU64(std::uint64_t offset) const;
   void WriteU64(std::uint64_t offset, std::uint64_t v);
 
+  /// High-water mark of ATTEMPTED NIC writes into this MR, maintained even
+  /// for writes a fault injector dropped or truncated: the NIC saw the
+  /// request, so the drain logic knows how far the writer intended to get
+  /// and can spot the holes the faults left behind.
+  void NoteWriteAttempt(std::uint64_t end) noexcept {
+    write_hwm_ = std::max(write_hwm_, end);
+  }
+  std::uint64_t write_hwm() const noexcept { return write_hwm_; }
+  void ResetWriteHwm() noexcept { write_hwm_ = 0; }
+
  private:
   std::uint32_t rkey_;
   std::vector<std::uint8_t> bytes_;
+  std::uint64_t write_hwm_ = 0;
 };
 
 /// Cost model for the simulated RNIC.
@@ -85,6 +98,19 @@ class RdmaNic {
   std::uint64_t ops_executed() const noexcept { return ops_; }
   void ResetStats() noexcept { nic_time_ = 0; ops_ = 0; }
 
+  /// Inject write drops / partial completions into WRITEs against the MR
+  /// with rkey `rkey_filter` (the unacked cold-key append path; atomics and
+  /// other MRs stay reliable). PSN accounting and NIC time still advance on
+  /// a faulted request — the wire carried it, only the commit failed.
+  void ArmFaults(const fault::RdmaFaultProfile& profile, std::uint64_t seed,
+                 std::uint32_t rkey_filter) {
+    faults_ = std::make_unique<fault::RdmaFaultInjector>(profile, seed);
+    fault_rkey_ = rkey_filter;
+  }
+  const fault::RdmaFaultInjector* faults() const noexcept {
+    return faults_.get();
+  }
+
  private:
   MemoryRegion* FindMr(std::uint32_t rkey);
 
@@ -95,6 +121,8 @@ class RdmaNic {
   bool psn_seen_ = false;
   Nanos nic_time_ = 0;
   std::uint64_t ops_ = 0;
+  std::unique_ptr<fault::RdmaFaultInjector> faults_;
+  std::uint32_t fault_rkey_ = 0;
 };
 
 /// Switch-side request constructor: keeps the PSN register the P4 program

@@ -1,0 +1,453 @@
+// Chaos harness: sweep fault intensity across the fault matrix and assert
+// window results are EXACT or EXPLICITLY FLAGGED — never silently divergent.
+//
+// For each (kind, seed, intensity) cell the harness runs the same
+// deterministic trace twice: once fault-free (the baseline) and once under
+// fault::MakeChaosPlan(kind, intensity, seed). Every emitted window must
+// then either match the baseline window bit-for-bit (span + detections) or
+// carry the partial flag the controller sets when a retry budget was
+// exhausted. Intensity 0 is held to the stronger bar: bit-identical to the
+// baseline, proving armed-but-idle fault plumbing perturbs nothing.
+//
+//   chaos_run [--seeds=3] [--intensities=0,0.05,0.15,0.3]
+//             [--kinds=loss,reorder,rpc-timeout,rdma-fail]
+//             [--out=chaos_report.json]
+//
+// Writes a JSON report (one row per cell) and exits non-zero on any
+// unflagged divergence. CI runs this under ASan (the `chaos` job).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/network_runner.h"
+#include "src/core/runner.h"
+#include "src/fault/fault.h"
+#include "src/obs/obs.h"
+#include "src/switchsim/switch_os.h"
+#include "src/telemetry/query.h"
+
+namespace ow {
+namespace {
+
+struct Options {
+  int seeds = 3;
+  std::vector<double> intensities{0.0, 0.05, 0.15, 0.30};
+  std::vector<fault::ChaosKind> kinds{
+      fault::ChaosKind::kLoss, fault::ChaosKind::kReorder,
+      fault::ChaosKind::kRpcTimeout, fault::ChaosKind::kRdmaFail};
+  std::string out = "chaos_report.json";
+};
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) {
+      parts.push_back(s.substr(pos));
+      break;
+    }
+    parts.push_back(s.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return parts;
+}
+
+bool ParseArgs(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--seeds=")) {
+      opt.seeds = std::atoi(v);
+    } else if (const char* v = value("--intensities=")) {
+      opt.intensities.clear();
+      for (const std::string& p : SplitCsv(v)) {
+        opt.intensities.push_back(std::atof(p.c_str()));
+      }
+    } else if (const char* v = value("--kinds=")) {
+      opt.kinds.clear();
+      for (const std::string& p : SplitCsv(v)) {
+        if (p == "loss") {
+          opt.kinds.push_back(fault::ChaosKind::kLoss);
+        } else if (p == "reorder") {
+          opt.kinds.push_back(fault::ChaosKind::kReorder);
+        } else if (p == "rpc-timeout") {
+          opt.kinds.push_back(fault::ChaosKind::kRpcTimeout);
+        } else if (p == "rdma-fail") {
+          opt.kinds.push_back(fault::ChaosKind::kRdmaFail);
+        } else {
+          std::fprintf(stderr, "chaos_run: unknown kind '%s'\n", p.c_str());
+          return false;
+        }
+      }
+    } else if (const char* v = value("--out=")) {
+      opt.out = v;
+    } else {
+      std::fprintf(stderr, "chaos_run: unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return opt.seeds > 0 && !opt.intensities.empty() && !opt.kinds.empty();
+}
+
+QueryDef CountDef() {
+  QueryDef def;
+  def.name = "count";
+  def.key_kind = FlowKeyKind::kDstIp;
+  def.aggregate = QueryAggregate::kCount;
+  def.threshold = 8;
+  return def;
+}
+
+/// 1 s of deterministic traffic: five steady flows plus a heavy hitter
+/// (the lossy-collection regression trace), so every window has
+/// non-trivial detections to diverge on.
+Trace MakeLineTrace() {
+  Trace trace;
+  for (int ms = 0; ms < 1000; ++ms) {
+    Packet p;
+    p.ft = {1, std::uint32_t(ms % 5 + 1), 10, 20, 17};
+    p.ts = Nanos(ms) * kMilli;
+    trace.packets.push_back(p);
+    if (ms % 2 == 0) {
+      Packet hh;
+      hh.ft = {2, 99, 10, 20, 17};
+      hh.ts = Nanos(ms) * kMilli + kMicro;
+      trace.packets.push_back(hh);
+    }
+  }
+  trace.SortByTime();
+  return trace;
+}
+
+/// RDMA trace: a few stable flows (they go hot and exercise the mirror
+/// path) plus per-sub-window fresh keys (cold, exercising the faultable
+/// append-buffer WRITEs).
+Trace MakeRdmaTrace() {
+  Trace trace;
+  for (int ms = 0; ms < 1000; ++ms) {
+    Packet p;
+    p.ft = {1, std::uint32_t(ms % 3 + 1), 10, 20, 17};
+    p.ts = Nanos(ms) * kMilli;
+    trace.packets.push_back(p);
+    // Fresh dst per 50 ms sub-window: always cold at collection time.
+    Packet cold;
+    cold.ft = {3, 1000u + std::uint32_t(ms / 50) * 16 + std::uint32_t(ms % 8),
+               10, 20, 17};
+    cold.ts = Nanos(ms) * kMilli + 2 * kMicro;
+    trace.packets.push_back(cold);
+    if (ms % 2 == 0) {
+      Packet hh;
+      hh.ft = {2, 99, 10, 20, 17};
+      hh.ts = Nanos(ms) * kMilli + kMicro;
+      trace.packets.push_back(hh);
+    }
+  }
+  trace.SortByTime();
+  return trace;
+}
+
+WindowSpec Spec() {
+  WindowSpec spec;
+  spec.type = WindowType::kTumbling;
+  spec.window_size = 100 * kMilli;
+  spec.slide = spec.window_size;
+  spec.subwindow_size = 50 * kMilli;
+  return spec;
+}
+
+/// Flat list of windows from a run, in emission order across switches.
+struct Snapshot {
+  struct Win {
+    SubWindowSpan span;
+    FlowSet detected;
+    bool partial = false;
+  };
+  std::vector<Win> windows;
+};
+
+Snapshot SnapLine(const Trace& trace, const fault::FaultPlan& plan,
+                  std::uint64_t seed) {
+  obs::Global().Reset();
+  NetworkRunConfig cfg;
+  cfg.base = RunConfig::Make(Spec());
+  cfg.base.fault = plan;
+  cfg.num_switches = 2;
+  cfg.report_link_seed = 777 + seed;
+  cfg.link_seed = 555 + seed;
+
+  std::vector<std::shared_ptr<QueryAdapter>> apps;
+  const NetworkRunResult net = RunOmniWindowLine(
+      trace,
+      [&](std::size_t) {
+        apps.push_back(std::make_shared<QueryAdapter>(CountDef(), 2048));
+        return apps.back();
+      },
+      cfg, [&](TableView table) { return apps[0]->Detect(table); });
+
+  Snapshot snap;
+  for (const auto& sw : net.per_switch) {
+    for (const auto& w : sw.windows) {
+      snap.windows.push_back({w.span, w.detected, w.partial});
+    }
+  }
+  if (std::getenv("CHAOS_DEBUG")) {
+    for (std::size_t i = 0; i < net.per_switch.size(); ++i) {
+      const auto& c = net.per_switch[i].controller;
+      const auto& d = net.per_switch[i].data_plane;
+      std::fprintf(stderr,
+                   "SW%zu ctrl: fin=%llu forced=%llu afrs=%llu dup=%llu "
+                   "retx=%llu partial_w=%llu | dp: afr_gen=%llu windows=%zu\n",
+                   i, (unsigned long long)c.subwindows_finalized,
+                   (unsigned long long)c.subwindows_force_finalized,
+                   (unsigned long long)c.afrs_received,
+                   (unsigned long long)c.duplicate_afrs,
+                   (unsigned long long)c.retransmissions_requested,
+                   (unsigned long long)c.windows_partial,
+                   (unsigned long long)d.afr_generated,
+                   net.per_switch[i].windows.size());
+      std::fprintf(stderr,
+                   "     dp: term=%llu overruns=%llu | ctrl: gaps=%llu "
+                   "sw_degraded=%llu forced=%llu\n",
+                   (unsigned long long)d.terminations,
+                   (unsigned long long)d.collect_overruns,
+                   (unsigned long long)c.spilled_keys_stored,
+                   (unsigned long long)c.subwindows_degraded_by_switch,
+                   (unsigned long long)c.subwindows_force_finalized);
+      for (const auto& w : net.per_switch[i].windows) {
+        std::fprintf(stderr, "  win [%llu,%llu] det=%zu partial=%d\n",
+                     (unsigned long long)w.span.first,
+                     (unsigned long long)w.span.last, w.detected.size(),
+                     int(w.partial));
+      }
+    }
+  }
+  return snap;
+}
+
+Snapshot SnapRdma(const Trace& trace, const fault::FaultPlan& plan,
+                  std::uint64_t seed) {
+  obs::Global().Reset();
+  RunConfig cfg = RunConfig::Make(Spec());
+  cfg.data_plane.rdma = true;
+  cfg.controller.rdma = true;
+  cfg.fault = plan;
+  cfg.fault.seed = plan.seed + seed;
+  auto app = std::make_shared<QueryAdapter>(CountDef(), 1 << 14);
+  const RunResult run = RunOmniWindow(
+      trace, app, cfg, [&](TableView table) { return app->Detect(table); });
+  Snapshot snap;
+  for (const auto& w : run.windows) {
+    snap.windows.push_back({w.span, w.detected, w.partial});
+  }
+  return snap;
+}
+
+struct CellResult {
+  std::string kind;
+  std::uint64_t seed = 0;
+  double intensity = 0.0;
+  std::size_t windows_total = 0;
+  std::size_t windows_exact = 0;
+  std::size_t windows_flagged = 0;
+  std::size_t divergent_unflagged = 0;
+  std::uint64_t injected_faults = 0;
+  bool zero_must_match = false;
+};
+
+/// Compare a faulted snapshot against the fault-free baseline. At zero
+/// intensity everything must be exact; above it, every window must be
+/// exact or flagged partial.
+void Compare(const Snapshot& base, const Snapshot& got, CellResult& cell) {
+  cell.windows_total = got.windows.size();
+  if (base.windows.size() != got.windows.size()) {
+    // Window cadence is driven by sub-window triggers; a mismatch here is
+    // itself an unflagged structural divergence.
+    cell.divergent_unflagged +=
+        std::max(base.windows.size(), got.windows.size()) -
+        std::min(base.windows.size(), got.windows.size());
+  }
+  const std::size_t n = std::min(base.windows.size(), got.windows.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& b = base.windows[i];
+    const auto& g = got.windows[i];
+    const bool exact = b.span.first == g.span.first &&
+                       b.span.last == g.span.last && b.detected == g.detected;
+    if (exact && !g.partial) {
+      ++cell.windows_exact;
+    } else if (g.partial) {
+      ++cell.windows_flagged;
+      if (cell.zero_must_match) ++cell.divergent_unflagged;
+    } else {
+      ++cell.divergent_unflagged;
+      if (std::getenv("CHAOS_DEBUG")) {
+        std::fprintf(stderr,
+                     "DIVERGE win=%zu base span=[%llu,%llu] |det|=%zu  "
+                     "got span=[%llu,%llu] |det|=%zu partial=%d\n",
+                     i, (unsigned long long)b.span.first,
+                     (unsigned long long)b.span.last, b.detected.size(),
+                     (unsigned long long)g.span.first,
+                     (unsigned long long)g.span.last, g.detected.size(),
+                     int(g.partial));
+        for (const auto& k : b.detected) {
+          if (!g.detected.count(k)) {
+            std::fprintf(stderr, "  base-only dst=%u\n", k.dst_ip());
+          }
+        }
+        for (const auto& k : g.detected) {
+          if (!b.detected.count(k)) {
+            std::fprintf(stderr, "  got-only dst=%u\n", k.dst_ip());
+          }
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t SumFaultCounters() {
+  obs::Registry& reg = obs::Global();
+  return reg.GetCounter("fault.link.injected_drops").value() +
+         reg.GetCounter("fault.link.duplicates").value() +
+         reg.GetCounter("fault.link.reorders").value() +
+         reg.GetCounter("fault.switch_os.rpc_timeouts").value() +
+         reg.GetCounter("fault.switch_os.slow_ops").value() +
+         reg.GetCounter("fault.rdma.dropped_writes").value() +
+         reg.GetCounter("fault.rdma.partial_writes").value() +
+         reg.GetCounter("fault.controller.merge_stalls").value();
+}
+
+/// Switch-OS micro-scenario: under injected RPC timeouts and slow bursts
+/// the driver must return the same register contents, never finish early,
+/// and be deterministic in the seed. Returns false on violation.
+bool CheckSwitchOsFaults(double intensity, std::uint64_t seed,
+                         std::uint64_t& injected) {
+  RegisterArray clean("chaos", 4096, 8);
+  RegisterArray faulted("chaos", 4096, 8);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    clean.ControlWrite(i, i * 2654435761u);
+    faulted.ControlWrite(i, i * 2654435761u);
+  }
+  fault::SwitchOsFaultProfile profile;
+  profile.timeout_rate = intensity;
+  profile.slow_rate = intensity;
+
+  SwitchOsDriver plain;
+  std::vector<std::uint64_t> want;
+  const Nanos t_plain = plain.ReadAll(clean, want, 0);
+
+  auto run = [&](std::vector<std::uint64_t>& out) {
+    SwitchOsDriver os;
+    os.ArmFaults(profile, fault::RetryPolicy{}, seed);
+    Nanos t = 0;
+    for (int op = 0; op < 16; ++op) {
+      out.clear();
+      t = os.ReadAll(faulted, out, t);
+    }
+    injected = os.faults()->timeouts() + os.faults()->slow_ops();
+    return t;
+  };
+  std::vector<std::uint64_t> got1, got2;
+  const Nanos t1 = run(got1);
+  const Nanos t2 = run(got2);
+  if (got1 != want || got2 != want) return false;  // contents corrupted
+  if (t1 != t2) return false;                      // nondeterministic
+  if (intensity == 0.0 && t1 != 16 * t_plain) return false;
+  return true;
+}
+
+}  // namespace
+}  // namespace ow
+
+int main(int argc, char** argv) {
+  using namespace ow;
+  Options opt;
+  if (!ParseArgs(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: chaos_run [--seeds=N] [--intensities=a,b,...]\n"
+                 "                 [--kinds=loss,reorder,rpc-timeout,"
+                 "rdma-fail] [--out=FILE]\n");
+    return 2;
+  }
+
+  const Trace line_trace = MakeLineTrace();
+  const Trace rdma_trace = MakeRdmaTrace();
+  std::vector<CellResult> cells;
+  bool ok = true;
+
+  for (const fault::ChaosKind kind : opt.kinds) {
+    for (int s = 0; s < opt.seeds; ++s) {
+      const std::uint64_t seed = 0xC0A5'0000u + std::uint64_t(s) * 7919;
+      const bool rdma = kind == fault::ChaosKind::kRdmaFail;
+      // Fault-free baseline for this seed (empty plan: nothing armed).
+      const Snapshot base = rdma ? SnapRdma(rdma_trace, fault::FaultPlan{}, s)
+                                 : SnapLine(line_trace, fault::FaultPlan{}, s);
+      for (const double intensity : opt.intensities) {
+        CellResult cell;
+        cell.kind = fault::ChaosKindName(kind);
+        cell.seed = seed;
+        cell.intensity = intensity;
+        cell.zero_must_match = intensity == 0.0;
+
+        const fault::FaultPlan plan =
+            fault::MakeChaosPlan(kind, intensity, seed);
+        const Snapshot got = rdma ? SnapRdma(rdma_trace, plan, s)
+                                  : SnapLine(line_trace, plan, s);
+        cell.injected_faults = SumFaultCounters();
+        Compare(base, got, cell);
+
+        if (kind == fault::ChaosKind::kRpcTimeout) {
+          std::uint64_t os_injected = 0;
+          if (!CheckSwitchOsFaults(intensity, seed, os_injected)) {
+            ++cell.divergent_unflagged;
+          }
+          cell.injected_faults += os_injected;
+        }
+
+        if (cell.divergent_unflagged > 0) ok = false;
+        std::printf(
+            "%-11s seed=%llu intensity=%.2f windows=%zu exact=%zu "
+            "flagged=%zu divergent=%zu faults=%llu\n",
+            cell.kind.c_str(), static_cast<unsigned long long>(cell.seed),
+            cell.intensity, cell.windows_total, cell.windows_exact,
+            cell.windows_flagged, cell.divergent_unflagged,
+            static_cast<unsigned long long>(cell.injected_faults));
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  std::ofstream out(opt.out);
+  out << "{\n  \"schema\": \"ow.chaos.report.v1\",\n  \"ok\": "
+      << (ok ? "true" : "false") << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    out << "    {\"kind\": \"" << c.kind << "\", \"seed\": " << c.seed
+        << ", \"intensity\": " << c.intensity
+        << ", \"windows_total\": " << c.windows_total
+        << ", \"windows_exact\": " << c.windows_exact
+        << ", \"windows_flagged\": " << c.windows_flagged
+        << ", \"divergent_unflagged\": " << c.divergent_unflagged
+        << ", \"injected_faults\": " << c.injected_faults << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "chaos_run: UNFLAGGED DIVERGENCE detected (see %s)\n",
+                 opt.out.c_str());
+    return 1;
+  }
+  std::printf("chaos_run: all windows exact or explicitly flagged (%zu "
+              "cells) -> %s\n",
+              cells.size(), opt.out.c_str());
+  return 0;
+}

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares a freshly produced bench JSON (BENCH_pipeline.json /
+BENCH_merge.json schema family: top-level "results" list of row objects)
+against the committed baseline in bench/results/. Only latency-style
+metrics are gated: any row field whose name contains "ns_per" (lower is
+better). Throughput fields ride along informationally.
+
+Exit codes: 0 ok (warnings allowed), 1 regression beyond the fail
+threshold or malformed/missing input. A row present in the baseline but
+absent from the fresh run is a failure — silently dropping a workload
+must not pass the gate.
+
+Usage:
+  tools/check_bench_regression.py --fresh BENCH_pipeline.json \
+      --baseline bench/results/BENCH_pipeline.json \
+      [--warn-pct 10] [--fail-pct 25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    """Identity of a result row: workload name and/or thread count."""
+    key = []
+    for field in ("workload", "threads"):
+        if field in row:
+            key.append((field, row[field]))
+    return tuple(key)
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        sys.exit(f"error: {path} has no 'results' rows")
+    indexed = {}
+    for row in rows:
+        key = row_key(row)
+        if not key:
+            sys.exit(f"error: {path}: row without workload/threads identity: "
+                     f"{row}")
+        if key in indexed:
+            sys.exit(f"error: {path}: duplicate row identity {key}")
+        indexed[key] = row
+    return indexed
+
+
+def fmt_key(key):
+    return ",".join(f"{f}={v}" for f, v in key)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--fresh", required=True, help="bench JSON from this run")
+    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    ap.add_argument("--warn-pct", type=float, default=10.0)
+    ap.add_argument("--fail-pct", type=float, default=25.0)
+    args = ap.parse_args()
+
+    fresh = load_rows(args.fresh)
+    baseline = load_rows(args.baseline)
+
+    failures = warnings = compared = 0
+    for key, base_row in sorted(baseline.items()):
+        fresh_row = fresh.get(key)
+        if fresh_row is None:
+            print(f"FAIL [{fmt_key(key)}] missing from fresh results")
+            failures += 1
+            continue
+        for field, base_val in base_row.items():
+            if "ns_per" not in field:
+                continue
+            fresh_val = fresh_row.get(field)
+            if not isinstance(fresh_val, (int, float)):
+                print(f"FAIL [{fmt_key(key)}] {field}: missing from fresh row")
+                failures += 1
+                continue
+            if not isinstance(base_val, (int, float)) or base_val <= 0:
+                continue
+            delta_pct = 100.0 * (fresh_val - base_val) / base_val
+            compared += 1
+            line = (f"[{fmt_key(key)}] {field}: baseline {base_val:.1f} "
+                    f"fresh {fresh_val:.1f} ({delta_pct:+.1f}%)")
+            if delta_pct > args.fail_pct:
+                print("FAIL " + line)
+                failures += 1
+            elif delta_pct > args.warn_pct:
+                print("WARN " + line)
+                warnings += 1
+            else:
+                print("  ok " + line)
+
+    if compared == 0:
+        sys.exit("error: no ns_per metrics compared — schema mismatch?")
+    print(f"compared {compared} metrics: {failures} fail, {warnings} warn "
+          f"(warn >{args.warn_pct:g}%, fail >{args.fail_pct:g}%)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
