@@ -1,0 +1,221 @@
+// Exp#11: OmniWindow on arbitrary fabrics — scale sweep and hop-by-hop
+// loss localization fidelity.
+//
+// Part A replays one trace through fabrics of growing size (line, tree,
+// leaf-spine) with a per-switch app + controller each, and reports the
+// simulation cost and the per-link load the deterministic ECMP produced.
+//
+// Part B arms a drop fault on ONE leaf-spine link and localizes it from the
+// per-switch consistent windows alone (per-link flow conservation,
+// LocalizeFlowLoss). The sweep varies the measurement instrument: an exact
+// per-flow counter, then QueryAdapter at shrinking cell counts. The exact
+// instrument charges every lost packet to the armed link and nothing
+// anywhere else; hash-cell collisions (the paper's residual-error model for
+// Sonata-style operators) appear as phantom loss on unarmed links as the
+// table tightens — localization inherits the app's error, the window
+// mechanism adds none of its own.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/network_runner.h"
+#include "src/telemetry/exact_count.h"
+#include "src/telemetry/network_queries.h"
+#include "src/telemetry/query_builder.h"
+#include "src/trace/generator.h"
+
+namespace {
+
+using namespace ow;
+
+Trace MakeTrace(std::uint64_t seed) {
+  TraceConfig tc;
+  tc.seed = seed;
+  tc.duration = 400 * kMilli;
+  tc.packets_per_sec = 25'000;
+  tc.num_flows = 2'500;
+  TraceGenerator gen(tc);
+  return gen.GenerateBackground();
+}
+
+NetworkRunConfig BaseConfig(TopologyConfig topo) {
+  WindowSpec spec;
+  spec.type = WindowType::kTumbling;
+  spec.window_size = 100 * kMilli;
+  spec.subwindow_size = 50 * kMilli;
+  spec.slide = spec.window_size;
+  NetworkRunConfig cfg;
+  cfg.base = RunConfig::Make(spec);
+  cfg.base.controller.kv_capacity = 1 << 16;
+  cfg.topology = topo;
+  cfg.capture_counts = true;
+  cfg.link.latency = 20 * kMicro;
+  cfg.link.jitter = 0;
+  return cfg;
+}
+
+QueryDef CountAllDef() {
+  return QueryBuilder("count_all")
+      .KeyBy(FlowKeyKind::kFiveTuple)
+      .Count()
+      .Threshold(1)
+      .Build();
+}
+
+// ---------------------------------------------------------------------------
+// Part A: fabric scale sweep.
+
+void ScaleSweep(const Trace& trace) {
+  struct Row {
+    const char* name;
+    TopologyConfig topo;
+  };
+  std::vector<Row> rows;
+  {
+    TopologyConfig t;
+    t.kind = TopologyKind::kLine;
+    t.line_switches = 4;
+    rows.push_back({"line-4", t});
+  }
+  {
+    TopologyConfig t;
+    t.kind = TopologyKind::kTree;
+    t.tree_fanout = 2;
+    t.tree_depth = 2;
+    rows.push_back({"tree-2x2", t});
+  }
+  {
+    TopologyConfig t;
+    t.kind = TopologyKind::kLeafSpine;
+    t.leaves = 2;
+    t.spines = 2;
+    rows.push_back({"leafspine-2x2", t});
+  }
+  {
+    TopologyConfig t;
+    t.kind = TopologyKind::kLeafSpine;
+    t.leaves = 4;
+    t.spines = 3;
+    rows.push_back({"leafspine-4x3", t});
+  }
+
+  std::printf("%14s %9s %6s %8s %10s %9s %10s\n", "topology", "switches",
+              "links", "windows", "delivered", "wall(ms)", "pkts/s");
+  for (const Row& row : rows) {
+    NetworkRunConfig cfg = BaseConfig(row.topo);
+    const auto t0 = std::chrono::steady_clock::now();
+    const NetworkRunResult net = RunOmniWindowFabric(
+        trace, [](std::size_t) { return std::make_shared<ExactCountApp>(); },
+        cfg);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    std::size_t windows = 0;
+    for (const SwitchRun& sw : net.per_switch) windows += sw.windows.size();
+    std::printf("%14s %9zu %6zu %8zu %10llu %9.1f %10.0f\n", row.name,
+                net.per_switch.size(), net.links.size(), windows,
+                (unsigned long long)net.delivered, ms,
+                double(trace.packets.size()) / (ms / 1e3));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part B: localization fidelity vs measurement instrument.
+
+struct LocalizationOutcome {
+  std::uint64_t true_drops = 0;
+  std::uint64_t on_armed = 0;
+  std::uint64_t elsewhere = 0;
+  std::size_t windows = 0;
+};
+
+LocalizationOutcome Localize(
+    const Trace& trace, const NetworkRunConfig& cfg,
+    const std::function<AdapterPtr(std::size_t)>& make_app) {
+  const NetworkRunResult net = RunOmniWindowFabric(trace, make_app, cfg);
+  const NextHopFn next_hop = MakeTopologyNextHop(cfg.topology);
+  LocalizationOutcome out;
+  out.true_drops = net.links[std::size_t(cfg.fault_link_index)].dropped;
+  const int armed_from = net.links[std::size_t(cfg.fault_link_index)].from;
+  const int armed_to = net.links[std::size_t(cfg.fault_link_index)].to;
+  for (const auto& [span, counts0] : net.per_switch[0].counts) {
+    std::vector<FlowCounts> per_switch{counts0};
+    bool complete = true;
+    for (std::size_t i = 1; i < net.per_switch.size(); ++i) {
+      const auto it = net.per_switch[i].counts.find(span);
+      if (it == net.per_switch[i].counts.end()) {
+        complete = false;
+        break;
+      }
+      per_switch.push_back(it->second);
+    }
+    if (!complete) continue;
+    ++out.windows;
+    for (const LinkLossReport& link : LocalizeFlowLoss(per_switch, next_hop)) {
+      if (link.from == armed_from && link.to == armed_to) {
+        out.on_armed += link.lost();
+      } else {
+        out.elsewhere += link.lost();
+      }
+    }
+  }
+  return out;
+}
+
+void LocalizationSweep(const Trace& trace) {
+  TopologyConfig topo;
+  topo.kind = TopologyKind::kLeafSpine;
+  topo.leaves = 2;
+  topo.spines = 2;
+  NetworkRunConfig cfg = BaseConfig(topo);
+  cfg.base.fault.inner_link.drop_rate = 0.05;
+  cfg.fault_link_index = 2;  // spine 2 -> egress leaf 1
+
+  struct Row {
+    std::string name;
+    std::function<AdapterPtr(std::size_t)> make_app;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"exact", [](std::size_t) {
+                    return std::make_shared<ExactCountApp>();
+                  }});
+  for (const std::size_t cells : {std::size_t(1) << 16, std::size_t(1) << 13,
+                                  std::size_t(1) << 11}) {
+    rows.push_back({"query-" + std::to_string(cells), [cells](std::size_t) {
+                      return std::make_shared<QueryAdapter>(CountAllDef(),
+                                                            cells);
+                    }});
+  }
+
+  std::printf("%14s %10s %10s %10s %8s\n", "instrument", "true", "on-armed",
+              "phantom", "windows");
+  for (const Row& row : rows) {
+    const LocalizationOutcome o = Localize(trace, cfg, row.make_app);
+    std::printf("%14s %10llu %10llu %10llu %8zu\n", row.name.c_str(),
+                (unsigned long long)o.true_drops,
+                (unsigned long long)o.on_armed,
+                (unsigned long long)o.elsewhere, o.windows);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Trace trace = MakeTrace(1101);
+  std::printf("Exp#11: OmniWindow on arbitrary fabrics "
+              "(%zu packets, 400 ms, per-switch controllers)\n\n",
+              trace.packets.size());
+  std::printf("-- Part A: fabric scale sweep (exact per-flow app) --\n");
+  ScaleSweep(trace);
+  std::printf("\n-- Part B: leaf-spine 2x2, 5%% drop armed on spine2->leaf1, "
+              "localization by flow conservation --\n");
+  LocalizationSweep(trace);
+  std::printf("\n(The exact instrument charges every drop to the armed link; "
+              "shrinking hash tables add collision phantoms — the residual "
+              "error is the app's, not the window mechanism's.)\n");
+  return 0;
+}

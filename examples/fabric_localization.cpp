@@ -1,0 +1,96 @@
+// Network-wide loss localization on a leaf-spine fabric.
+//
+// A 2x2 leaf-spine fabric (leaf 0 ingress, ECMP over both spines, egress
+// leaf 1) runs one OmniWindow deployment per switch: the ingress leaf stamps
+// sub-window numbers, every other switch follows the embedded numbers, so
+// all four per-switch window tables describe the SAME packet population.
+// One fabric link is silently dropping packets. The controller-side query
+// LocalizeFlowLoss walks each flow's (deterministic) ECMP path and charges
+// every per-link count deficit to the link it happened on — naming the
+// faulty link from the telemetry alone, without touching the switches.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/network_runner.h"
+#include "src/telemetry/exact_count.h"
+#include "src/telemetry/network_queries.h"
+#include "src/trace/generator.h"
+
+using namespace ow;
+
+int main() {
+  // 400 ms of background traffic, 2,000 flows.
+  TraceConfig tc;
+  tc.seed = 11;
+  tc.duration = 400 * kMilli;
+  tc.packets_per_sec = 20'000;
+  tc.num_flows = 2'000;
+  TraceGenerator gen(tc);
+  const Trace trace = gen.GenerateBackground();
+
+  // 100 ms tumbling windows over 50 ms sub-windows on a 2x2 leaf-spine.
+  WindowSpec spec;
+  spec.type = WindowType::kTumbling;
+  spec.window_size = 100 * kMilli;
+  spec.subwindow_size = 50 * kMilli;
+  spec.slide = spec.window_size;
+  NetworkRunConfig cfg;
+  cfg.base = RunConfig::Make(spec);
+  cfg.base.controller.kv_capacity = 1 << 16;
+  cfg.topology.kind = TopologyKind::kLeafSpine;
+  cfg.topology.leaves = 2;
+  cfg.topology.spines = 2;
+  cfg.capture_counts = true;  // keep each window's flow-count table
+  cfg.link.latency = 20 * kMicro;
+  cfg.link.jitter = 0;
+
+  // The fault: 6% silent drops on fabric link 2 (spine 2 -> egress leaf 1).
+  cfg.base.fault.inner_link.drop_rate = 0.06;
+  cfg.fault_link_index = 2;
+
+  const NetworkRunResult net = RunOmniWindowFabric(
+      trace, [](std::size_t) { return std::make_shared<ExactCountApp>(); },
+      cfg);
+
+  // Localize per consistent window: gather the four switches' tables for
+  // the same span and difference them along each flow's path.
+  const NextHopFn next_hop = MakeTopologyNextHop(cfg.topology);
+  std::map<std::pair<int, int>, std::uint64_t> inferred;
+  std::size_t windows = 0;
+  for (const auto& [span, counts0] : net.per_switch[0].counts) {
+    std::vector<FlowCounts> per_switch{counts0};
+    bool complete = true;
+    for (std::size_t i = 1; i < net.per_switch.size(); ++i) {
+      const auto it = net.per_switch[i].counts.find(span);
+      if (it == net.per_switch[i].counts.end()) {
+        complete = false;
+        break;
+      }
+      per_switch.push_back(it->second);
+    }
+    if (!complete) continue;
+    ++windows;
+    for (const LinkLossReport& link : LocalizeFlowLoss(per_switch, next_hop)) {
+      inferred[{link.from, link.to}] += link.lost();
+    }
+  }
+
+  std::printf("leaf-spine 2x2, %zu packets, %zu consistent windows\n\n",
+              trace.packets.size(), windows);
+  std::printf("%12s %12s %12s %10s\n", "link", "transmitted", "true drops",
+              "inferred");
+  for (const FabricLinkStats& link : net.links) {
+    const auto it = inferred.find({link.from, link.to});
+    std::printf("   sw%d -> sw%d %12llu %12llu %10llu%s\n", link.from, link.to,
+                (unsigned long long)link.transmitted,
+                (unsigned long long)link.dropped,
+                (unsigned long long)(it == inferred.end() ? 0 : it->second),
+                link.dropped ? "   <- faulty" : "");
+  }
+  std::printf("\n(Inferred loss comes from the window tables alone; the true "
+              "drop column is simulator ground truth.)\n");
+  return 0;
+}

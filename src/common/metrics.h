@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -16,6 +17,12 @@ namespace ow {
 
 using FlowSet = std::unordered_set<FlowKey, FlowKeyHasher>;
 using FlowCounts = std::unordered_map<FlowKey, std::uint64_t, FlowKeyHasher>;
+
+/// Routing oracle shared by the fabric runners and the network-wide loss
+/// queries: the switch id `flow` is forwarded to from `switch_id`, or a
+/// negative value when it exits the fabric there. Deterministic ECMP
+/// deployments derive it from the same hash the switches route with.
+using NextHopFn = std::function<int(int switch_id, const FlowKey& flow)>;
 
 struct PrecisionRecall {
   double precision = 1.0;

@@ -1,8 +1,93 @@
 #include "src/core/network_runner.h"
 
-namespace ow {
+#include <algorithm>
+#include <stdexcept>
 
-NetworkRunResult RunOmniWindowLine(
+namespace ow {
+namespace {
+
+/// Salted per-switch ECMP seed: each fan-out switch hashes with its own
+/// stream so sibling stages don't make correlated choices, while staying a
+/// pure function of (ecmp_seed, switch id) that MakeTopologyNextHop can
+/// reproduce.
+std::uint64_t EcmpSeedOf(const TopologyConfig& topo, int switch_id) {
+  return topo.ecmp_seed ^ Mix64(std::uint64_t(switch_id) + 1);
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> TopologyAdjacency(const TopologyConfig& topo) {
+  std::vector<std::vector<int>> adj;
+  switch (topo.kind) {
+    case TopologyKind::kLine: {
+      if (topo.line_switches < 1) {
+        throw std::invalid_argument("TopologyConfig: empty line");
+      }
+      adj.resize(topo.line_switches);
+      for (std::size_t i = 0; i + 1 < topo.line_switches; ++i) {
+        adj[i].push_back(int(i) + 1);
+      }
+      break;
+    }
+    case TopologyKind::kTree: {
+      if (topo.tree_fanout < 1 || topo.tree_depth < 1) {
+        throw std::invalid_argument("TopologyConfig: degenerate tree");
+      }
+      // BFS ids: level 0 is the root, level l holds fanout^l nodes.
+      std::size_t total = 1, level = 1;
+      for (std::size_t d = 0; d < topo.tree_depth; ++d) {
+        level *= topo.tree_fanout;
+        total += level;
+      }
+      adj.resize(total);
+      std::size_t next = 1;
+      for (std::size_t u = 0; next < total; ++u) {
+        for (std::size_t c = 0; c < topo.tree_fanout && next < total; ++c) {
+          adj[u].push_back(int(next++));
+        }
+      }
+      break;
+    }
+    case TopologyKind::kLeafSpine: {
+      if (topo.leaves < 2 || topo.spines < 1) {
+        throw std::invalid_argument(
+            "TopologyConfig: leaf-spine needs >=2 leaves and >=1 spine");
+      }
+      // Leaves 0..L-1, spines L..L+S-1. Leaf 0 is the ingress: it fans out
+      // over every spine; each spine fans out over every egress leaf; the
+      // egress leaves exit to sinks. Only traffic-bearing links exist, so
+      // every link has clean per-link ground truth.
+      adj.resize(topo.leaves + topo.spines);
+      for (std::size_t s = 0; s < topo.spines; ++s) {
+        adj[0].push_back(int(topo.leaves + s));
+        for (std::size_t l = 1; l < topo.leaves; ++l) {
+          adj[topo.leaves + s].push_back(int(l));
+        }
+      }
+      break;
+    }
+  }
+  return adj;
+}
+
+std::size_t TopologySwitchCount(const TopologyConfig& topo) {
+  return TopologyAdjacency(topo).size();
+}
+
+NextHopFn MakeTopologyNextHop(const TopologyConfig& topo) {
+  auto adj = std::make_shared<const std::vector<std::vector<int>>>(
+      TopologyAdjacency(topo));
+  const TopologyConfig cfg = topo;
+  return [adj, cfg](int u, const FlowKey& flow) -> int {
+    if (u < 0 || std::size_t(u) >= adj->size()) return -1;
+    const std::vector<int>& out = (*adj)[std::size_t(u)];
+    if (out.empty()) return -1;
+    if (out.size() == 1) return out[0];
+    return out[flow.Hash(EcmpSeedOf(cfg, u)) % out.size()];
+  };
+}
+
+NetworkRunResult RunOmniWindowFabric(
     const Trace& trace,
     const std::function<AdapterPtr(std::size_t switch_index)>& make_app,
     NetworkRunConfig cfg,
@@ -12,15 +97,18 @@ NetworkRunResult RunOmniWindowLine(
   cfg.base.controller.fault_profile = cfg.base.fault.controller;
   cfg.base.controller.fault_seed = cfg.base.fault.seed;
 
-  Network net;
+  const std::vector<std::vector<int>> adj = TopologyAdjacency(cfg.topology);
+  const std::size_t num_switches = adj.size();
+
+  Network net(cfg.link_seed);
   std::vector<Switch*> switches;
   std::vector<std::shared_ptr<OmniWindowProgram>> programs;
   std::vector<std::unique_ptr<OmniWindowController>> controllers;
   std::vector<std::unique_ptr<Link>> report_links;
   NetworkRunResult result;
-  result.per_switch.resize(cfg.num_switches);
+  result.per_switch.resize(num_switches);
 
-  for (std::size_t i = 0; i < cfg.num_switches; ++i) {
+  for (std::size_t i = 0; i < num_switches; ++i) {
     Switch* sw = net.AddSwitch(cfg.base.switch_timings);
     OmniWindowConfig dp = cfg.base.data_plane;
     dp.first_hop = (i == 0);
@@ -45,32 +133,70 @@ NetworkRunResult RunOmniWindowLine(
     }
     sw->SetControllerHandler(
         [report](const Packet& p, Nanos now) { report->Transmit(p, now); });
+    const bool capture = cfg.capture_counts;
     controller->SetWindowHandler(
-        [&result, i, &detect](const WindowResult& w) {
+        [&result, i, &detect, capture](const WindowResult& w) {
           EmittedWindow ew;
           ew.span = w.span;
           ew.completed_at = w.completed_at;
           ew.partial = w.partial;
           if (detect) ew.detected = detect(*w.table);
+          if (capture) {
+            FlowCounts counts;
+            w.table->ForEach(
+                [&](const KvSlot& slot) { counts[slot.key] = slot.attrs[0]; });
+            result.per_switch[i].counts[w.span.first] = std::move(counts);
+          }
           result.per_switch[i].windows.push_back(std::move(ew));
         });
     switches.push_back(sw);
     programs.push_back(std::move(program));
     controllers.push_back(std::move(controller));
   }
+
+  // Fabric links, in (switch id, egress port) order: link index == creation
+  // order, which the per-link seeds, the targeted fault arming and
+  // NetworkRunResult::links all key off.
   std::vector<Link*> links;
-  for (std::size_t i = 0; i + 1 < cfg.num_switches; ++i) {
-    links.push_back(net.Connect(switches[i], switches[i + 1], cfg.link,
-                                cfg.link_seed + i));
-    if (cfg.base.fault.inner_link.Any()) {
-      links.back()->ArmFaults(cfg.base.fault.inner_link,
-                              cfg.base.fault.seed + 0x2000 + i);
+  for (std::size_t u = 0; u < num_switches; ++u) {
+    for (std::size_t p = 0; p < adj[u].size(); ++p) {
+      const std::size_t idx = links.size();
+      links.push_back(net.Connect(switches[u], switches[adj[u][p]], cfg.link,
+                                  cfg.link_seed + idx));
+      if (cfg.base.fault.inner_link.Any() &&
+          (cfg.fault_link_index < 0 || cfg.fault_link_index == int(idx))) {
+        links.back()->ArmFaults(cfg.base.fault.inner_link,
+                                cfg.base.fault.seed + 0x2000 + idx);
+      }
+    }
+    if (adj[u].size() > 1) {
+      // Fan-out: hash-based ECMP picks the egress; ports were created in
+      // adjacency order so port index == adjacency index, keeping the
+      // policy and MakeTopologyNextHop bit-aligned.
+      std::vector<int> ports(adj[u].size());
+      for (std::size_t p = 0; p < ports.size(); ++p) ports[p] = int(p);
+      switches[u]->SetForwardingPolicy(
+          MakeEcmpPolicy(std::move(ports), EcmpSeedOf(cfg.topology, int(u))));
+    }
+  }
+  // Egress switches of multi-path fabrics deliver to counted sinks; the
+  // line keeps its historical "last hop forwards into the void" behavior so
+  // pre-change runs reproduce bit for bit.
+  if (cfg.topology.kind != TopologyKind::kLine) {
+    for (std::size_t u = 0; u < num_switches; ++u) {
+      if (!adj[u].empty() || u == 0) continue;
+      net.ConnectToSink(
+          switches[u], LinkParams{.latency = kMicro, .jitter = 0},
+          [&result](Packet, Nanos) { ++result.delivered; },
+          cfg.link_seed + 0x5000 + u);
     }
   }
 
   for (const Packet& p : trace.packets) {
     switches[0]->EnqueueFromWire(p, p.ts);
   }
+  // End-of-trace sentinel: an all-zero five-tuple the ECMP policies flood
+  // down every path, so the final sub-windows terminate on every switch.
   Packet sentinel;
   sentinel.ts = trace.Duration() + cfg.base.window.subwindow_size;
   switches[0]->EnqueueFromWire(sentinel, sentinel.ts);
@@ -81,27 +207,65 @@ NetworkRunResult RunOmniWindowLine(
   // so drive the network between rounds.
   for (int round = 0; round < 16; ++round) {
     bool all_done = true;
+    // Drive every controller through the GLOBAL max sub-window, not its own
+    // switch's: a switch whose copy of the sentinel was dropped on a lossy
+    // fabric link never terminates its final sub-window on its own, but the
+    // ingress switch (where the sentinel is injected directly) always knows
+    // how far time went. The recovery collection rides the reliable
+    // management path and returns the counts the switch actually saw — which
+    // is exactly the measurement (missing packets ARE the loss). Fault-free
+    // fabrics are unaffected: every switch already sits at the max.
+    SubWindowNum through = 0;
+    for (const auto& program : programs) {
+      through = std::max(through, program->current_subwindow());
+    }
     for (std::size_t i = 0; i < controllers.size(); ++i) {
       // Management-path check: the data plane's current sub-window travels
       // the reliable switch-OS channel, so a final trigger lost on the
       // report link cannot strand its sub-window.
-      controllers[i]->EnsureCollectedThrough(programs[i]->current_subwindow(),
-                                             trace.Duration());
+      controllers[i]->EnsureCollectedThrough(through, trace.Duration());
       if (!controllers[i]->Flush(trace.Duration())) all_done = false;
     }
     if (all_done) break;
     net.RunUntilQuiescent(horizon);
   }
 
-  for (std::size_t i = 0; i < cfg.num_switches; ++i) {
+  for (std::size_t i = 0; i < num_switches; ++i) {
     result.per_switch[i].data_plane = programs[i]->stats();
     result.per_switch[i].controller = controllers[i]->stats();
   }
-  for (Link* link : links) result.link_dropped += link->dropped();
+  {
+    std::size_t idx = 0;
+    for (std::size_t u = 0; u < num_switches; ++u) {
+      for (std::size_t p = 0; p < adj[u].size(); ++p, ++idx) {
+        Link* link = links[idx];
+        FabricLinkStats stats;
+        stats.from = int(u);
+        stats.to = adj[u][p];
+        stats.port = int(p);
+        stats.transmitted = link->transmitted();
+        stats.dropped = link->dropped();
+        if (link->faults()) stats.duplicates = link->faults()->duplicates();
+        result.link_dropped += link->dropped();
+        result.links.push_back(stats);
+      }
+    }
+  }
   for (const auto& link : report_links) {
     result.report_dropped += link->dropped();
   }
   return result;
+}
+
+NetworkRunResult RunOmniWindowLine(
+    const Trace& trace,
+    const std::function<AdapterPtr(std::size_t switch_index)>& make_app,
+    NetworkRunConfig cfg,
+    std::function<FlowSet(TableView)> detect) {
+  cfg.topology.kind = TopologyKind::kLine;
+  cfg.topology.line_switches = cfg.num_switches;
+  return RunOmniWindowFabric(trace, make_app, std::move(cfg),
+                             std::move(detect));
 }
 
 }  // namespace ow

@@ -1,14 +1,25 @@
-// Multi-switch (line topology) harness.
+// Multi-switch fabric harness.
 //
-// Deploys OmniWindow on a chain of switches: the first hop runs signals and
-// stamps sub-window numbers, every later hop follows the embedded numbers
-// (§5). Each switch gets its own telemetry app instance and controller, as
-// in a network-wide deployment; the result carries per-switch windows so
-// callers can check cross-switch consistency (Exp#9-style setups, the
+// Deploys OmniWindow on an arbitrary-topology switch fabric: the ingress
+// hop runs signals and stamps sub-window numbers, every later hop follows
+// the embedded numbers (§5). Each switch gets its own telemetry app
+// instance and controller, as in a network-wide deployment; the result
+// carries per-switch windows (and, on request, per-window flow-count
+// tables) so callers can check cross-switch consistency and run hop-by-hop
+// loss localization (Exp#9-style setups, bench/exp11_topology, the
 // ConsistencyAcrossTwoSwitches test, the out-of-order ablation).
+//
+// Topology generators: line (the historical chain), tree (root ingress,
+// hash-ECMP over children, leaves egress) and leaf-spine (leaf 0 ingress,
+// ECMP up to the spines, every spine down to the flow's egress leaf).
+// Routing is deterministic in the five-tuple and the ECMP seed, so
+// MakeTopologyNextHop reconstructs every flow's path exactly — the oracle
+// LocalizeFlowLoss uses to name a lossy link.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -17,10 +28,37 @@
 
 namespace ow {
 
+enum class TopologyKind { kLine, kTree, kLeafSpine };
+
+struct TopologyConfig {
+  TopologyKind kind = TopologyKind::kLine;
+  std::size_t line_switches = 2;  ///< kLine: chain length
+  std::size_t tree_fanout = 2;    ///< kTree: children per internal node
+  std::size_t tree_depth = 2;     ///< kTree: edge levels below the root
+  std::size_t spines = 2;         ///< kLeafSpine
+  std::size_t leaves = 2;         ///< kLeafSpine (leaf 0 is the ingress)
+  /// Seed of the hash-based ECMP routing (per-switch salted). Reseeding
+  /// reshuffles which path each flow rides.
+  std::uint64_t ecmp_seed = 0xEC4F10B5ull;
+};
+
+/// Downstream switch ids per switch, in egress-port order (adj[u][p] is the
+/// switch behind port p of u). Empty list = egress switch. Line: 0->1->...;
+/// tree: BFS ids, root 0; leaf-spine: leaves 0..L-1 then spines L..L+S-1.
+std::vector<std::vector<int>> TopologyAdjacency(const TopologyConfig& topo);
+
+std::size_t TopologySwitchCount(const TopologyConfig& topo);
+
+/// The routing oracle matching the fabric's ECMP policies: deterministic in
+/// (topology, ecmp_seed, five-tuple flow key). Returns -1 where the flow
+/// exits the fabric.
+NextHopFn MakeTopologyNextHop(const TopologyConfig& topo);
+
 struct NetworkRunConfig {
   RunConfig base;
-  std::size_t num_switches = 2;
-  LinkParams link;  ///< between consecutive switches
+  std::size_t num_switches = 2;  ///< line length (RunOmniWindowLine)
+  TopologyConfig topology;       ///< fabric shape (RunOmniWindowFabric)
+  LinkParams link;  ///< between connected switches
   std::uint64_t link_seed = 0x11417C5ull;
   /// Switch -> controller report path (AFR reports, triggers, spilled
   /// keys). Defaults to a perfect wire — identical to the historical
@@ -28,23 +66,56 @@ struct NetworkRunConfig {
   /// retransmission machinery end to end (lossy-collection tests).
   LinkParams report_link{.latency = 0, .jitter = 0};
   std::uint64_t report_link_seed = 0x0B50117ull;
+  /// Also record each window's full per-flow count table in
+  /// SwitchRun::counts (the input LocalizeFlowLoss consumes).
+  bool capture_counts = false;
+  /// Arm base.fault.inner_link on this fabric link index only (creation
+  /// order, see NetworkRunResult::links); -1 arms every fabric link — the
+  /// historical line behavior. Targeted arming gives localization tests a
+  /// single known-lossy link as ground truth.
+  int fault_link_index = -1;
 };
 
 struct SwitchRun {
   std::vector<EmittedWindow> windows;
+  /// Per-window flow-count tables, keyed by the window's first sub-window
+  /// (only filled when NetworkRunConfig::capture_counts is set).
+  std::map<SubWindowNum, FlowCounts> counts;
   OmniWindowProgram::Stats data_plane;
   OmniWindowController::Stats controller;
 };
 
-struct NetworkRunResult {
-  std::vector<SwitchRun> per_switch;
-  std::uint64_t link_dropped = 0;    ///< total drops across inner links
-  std::uint64_t report_dropped = 0;  ///< drops on switch->controller links
+/// Ground-truth stats of one fabric link (creation order = link index).
+struct FabricLinkStats {
+  int from = -1;
+  int to = -1;
+  int port = 0;
+  std::uint64_t transmitted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicates = 0;  ///< injected dup faults delivered twice
 };
 
-/// Replay `trace` through a chain of `cfg.num_switches` switches.
-/// `make_app` builds the per-switch app (called once per switch, in path
-/// order); `detect` extracts each completed window's detections.
+struct NetworkRunResult {
+  std::vector<SwitchRun> per_switch;
+  std::uint64_t link_dropped = 0;    ///< total drops across fabric links
+  std::uint64_t report_dropped = 0;  ///< drops on switch->controller links
+  std::uint64_t delivered = 0;       ///< packets that reached an egress sink
+  std::vector<FabricLinkStats> links;
+};
+
+/// Replay `trace` through the fabric described by `cfg.topology`, injecting
+/// at switch 0. `make_app` builds the per-switch app (called once per
+/// switch, in id order); `detect` extracts each completed window's
+/// detections.
+NetworkRunResult RunOmniWindowFabric(
+    const Trace& trace,
+    const std::function<AdapterPtr(std::size_t switch_index)>& make_app,
+    NetworkRunConfig cfg,
+    std::function<FlowSet(TableView)> detect = {});
+
+/// Replay `trace` through a chain of `cfg.num_switches` switches — the
+/// historical line harness, now a thin wrapper over RunOmniWindowFabric
+/// (bit-identical to the pre-port engine, see topology_test).
 NetworkRunResult RunOmniWindowLine(
     const Trace& trace,
     const std::function<AdapterPtr(std::size_t switch_index)>& make_app,

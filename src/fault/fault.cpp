@@ -34,6 +34,8 @@ const char* ChaosKindName(ChaosKind kind) {
       return "rpc-timeout";
     case ChaosKind::kRdmaFail:
       return "rdma-fail";
+    case ChaosKind::kFabricLoss:
+      return "fabric-loss";
   }
   return "unknown";
 }
@@ -57,6 +59,12 @@ FaultPlan MakeChaosPlan(ChaosKind kind, double intensity, std::uint64_t seed) {
     case ChaosKind::kRdmaFail:
       plan.rdma.write_drop_rate = intensity;
       plan.rdma.partial_rate = intensity / 2.0;
+      break;
+    case ChaosKind::kFabricLoss:
+      // Loss inside the fabric (switch-to-switch), not on the report path:
+      // the consistency model must keep windows comparable across switches
+      // and localization must charge the drops to the armed link.
+      plan.inner_link.drop_rate = intensity;
       break;
   }
   return plan;

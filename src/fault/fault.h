@@ -99,8 +99,11 @@ struct FaultPlan {
   }
 };
 
-/// The fault-matrix axes tools/chaos_run and CI sweep.
-enum class ChaosKind { kLoss, kReorder, kRpcTimeout, kRdmaFail };
+/// The fault-matrix axes tools/chaos_run and CI sweep. kFabricLoss drops
+/// packets on one switch-to-switch fabric link of a leaf-spine deployment
+/// (chaos_run pins the link via NetworkRunConfig::fault_link_index) —
+/// the cell additionally asserts hop-by-hop localization names that link.
+enum class ChaosKind { kLoss, kReorder, kRpcTimeout, kRdmaFail, kFabricLoss };
 
 const char* ChaosKindName(ChaosKind kind);
 

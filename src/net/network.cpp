@@ -1,6 +1,8 @@
 #include "src/net/network.h"
 
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace ow {
 
@@ -20,25 +22,54 @@ LocalClock& Network::ClockOf(const Switch* sw) {
   throw std::invalid_argument("Network::ClockOf: unknown switch");
 }
 
+int Network::ResolvePort(Switch* a, int port, const char* where) const {
+  if (port == kAutoPort) {
+    int p = 0;
+    while (a->HasPortHandler(p)) ++p;
+    return p;
+  }
+  if (port < 0) {
+    throw std::invalid_argument(std::string(where) + ": negative port");
+  }
+  if (a->HasPortHandler(port)) {
+    throw std::logic_error(std::string(where) + ": switch " +
+                           std::to_string(a->id()) + " port " +
+                           std::to_string(port) + " already connected");
+  }
+  return port;
+}
+
 Link* Network::Connect(Switch* a, Switch* b, LinkParams params,
-                       std::uint64_t seed) {
+                       std::optional<std::uint64_t> seed, int port) {
+  if (params.latency <= 0) {
+    // Zero-latency inter-switch links would let a switch schedule work for
+    // a neighbor at the very timestamp the neighbor may already have
+    // batched past (see RunUntilQuiescent).
+    throw std::invalid_argument(
+        "Network::Connect: inter-switch links need positive latency");
+  }
+  const int egress = ResolvePort(a, port, "Network::Connect");
   auto link = std::make_unique<Link>(
       params,
       [b](Packet p, Nanos arrival) { b->EnqueueFromWire(std::move(p), arrival); },
-      seed);
+      seed.value_or(DeriveLinkSeed()));
   Link* raw = link.get();
-  a->SetForwardHandler(
-      [raw](const Packet& p, Nanos now) { raw->Transmit(p, now); });
+  a->SetPortHandler(egress,
+                    [raw](const Packet& p, Nanos now) { raw->Transmit(p, now); });
+  link_infos_.push_back({raw, a->id(), b->id(), egress});
   links_.push_back(std::move(link));
   return raw;
 }
 
 Link* Network::ConnectToSink(Switch* a, LinkParams params, Link::Deliver sink,
-                             std::uint64_t seed) {
-  auto link = std::make_unique<Link>(params, std::move(sink), seed);
+                             std::optional<std::uint64_t> seed, int port) {
+  const int egress = ResolvePort(a, port, "Network::ConnectToSink");
+  auto link =
+      std::make_unique<Link>(params, std::move(sink), seed.value_or(DeriveLinkSeed()));
   Link* raw = link.get();
-  a->SetForwardHandler(
-      [raw](const Packet& p, Nanos now) { raw->Transmit(p, now); });
+  a->SetPortHandler(egress,
+                    [raw](const Packet& p, Nanos now) { raw->Transmit(p, now); });
+  link_infos_.push_back({raw, a->id(), -1, egress});
   links_.push_back(std::move(link));
   return raw;
 }
@@ -48,10 +79,14 @@ Nanos Network::RunUntilQuiescent(Nanos max_time) {
   while (true) {
     // Pick the switch with the earliest pending event, and the next-earliest
     // event time among the OTHER switches. The earliest switch may batch all
-    // the way to that bound: links only ever schedule downstream arrivals at
-    // or after the causing event, so no other device can create work for it
-    // before `bound`, and per-switch event order — the only order that
-    // matters, device state is per-switch — is untouched.
+    // the way to that bound: links only ever schedule downstream arrivals
+    // strictly after the causing event (positive latency, enforced by
+    // Connect), so no other device — however many upstream links feed it —
+    // can create work for the earliest switch before `bound`, and per-switch
+    // event order — the only order that matters, device state is per-switch
+    // — is untouched. The argument is topology-free: `others` ranges over
+    // every other device, so multi-downstream fan-out and fan-in tighten the
+    // bound but never invalidate it.
     Switch* earliest = nullptr;
     Nanos t = -1;
     Nanos others = -1;
@@ -73,6 +108,22 @@ Nanos Network::RunUntilQuiescent(Nanos max_time) {
     clock_.AdvanceTo(earliest->last_event_time());
   }
   return last;
+}
+
+Switch::ForwardingPolicy MakeEcmpPolicy(std::vector<int> ports,
+                                        std::uint64_t seed) {
+  if (ports.empty()) {
+    throw std::invalid_argument("MakeEcmpPolicy: no member ports");
+  }
+  return [ports = std::move(ports), seed](const Packet& p, Nanos) -> int {
+    const FiveTuple& ft = p.ft;
+    if (ft.src_ip == 0 && ft.dst_ip == 0 && ft.src_port == 0 &&
+        ft.dst_port == 0 && ft.proto == 0) {
+      return kFloodEgress;  // sentinel / signal packet: reach every path
+    }
+    const std::uint64_t h = p.Key(FlowKeyKind::kFiveTuple).Hash(seed);
+    return ports[h % ports.size()];
+  };
 }
 
 }  // namespace ow

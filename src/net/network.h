@@ -3,16 +3,30 @@
 // Network owns a set of switches and drives them in global time order:
 // repeatedly pick the device with the earliest pending event and process
 // exactly that timestamp. Because every handler schedules downstream
-// arrivals strictly later (links have positive latency), processing the
-// globally-earliest event first preserves causality without a shared event
-// queue. This is the substrate for the network-wide experiments (Exp#9's
-// two-switch LossRadar deployment, consistency-model propagation).
+// arrivals strictly later (inter-switch links must have positive latency;
+// Connect enforces it), processing the globally-earliest event first
+// preserves causality without a shared event queue — for arbitrary directed
+// topologies, not just chains: the batching bound below is the minimum next
+// event over ALL other devices, so it is valid no matter how many
+// downstream (or upstream) neighbors a switch has. This is the substrate
+// for the network-wide experiments (Exp#9's LossRadar deployment, the
+// fabric-scale loss localization of bench/exp11_topology).
+//
+// Topology model: each switch exposes dense integer egress ports. Connect
+// wires one port of `a` into `b` (or a sink); fan-out is multiple ports on
+// one switch, fan-in is multiple links delivering into one switch's wire
+// ingress. Which port a forwarded packet leaves on is decided by the
+// program (PipelineActions::egress_port) or the switch's forwarding policy
+// (e.g. MakeEcmpPolicy); single-port switches need neither.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/hash.h"
 #include "src/net/link.h"
 #include "src/switchsim/pipeline.h"
 
@@ -20,6 +34,16 @@ namespace ow {
 
 class Network {
  public:
+  /// "Pick the lowest unconnected egress port" for Connect/ConnectToSink.
+  static constexpr int kAutoPort = -1;
+
+  /// `base_seed` feeds the per-link seed derivation: every link created
+  /// without an explicit seed gets a distinct SplitMix-derived stream, so
+  /// default-seeded links never share loss/jitter schedules. Runs are
+  /// reproducible from (base_seed, construction order).
+  explicit Network(std::uint64_t base_seed = 0x0117C011417C5ull)
+      : base_seed_(base_seed) {}
+
   /// Create a switch owned by the network. `clock_deviation` models residual
   /// PTP error for this device (Exp#9).
   Switch* AddSwitch(SwitchTimings timings = {}, Nanos clock_deviation = 0);
@@ -27,14 +51,32 @@ class Network {
   /// Per-switch local clock (global simulated time + deviation).
   LocalClock& ClockOf(const Switch* sw);
 
-  /// Wire a's forwarded packets into b over a link. Returns the link for
-  /// stats inspection. Only one downstream per switch (linear topologies).
+  /// Wire egress `port` of `a` into b over a link. Returns the link for
+  /// stats inspection. `port = kAutoPort` picks the lowest free port;
+  /// connecting an explicitly named occupied port throws (no silent
+  /// overwrite). Links between switches must have positive latency — the
+  /// earliest-device batching in RunUntilQuiescent relies on downstream
+  /// arrivals being strictly later than their cause. Passing no seed
+  /// derives a per-link seed from the network base seed.
   Link* Connect(Switch* a, Switch* b, LinkParams params,
-                std::uint64_t seed = 0x117C);
+                std::optional<std::uint64_t> seed = std::nullopt,
+                int port = kAutoPort);
 
-  /// Wire a's forwarded packets to a sink callback over a link (last hop).
+  /// Wire egress `port` of `a` to a sink callback over a link (last hop).
   Link* ConnectToSink(Switch* a, LinkParams params, Link::Deliver sink,
-                      std::uint64_t seed = 0x5117C);
+                      std::optional<std::uint64_t> seed = std::nullopt,
+                      int port = kAutoPort);
+
+  /// One entry per Connect/ConnectToSink call, in creation order. `to` is
+  /// the downstream switch id, or -1 for a sink. This is the ground-truth
+  /// map the loss-localization checks compare against.
+  struct LinkInfo {
+    Link* link = nullptr;
+    int from = -1;
+    int to = -1;
+    int port = 0;
+  };
+  const std::vector<LinkInfo>& links() const noexcept { return link_infos_; }
 
   /// Drive all switches until no device has a pending event at or before
   /// `max_time`. Returns the timestamp of the last processed event (-1 if
@@ -48,9 +90,29 @@ class Network {
     std::unique_ptr<Switch> sw;
     LocalClock clock;
   };
+
+  /// Resolve/validate the egress port for a new connection on `a`.
+  int ResolvePort(Switch* a, int port, const char* where) const;
+  /// SplitMix sequence over the link-creation index, decorrelated from the
+  /// base seed (the scheme src/fault uses for its per-feature streams).
+  std::uint64_t DeriveLinkSeed() const noexcept {
+    return Mix64(base_seed_ +
+                 0x9E3779B97F4A7C15ull * (std::uint64_t(links_.size()) + 1));
+  }
+
   SimClock clock_;
+  std::uint64_t base_seed_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
+  std::vector<LinkInfo> link_infos_;
 };
+
+/// Hash-based ECMP forwarding policy: a flow's five-tuple picks one member
+/// port, so every packet of a flow rides the same path (deterministic in
+/// `seed`; reseeding reshuffles the flow->port mapping). Packets without an
+/// addressable flow (all-zero five-tuple, e.g. end-of-trace sentinels) are
+/// flooded to every member so window-moving signals reach all paths.
+Switch::ForwardingPolicy MakeEcmpPolicy(std::vector<int> ports,
+                                        std::uint64_t seed);
 
 }  // namespace ow

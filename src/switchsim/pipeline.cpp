@@ -23,6 +23,14 @@ void Switch::SetProgram(std::shared_ptr<SwitchProgram> program) {
   for (RegisterArray* r : registers_) r->BindPassEpoch(&pass_epoch_);
 }
 
+void Switch::SetPortHandler(int port, PacketHandler handler) {
+  if (port < 0) {
+    throw std::invalid_argument("Switch::SetPortHandler: negative port");
+  }
+  if (std::size_t(port) >= ports_.size()) ports_.resize(std::size_t(port) + 1);
+  ports_[std::size_t(port)] = std::move(handler);
+}
+
 void Switch::EnqueueFromWire(Packet p, Nanos arrival) {
   Event ev{arrival, next_seq_++, PacketSource::kWire, std::move(p)};
   // In-order arrivals ride the FIFO lane; a late arrival (links with jitter
@@ -109,10 +117,27 @@ void Switch::DispatchEvent(Event& ev, PassCounts& counts) {
       to_controller_(p, ev.time + timings_.to_controller_latency);
     }
   }
-  if (!scratch_.drop && forward_) {
-    ++counts.forwarded;
-    forward_(ev.packet, ev.time + timings_.pipeline_latency);
-  } else if (scratch_.drop) {
+  if (!scratch_.drop) {
+    // Egress resolution: the program's explicit choice wins, then the
+    // forwarding policy (ECMP, app routing), then port 0 — which keeps a
+    // single-downstream switch bit-identical to the pre-port engine.
+    int port = scratch_.egress_port;
+    if (port == kNoEgressPort && policy_) port = policy_(ev.packet, ev.time);
+    if (port == kFloodEgress) {
+      for (const PacketHandler& out : ports_) {
+        if (!out) continue;
+        ++counts.forwarded;
+        out(ev.packet, ev.time + timings_.pipeline_latency);
+      }
+    } else {
+      if (port < 0) port = 0;
+      if (std::size_t(port) < ports_.size() && ports_[std::size_t(port)]) {
+        ++counts.forwarded;
+        ports_[std::size_t(port)](ev.packet,
+                                  ev.time + timings_.pipeline_latency);
+      }
+    }
+  } else {
     ++counts.dropped;
   }
 }

@@ -47,15 +47,26 @@ enum class PacketSource : std::uint8_t {
   kRecirculation = 2,  ///< the recirculation port
 };
 
+/// "No egress chosen": the switch falls back to its forwarding policy, then
+/// to port 0 (the historical single-downstream behavior).
+inline constexpr int kNoEgressPort = -1;
+/// Replicate the packet on every connected egress port (protocol floods,
+/// e.g. the end-of-trace sentinel that must terminate every path).
+inline constexpr int kFloodEgress = -2;
+
 /// Side effects one pipeline pass may request. The switch reuses one
 /// instance across passes; programs only ever append.
 struct PipelineActions {
   bool drop = false;
+  /// Egress port the program picked for the forwarded packet; kNoEgressPort
+  /// defers to the switch's forwarding policy / default port.
+  int egress_port = kNoEgressPort;
   SmallVector<Packet, 2> recirculate;
   SmallVector<Packet, 2> to_controller;
 
   void Clear() noexcept {
     drop = false;
+    egress_port = kNoEgressPort;
     recirculate.clear();
     to_controller.clear();
   }
@@ -93,6 +104,10 @@ struct SwitchTimings {
 class Switch {
  public:
   using PacketHandler = std::function<void(const Packet&, Nanos)>;
+  /// Picks the egress port for a forwarded packet the program left
+  /// unrouted (kNoEgressPort). May return kFloodEgress to replicate on
+  /// every connected port. Must be deterministic for reproducible runs.
+  using ForwardingPolicy = std::function<int(const Packet&, Nanos)>;
 
   explicit Switch(int id, SwitchTimings timings = {});
 
@@ -107,9 +122,25 @@ class Switch {
   void SetProgram(std::shared_ptr<SwitchProgram> program);
   SwitchProgram* program() const noexcept { return program_.get(); }
 
-  /// Delivery of forwarded packets (next hop / end host).
+  /// Delivery of forwarded packets (next hop / end host) on egress port 0 —
+  /// the historical single-downstream API, equivalent to
+  /// SetPortHandler(0, handler).
   void SetForwardHandler(PacketHandler handler) {
-    forward_ = std::move(handler);
+    SetPortHandler(0, std::move(handler));
+  }
+  /// Delivery of forwarded packets on a specific egress port. Ports are
+  /// dense small integers; setting a port grows the port table.
+  void SetPortHandler(int port, PacketHandler handler);
+  bool HasPortHandler(int port) const noexcept {
+    return port >= 0 && std::size_t(port) < ports_.size() &&
+           bool(ports_[std::size_t(port)]);
+  }
+  std::size_t num_ports() const noexcept { return ports_.size(); }
+  /// Forwarding-decision hook consulted when the program does not pick an
+  /// egress itself (apps can: PipelineActions::egress_port). Without a
+  /// policy, unrouted packets leave on port 0.
+  void SetForwardingPolicy(ForwardingPolicy policy) {
+    policy_ = std::move(policy);
   }
   /// Delivery of cloned/report packets to the controller.
   void SetControllerHandler(PacketHandler handler) {
@@ -196,7 +227,8 @@ class Switch {
   SwitchTimings timings_;
   std::shared_ptr<SwitchProgram> program_;
   std::vector<RegisterArray*> registers_;
-  PacketHandler forward_;
+  std::vector<PacketHandler> ports_;  ///< per-egress-port delivery
+  ForwardingPolicy policy_;
   PacketHandler to_controller_;
 
   std::vector<Event> fifo_;

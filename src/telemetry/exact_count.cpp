@@ -1,0 +1,25 @@
+#include "src/telemetry/exact_count.h"
+
+namespace ow {
+
+void ExactCountApp::Update(const Packet& p, int region) {
+  ++counts_[std::size_t(region)][p.Key(key_kind_)];
+}
+
+FlowRecord ExactCountApp::Query(const FlowKey& key, int region,
+                                SubWindowNum subwindow) const {
+  FlowRecord rec;
+  rec.key = key;
+  rec.num_attrs = 1;
+  rec.subwindow = subwindow;
+  const FlowCounts& counts = counts_[std::size_t(region)];
+  const auto it = counts.find(key);
+  rec.attrs[0] = it == counts.end() ? 0 : it->second;
+  return rec;
+}
+
+void ExactCountApp::ResetSlice(int region, std::size_t) {
+  counts_[std::size_t(region)].clear();
+}
+
+}  // namespace ow

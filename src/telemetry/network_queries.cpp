@@ -1,5 +1,8 @@
 #include "src/telemetry/network_queries.h"
 
+#include <algorithm>
+#include <map>
+
 namespace ow {
 
 std::vector<FlowLossReport> InferFlowLoss(TableView upstream,
@@ -32,6 +35,53 @@ std::vector<FlowLossReport> InferFlowLoss(const FlowCounts& upstream,
 }
 
 std::uint64_t TotalLost(const std::vector<FlowLossReport>& reports) {
+  std::uint64_t total = 0;
+  for (const auto& r : reports) total += r.lost();
+  return total;
+}
+
+std::vector<LinkLossReport> LocalizeFlowLoss(
+    const std::vector<FlowCounts>& per_switch, const NextHopFn& next_hop,
+    std::uint64_t min_loss) {
+  // Keyed by (from, to) so the result order is independent of the
+  // unordered per-switch table iteration order.
+  std::map<std::pair<int, int>, LinkLossReport> by_link;
+  for (int u = 0; u < int(per_switch.size()); ++u) {
+    for (const auto& [key, up_count] : per_switch[u]) {
+      const int v = next_hop(u, key);
+      if (v < 0 || v >= int(per_switch.size())) continue;  // exits fabric
+      auto it = per_switch[v].find(key);
+      const std::uint64_t down_count =
+          it == per_switch[v].end() ? 0 : it->second;
+      LinkLossReport& link = by_link[{u, v}];
+      link.from = u;
+      link.to = v;
+      link.upstream += up_count;
+      link.downstream += down_count;
+      if (up_count >= down_count + min_loss) {
+        link.flows.push_back({key, up_count, down_count});
+      }
+    }
+  }
+  std::vector<LinkLossReport> reports;
+  reports.reserve(by_link.size());
+  for (auto& [edge, link] : by_link) {
+    std::sort(link.flows.begin(), link.flows.end(),
+              [](const FlowLossReport& a, const FlowLossReport& b) {
+                if (a.lost() != b.lost()) return a.lost() > b.lost();
+                return a.flow.Hash(0) < b.flow.Hash(0);
+              });
+    reports.push_back(std::move(link));
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const LinkLossReport& a, const LinkLossReport& b) {
+              if (a.lost() != b.lost()) return a.lost() > b.lost();
+              return std::pair(a.from, a.to) < std::pair(b.from, b.to);
+            });
+  return reports;
+}
+
+std::uint64_t TotalLost(const std::vector<LinkLossReport>& reports) {
   std::uint64_t total = 0;
   for (const auto& r : reports) total += r.lost();
   return total;

@@ -63,6 +63,18 @@ Trace LoadTrace(const std::string& path) {
   if (version != kVersion) {
     throw std::runtime_error("LoadTrace: unsupported version in " + path);
   }
+  // The header count is untrusted: bound it by the bytes actually present
+  // before reserving, so a corrupt or truncated file fails with the same
+  // "truncated" error the per-record check throws instead of forcing a
+  // multi-GB allocation first.
+  const std::streampos body_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::uint64_t remaining =
+      std::uint64_t(in.tellg() - body_start);
+  in.seekg(body_start);
+  if (n > remaining / sizeof(WireRecord)) {
+    throw std::runtime_error("LoadTrace: truncated " + path);
+  }
   Trace trace;
   trace.packets.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {

@@ -143,6 +143,32 @@ TEST(TraceIo, RejectsMissingFile) {
   EXPECT_THROW(LoadTrace("/nonexistent/path/trace.bin"), std::runtime_error);
 }
 
+TEST(TraceIo, RejectsOversizedHeaderCount) {
+  // Valid magic/version but a record count far beyond the bytes actually in
+  // the file: the loader must fail with the truncation error up front, not
+  // reserve terabytes on the untrusted header first.
+  const std::string path = ::testing::TempDir() + "/ow_hdr_count.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::uint32_t magic = 0x4F575452, version = 1;  // "OWTR" v1
+    const std::uint64_t n = std::uint64_t(1) << 40;
+    std::fwrite(&magic, 4, 1, f);
+    std::fwrite(&version, 4, 1, f);
+    std::fwrite(&n, 8, 1, f);
+    const char body[32] = {};  // one record's worth of payload
+    std::fwrite(body, 1, sizeof(body), f);
+    std::fclose(f);
+  }
+  try {
+    LoadTrace(path);
+    FAIL() << "oversized header count was not rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(TraceIo, RejectsCorruptMagic) {
   const std::string path = ::testing::TempDir() + "/ow_bad_magic.bin";
   {
