@@ -14,7 +14,14 @@
 // Sonata-style operators) appear as phantom loss on unarmed links as the
 // table tightens — localization inherits the app's error, the window
 // mechanism adds none of its own.
+//
+// Part C sweeps the conservative-lookahead parallel fabric engine
+// (docs/parallel_execution.md) over thread count x fabric size and emits
+// BENCH_fabric.json (override with --out=, round budget with --min-time=)
+// for the regression gate in tools/check_bench_regression.py.
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -22,7 +29,9 @@
 #include <utility>
 #include <vector>
 
+#include "bench/harness.h"
 #include "src/core/network_runner.h"
+#include "src/obs/obs.h"
 #include "src/telemetry/exact_count.h"
 #include "src/telemetry/network_queries.h"
 #include "src/telemetry/query_builder.h"
@@ -202,9 +211,107 @@ void LocalizationSweep(const Trace& trace) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Part C: parallel engine, thread-count x fabric-size sweep.
+
+/// Sum-of-worker-busy over max-worker-busy from the `net.parallel.busy_ns.*`
+/// counters of the runs since the last obs reset: how much concurrent work
+/// the conservative horizons exposed, independent of how many cores the
+/// host actually has (the perf_merge convention for 1-2 vCPU CI hosts —
+/// wall-clock speedup is only meaningful when host_cpus covers the workers).
+double CriticalPathSpeedup(std::size_t threads) {
+  std::uint64_t sum = 0, longest = 0;
+  for (std::size_t w = 0; w < threads; ++w) {
+    const std::uint64_t busy =
+        obs::Global()
+            .GetCounter("net.parallel.busy_ns.w" + std::to_string(w))
+            .value();
+    sum += busy;
+    longest = std::max(longest, busy);
+  }
+  return longest > 0 ? double(sum) / double(longest) : 0.0;
+}
+
+void FabricSweep(const Trace& trace, double min_time,
+                 const std::string& out_path) {
+  struct Fabric {
+    const char* name;
+    std::size_t leaves, spines;
+  };
+  // 64 switches (48 leaves x 16 spines) is the headline point; the smaller
+  // fabrics show where the horizon overhead starts paying for itself.
+  const std::vector<Fabric> fabrics = {
+      {"leafspine-4x3", 4, 3},
+      {"leafspine-8x8", 8, 8},
+      {"leafspine-48x16", 48, 16},
+  };
+  std::vector<bench::BenchThroughputRow> rows;
+  std::printf("%16s %8s %7s %9s %8s %10s %6s\n", "fabric", "threads",
+              "rounds", "agg-pkts", "ns/pkt", "Mpps", "cp-x");
+  for (const Fabric& fab : fabrics) {
+    TopologyConfig topo;
+    topo.kind = TopologyKind::kLeafSpine;
+    topo.leaves = fab.leaves;
+    topo.spines = fab.spines;
+    for (const std::size_t threads : {0u, 1u, 2u, 4u, 8u}) {
+      NetworkRunConfig cfg = BaseConfig(topo);
+      cfg.capture_counts = false;  // bench the engine, not the table copies
+      cfg.parallel.threads = threads;
+      obs::Global().Reset();
+      double wall_ns = 0;
+      std::uint64_t agg_pkts = 0;  // every packet at every switch it crossed
+      int rounds = 0;
+      while (rounds < 1 || wall_ns < min_time * 1e9) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const NetworkRunResult net = RunOmniWindowFabric(
+            trace,
+            [](std::size_t) { return std::make_shared<ExactCountApp>(); },
+            cfg);
+        wall_ns += double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+        agg_pkts = 0;
+        for (const SwitchRun& sw : net.per_switch) {
+          agg_pkts += sw.data_plane.packets_measured;
+        }
+        ++rounds;
+      }
+      bench::BenchThroughputRow row;
+      row.workload = fab.name;
+      row.items = agg_pkts;
+      row.rounds = rounds;
+      row.ns_per_item = wall_ns / (double(agg_pkts) * rounds);
+      row.items_per_sec = 1e9 / row.ns_per_item;
+      row.threads = int(threads);
+      if (threads > 0) {
+        row.critical_path_speedup = CriticalPathSpeedup(threads);
+      }
+      std::printf("%16s %8zu %7d %9llu %8.1f %10.3f %6.2f\n", fab.name,
+                  threads, rounds, (unsigned long long)agg_pkts,
+                  row.ns_per_item, row.items_per_sec / 1e6,
+                  row.critical_path_speedup);
+      rows.push_back(std::move(row));
+    }
+  }
+  char trace_desc[160];
+  std::snprintf(trace_desc, sizeof(trace_desc),
+                "{\"name\": \"MakeTrace(1101)\", \"packets\": %zu, "
+                "\"duration_ms\": 400}",
+                trace.packets.size());
+  if (bench::WriteThroughputJson(out_path, "fabric_parallel", trace_desc,
+                                 min_time, "packet", rows)) {
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", out_path.c_str());
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const double min_time = bench::MinTimeFromArgs(argc, argv, 0.3);
+  const std::string out_path =
+      bench::OutPathFromArgs(argc, argv, "BENCH_fabric.json");
   const Trace trace = MakeTrace(1101);
   std::printf("Exp#11: OmniWindow on arbitrary fabrics "
               "(%zu packets, 400 ms, per-switch controllers)\n\n",
@@ -217,5 +324,8 @@ int main() {
   std::printf("\n(The exact instrument charges every drop to the armed link; "
               "shrinking hash tables add collision phantoms — the residual "
               "error is the app's, not the window mechanism's.)\n");
+  std::printf("\n-- Part C: parallel engine, thread x fabric sweep "
+              "(conservative lookahead, bit-identical windows) --\n");
+  FabricSweep(trace, min_time, out_path);
   return 0;
 }

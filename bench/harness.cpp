@@ -43,11 +43,17 @@ bool WriteThroughputJson(const std::string& path, const std::string& bench,
     const BenchThroughputRow& r = rows[i];
     std::fprintf(f,
                  "    {\"workload\": \"%s\", \"%ss\": %llu, \"rounds\": %d, "
-                 "\"ns_per_%s\": %.1f, \"%ss_per_sec\": %.0f}%s\n",
+                 "\"ns_per_%s\": %.1f, \"%ss_per_sec\": %.0f",
                  r.workload.c_str(), item_name.c_str(),
                  static_cast<unsigned long long>(r.items), r.rounds,
                  item_name.c_str(), r.ns_per_item, item_name.c_str(),
-                 r.items_per_sec, i + 1 < rows.size() ? "," : "");
+                 r.items_per_sec);
+    if (r.threads >= 0) std::fprintf(f, ", \"threads\": %d", r.threads);
+    if (r.critical_path_speedup > 0) {
+      std::fprintf(f, ", \"critical_path_speedup\": %.2f",
+                   r.critical_path_speedup);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -84,6 +84,13 @@ struct BenchThroughputRow {
   int rounds = 0;
   double ns_per_item = 0;
   double items_per_sec = 0;
+  /// Worker threads used (emitted when >= 0; part of the row identity in
+  /// tools/check_bench_regression.py, which keys rows by workload+threads).
+  int threads = -1;
+  /// Sum-of-worker-busy over max-worker-busy: how much concurrent work the
+  /// engine exposed, independent of how many cores the host actually has
+  /// (the perf_merge convention for 1-vCPU CI hosts). Emitted when > 0.
+  double critical_path_speedup = 0;
 };
 
 /// Write rows as `{"bench": <bench>, "trace": {...<trace_desc>...},

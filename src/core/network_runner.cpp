@@ -1,6 +1,7 @@
 #include "src/core/network_runner.h"
 
 #include <algorithm>
+#include <deque>
 #include <stdexcept>
 
 namespace ow {
@@ -101,6 +102,7 @@ NetworkRunResult RunOmniWindowFabric(
   const std::size_t num_switches = adj.size();
 
   Network net(cfg.link_seed);
+  net.SetParallel(cfg.parallel);
   std::vector<Switch*> switches;
   std::vector<std::shared_ptr<OmniWindowProgram>> programs;
   std::vector<std::unique_ptr<OmniWindowController>> controllers;
@@ -181,13 +183,18 @@ NetworkRunResult RunOmniWindowFabric(
   }
   // Egress switches of multi-path fabrics deliver to counted sinks; the
   // line keeps its historical "last hop forwards into the void" behavior so
-  // pre-change runs reproduce bit for bit.
+  // pre-change runs reproduce bit for bit. Each sink counts into its own
+  // cell (stable deque addresses): under a parallel drive sinks fire on the
+  // worker that owns their leaf, so a shared total would race.
+  std::deque<std::uint64_t> sink_delivered;
   if (cfg.topology.kind != TopologyKind::kLine) {
     for (std::size_t u = 0; u < num_switches; ++u) {
       if (!adj[u].empty() || u == 0) continue;
+      sink_delivered.push_back(0);
+      std::uint64_t* cell = &sink_delivered.back();
       net.ConnectToSink(
           switches[u], LinkParams{.latency = kMicro, .jitter = 0},
-          [&result](Packet, Nanos) { ++result.delivered; },
+          [cell](Packet, Nanos) { ++*cell; },
           cfg.link_seed + 0x5000 + u);
     }
   }
@@ -230,6 +237,7 @@ NetworkRunResult RunOmniWindowFabric(
     net.RunUntilQuiescent(horizon);
   }
 
+  for (const std::uint64_t v : sink_delivered) result.delivered += v;
   for (std::size_t i = 0; i < num_switches; ++i) {
     result.per_switch[i].data_plane = programs[i]->stats();
     result.per_switch[i].controller = controllers[i]->stats();

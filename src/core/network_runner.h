@@ -74,6 +74,12 @@ struct NetworkRunConfig {
   /// historical line behavior. Targeted arming gives localization tests a
   /// single known-lossy link as ground truth.
   int fault_link_index = -1;
+  /// Execution engine for the fabric drive: threads == 0 is the sequential
+  /// engine, threads >= 1 the conservative-lookahead worker pool. Windows,
+  /// stats, and link counters are bit-identical across thread counts
+  /// (parallel_fabric_test); `detect` callbacks must be thread-safe under
+  /// a parallel drive (per-switch window handlers may run concurrently).
+  ParallelConfig parallel;
 };
 
 struct SwitchRun {

@@ -1,16 +1,33 @@
 // Multi-switch network orchestration.
 //
-// Network owns a set of switches and drives them in global time order:
-// repeatedly pick the device with the earliest pending event and process
-// exactly that timestamp. Because every handler schedules downstream
-// arrivals strictly later (inter-switch links must have positive latency;
-// Connect enforces it), processing the globally-earliest event first
-// preserves causality without a shared event queue — for arbitrary directed
-// topologies, not just chains: the batching bound below is the minimum next
-// event over ALL other devices, so it is valid no matter how many
-// downstream (or upstream) neighbors a switch has. This is the substrate
-// for the network-wide experiments (Exp#9's LossRadar deployment, the
-// fabric-scale loss localization of bench/exp11_topology).
+// Network owns a set of switches and drives them with one of two engines
+// that produce bit-identical results (docs/parallel_execution.md):
+//
+//   * Sequential (ParallelConfig::threads == 0, the default): repeatedly
+//     pick the switch with the earliest pending event and batch it up to
+//     the minimum next-event time over every OTHER switch. Because every
+//     handler schedules downstream arrivals strictly later (inter-switch
+//     links must have positive latency; Connect enforces it), processing
+//     the globally-earliest device first preserves causality without a
+//     shared event queue — for arbitrary directed topologies, not just
+//     chains. An activity-driven skip list keeps the per-batch scan
+//     proportional to the number of switches that actually have work, not
+//     the fabric size.
+//
+//   * Parallel (threads >= 1): conservative-lookahead workers. Switches
+//     are sharded round-robin across a thread pool; each shard advances a
+//     switch only to its horizon — the minimum over ingress links of the
+//     upstream switch's published committed-time plus the link's lookahead
+//     (upstream pipeline latency + link propagation floor) — so a shard
+//     never executes past an event an upstream shard could still emit.
+//     Cross-shard wire packets travel through per-link SPSC handoff
+//     queues; same-shard and sequential deliveries stage directly.
+//
+// Either way, wire arrivals are staged per switch and committed in one
+// canonical (time, ingress-link ordinal, per-link tx index) order with
+// deterministically assigned sequence numbers, which is what makes window
+// contents, link stats and obs totals independent of the engine and of the
+// thread count (see Switch::CommitStagedThrough).
 //
 // Topology model: each switch exposes dense integer egress ports. Connect
 // wires one port of `a` into `b` (or a sink); fan-out is multiple ports on
@@ -20,6 +37,8 @@
 // (e.g. MakeEcmpPolicy); single-port switches need neither.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -28,9 +47,26 @@
 #include "src/common/clock.h"
 #include "src/common/hash.h"
 #include "src/net/link.h"
+#include "src/net/spsc.h"
 #include "src/switchsim/pipeline.h"
 
 namespace ow {
+
+/// Execution knobs for Network::RunUntilQuiescent. `threads == 0` keeps
+/// the sequential engine; `threads >= 1` runs the conservative-lookahead
+/// worker pool (1 is a valid degenerate pool, useful for A/B testing the
+/// parallel machinery itself). `batch_events` bounds each drain slice
+/// between committed-time publications so an upstream shard pipelines into
+/// its downstream shards instead of running the whole trace before
+/// publishing progress.
+///
+/// Requirement in parallel mode: controller handlers must only inject into
+/// the switch that produced the report (true for everything src/core
+/// builds) — controllers run inline on the worker that owns their switch.
+struct ParallelConfig {
+  std::size_t threads = 0;
+  std::size_t batch_events = 1024;
+};
 
 class Network {
  public:
@@ -54,15 +90,16 @@ class Network {
   /// Wire egress `port` of `a` into b over a link. Returns the link for
   /// stats inspection. `port = kAutoPort` picks the lowest free port;
   /// connecting an explicitly named occupied port throws (no silent
-  /// overwrite). Links between switches must have positive latency — the
-  /// earliest-device batching in RunUntilQuiescent relies on downstream
-  /// arrivals being strictly later than their cause. Passing no seed
+  /// overwrite). Links between switches must have positive latency — both
+  /// engines rely on downstream arrivals being strictly later than their
+  /// cause. Both switches must belong to this network. Passing no seed
   /// derives a per-link seed from the network base seed.
   Link* Connect(Switch* a, Switch* b, LinkParams params,
                 std::optional<std::uint64_t> seed = std::nullopt,
                 int port = kAutoPort);
 
   /// Wire egress `port` of `a` to a sink callback over a link (last hop).
+  /// In parallel mode the sink runs on the worker that owns `a`.
   Link* ConnectToSink(Switch* a, LinkParams params, Link::Deliver sink,
                       std::optional<std::uint64_t> seed = std::nullopt,
                       int port = kAutoPort);
@@ -78,6 +115,10 @@ class Network {
   };
   const std::vector<LinkInfo>& links() const noexcept { return link_infos_; }
 
+  /// Select the execution engine for subsequent RunUntilQuiescent calls.
+  void SetParallel(ParallelConfig cfg) noexcept { parallel_ = cfg; }
+  const ParallelConfig& parallel() const noexcept { return parallel_; }
+
   /// Drive all switches until no device has a pending event at or before
   /// `max_time`. Returns the timestamp of the last processed event (-1 if
   /// nothing ran).
@@ -86,9 +127,53 @@ class Network {
   SimClock& clock() noexcept { return clock_; }
 
  private:
+  /// One cross-shard wire packet in flight.
+  struct WireMsg {
+    Packet packet;
+    Nanos arrival = 0;
+    std::uint64_t tx = 0;
+  };
+
+  /// The receiving end of a Connect link. Assigns the per-link tx index at
+  /// send time — on the producer's thread, in the producer's dispatch
+  /// order, so the canonical (time, ordinal, tx) commit key is fixed
+  /// before any scheduling decision can perturb it. Routes into the
+  /// destination's staged buffer directly, or through an SPSC inbox when
+  /// the link crosses shards during a parallel run.
+  struct WireEndpoint {
+    Switch* dst = nullptr;
+    int src_node = -1;
+    int dst_node = -1;
+    std::uint32_t ordinal = 0;  ///< ingress-link ordinal on dst
+    Nanos lookahead = 0;  ///< src pipeline latency + link latency floor
+    std::uint64_t tx = 0;
+    SpscQueue<WireMsg>* inbox = nullptr;  ///< non-null only cross-shard
+
+    void Deliver(Packet p, Nanos arrival) {
+      const std::uint64_t n = tx++;
+      if (inbox) {
+        inbox->Push({std::move(p), arrival, n});
+      } else {
+        dst->StageFromWire(std::move(p), arrival, ordinal, n);
+      }
+    }
+  };
+
   struct Node {
+    Node(SimClock& global, Nanos deviation, int id, SwitchTimings timings)
+        : sw(std::make_unique<Switch>(id, timings)),
+          clock(global, deviation) {}
+
     std::unique_ptr<Switch> sw;
     LocalClock clock;
+    std::vector<WireEndpoint*> ingress;  ///< fabric ingress, ordinal order
+    bool in_active = false;  ///< member of active_ (sequential engine)
+    /// Published lower bound on this switch's future dispatch times
+    /// (parallel engine; release-stored by the owning worker).
+    alignas(64) std::atomic<Nanos> ct{0};
+    /// Earliest pending work (lanes + staged + drained-but-uncommitted),
+    /// for termination detection. Owner-written.
+    std::atomic<Nanos> pending_min{0};
   };
 
   /// Resolve/validate the egress port for a new connection on `a`.
@@ -99,12 +184,27 @@ class Network {
     return Mix64(base_seed_ +
                  0x9E3779B97F4A7C15ull * (std::uint64_t(links_.size()) + 1));
   }
+  /// Node index of an owned switch (ids are dense indices); throws for
+  /// switches this network did not create.
+  std::size_t NodeIndexOf(const Switch* sw, const char* where) const;
+  /// Activity hook: adds the switch to the sequential engine's scan list.
+  /// No-op while parallel workers run (they sweep their shards directly).
+  void MarkActive(std::size_t idx);
+
+  Nanos RunSequential(Nanos max_time);
+  Nanos RunParallel(Nanos max_time);
 
   SimClock clock_;
   std::uint64_t base_seed_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<LinkInfo> link_infos_;
+  std::vector<std::unique_ptr<WireEndpoint>> endpoints_;
+  /// Switches with (possibly) pending work, maintained by MarkActive and
+  /// compacted during the sequential scan.
+  std::vector<std::size_t> active_;
+  ParallelConfig parallel_;
+  std::atomic<bool> parallel_running_{false};
 };
 
 /// Hash-based ECMP forwarding policy: a flow's five-tuple picks one member

@@ -1,0 +1,115 @@
+// Single-producer / single-consumer handoff queue for the parallel fabric
+// engine (src/net/network.h).
+//
+// One queue per cross-shard fabric link: the producer is the worker that
+// owns the upstream switch (pushes from inside Link's deliver callback),
+// the consumer is the worker that owns the downstream switch (drains into
+// the switch's staged-ingress buffer). The queue is unbounded — a chunked
+// linked list — because a bounded queue that blocks the producer could
+// deadlock against the consumer's conservative horizon: the producer may
+// legitimately run arbitrarily far ahead of the consumer, and the buffered
+// packets are bounded by the trace the caller already holds in memory.
+//
+// Memory-ordering contract (the parallel engine's correctness hinges on
+// it): Push publishes the element with a release store of `produced_`, so
+// a consumer that observes the new count via an acquire load of
+// `produced_` also observes the element — and, transitively, any consumer
+// that synchronizes with the producer AFTER the push (e.g. through the
+// producer's committed-time publication) is guaranteed to find the element
+// when it drains. Termination detection reads `produced()`/`consumed()`
+// from third-party threads; both are monotone counters.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace ow {
+
+template <typename T>
+class SpscQueue {
+ public:
+  SpscQueue() : head_(new Chunk), tail_(head_) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  ~SpscQueue() {
+    Chunk* c = head_;
+    while (c) {
+      Chunk* next = c->next.load(std::memory_order_relaxed);
+      delete c;
+      c = next;
+    }
+  }
+
+  /// Producer only. The element is visible to the consumer once the
+  /// release store of `produced_` lands.
+  void Push(T v) {
+    if (tail_pos_ == kChunkSize) {
+      Chunk* fresh = new Chunk;
+      // The next-pointer must be readable by the time the consumer chases
+      // the produced_ count past the chunk boundary; produced_'s release
+      // store below orders it.
+      tail_->next.store(fresh, std::memory_order_relaxed);
+      tail_ = fresh;
+      tail_pos_ = 0;
+    }
+    tail_->items[tail_pos_++] = std::move(v);
+    produced_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Consumer only: pointer to the front element, or nullptr when empty.
+  /// The element stays valid until PopFront().
+  T* Front() {
+    if (consumed_local_ == produced_.load(std::memory_order_acquire)) {
+      return nullptr;
+    }
+    if (head_pos_ == kChunkSize) {
+      Chunk* next = head_->next.load(std::memory_order_relaxed);
+      delete head_;
+      head_ = next;
+      head_pos_ = 0;
+    }
+    return &head_->items[head_pos_];
+  }
+
+  /// Consumer only; call after Front() returned non-null. Publishing the
+  /// consumption with release lets termination detection pair a
+  /// consumed-count read with the consumer's prior bookkeeping (the
+  /// pending-min lowering that must precede it).
+  void PopFront() {
+    ++head_pos_;
+    ++consumed_local_;
+    consumed_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Any thread (termination detection).
+  std::uint64_t produced() const noexcept {
+    return produced_.load(std::memory_order_acquire);
+  }
+  std::uint64_t consumed() const noexcept {
+    return consumed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::size_t kChunkSize = 128;
+  struct Chunk {
+    T items[kChunkSize];
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  // Consumer-owned cursor.
+  Chunk* head_;
+  std::size_t head_pos_ = 0;
+  std::uint64_t consumed_local_ = 0;
+  // Producer-owned cursor.
+  Chunk* tail_;
+  std::size_t tail_pos_ = 0;
+
+  alignas(64) std::atomic<std::uint64_t> produced_{0};
+  alignas(64) std::atomic<std::uint64_t> consumed_{0};
+};
+
+}  // namespace ow

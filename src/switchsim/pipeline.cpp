@@ -32,11 +32,12 @@ void Switch::SetPortHandler(int port, PacketHandler handler) {
 }
 
 void Switch::EnqueueFromWire(Packet p, Nanos arrival) {
+  NotifyActivity();
   Event ev{arrival, next_seq_++, PacketSource::kWire, std::move(p)};
   // In-order arrivals ride the FIFO lane; a late arrival (links with jitter
   // can reorder) falls back to the heap so the (time, seq) total order is
   // preserved exactly.
-  if (fifo_enabled_ && (FifoEmpty() || arrival >= FifoTailTime())) {
+  if (FifoAdmissible(ev.time, ev.seq)) {
     FifoPush(std::move(ev));
   } else {
     HeapPush(std::move(ev));
@@ -44,7 +45,48 @@ void Switch::EnqueueFromWire(Packet p, Nanos arrival) {
 }
 
 void Switch::EnqueueFromController(Packet p, Nanos arrival) {
+  NotifyActivity();
   HeapPush({arrival, next_seq_++, PacketSource::kController, std::move(p)});
+}
+
+void Switch::StageFromWire(Packet p, Nanos arrival, std::uint32_t ingress_link,
+                           std::uint64_t tx_index) {
+  NotifyActivity();
+  staged_.push_back({arrival, ingress_link, tx_index, std::move(p)});
+  if (staged_min_ < 0 || arrival < staged_min_) staged_min_ = arrival;
+}
+
+std::size_t Switch::CommitStagedThrough(Nanos bound) {
+  if (staged_min_ < 0 || staged_min_ > bound) return 0;
+  // Partition the ready arrivals to the tail so the survivors keep their
+  // storage without a second pass, then sort the tail into canonical
+  // (time, ingress_link, tx_index) order.
+  auto ready = std::partition(
+      staged_.begin(), staged_.end(),
+      [bound](const StagedArrival& a) { return a.time > bound; });
+  std::sort(ready, staged_.end(),
+            [](const StagedArrival& a, const StagedArrival& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.ingress != b.ingress) return a.ingress < b.ingress;
+              return a.tx < b.tx;
+            });
+  std::size_t committed = 0;
+  for (auto it = ready; it != staged_.end(); ++it) {
+    Event ev{it->time, staged_seq_++, PacketSource::kWire,
+             std::move(it->packet)};
+    if (FifoAdmissible(ev.time, ev.seq)) {
+      FifoPush(std::move(ev));
+    } else {
+      HeapPush(std::move(ev));
+    }
+    ++committed;
+  }
+  staged_.erase(ready, staged_.end());
+  staged_min_ = -1;
+  for (const StagedArrival& a : staged_) {
+    if (staged_min_ < 0 || a.time < staged_min_) staged_min_ = a.time;
+  }
+  return committed;
 }
 
 void Switch::FifoPush(Event ev) {

@@ -50,6 +50,17 @@ enum class PacketSource : std::uint8_t {
 /// "No egress chosen": the switch falls back to its forwarding policy, then
 /// to port 0 (the historical single-downstream behavior).
 inline constexpr int kNoEgressPort = -1;
+/// Seq-space split between the two ingress paths. Directly enqueued events
+/// (EnqueueFromWire / EnqueueFromController / recirculations) draw their
+/// (time, seq) tiebreak from one shared counter starting here; staged
+/// fabric-wire arrivals (StageFromWire / CommitStagedThrough) draw from a
+/// second counter starting at 0. Staged arrivals therefore deterministically
+/// win exact-time ties against internally generated events, no matter which
+/// engine (sequential or parallel, any thread count) committed them — the
+/// keystone of the parallel engine's bit-identical guarantee. Relative order
+/// WITHIN each space is unchanged, so runs that never stage (direct
+/// attachment, single switch) reproduce the historical engine exactly.
+inline constexpr std::uint64_t kSharedSeqBase = std::uint64_t(1) << 62;
 /// Replicate the packet on every connected egress port (protocol floods,
 /// e.g. the end-of-trace sentinel that must terminate every path).
 inline constexpr int kFloodEgress = -2;
@@ -156,6 +167,46 @@ class Switch {
   void EnqueueFromWire(Packet p, Nanos arrival);
   void EnqueueFromController(Packet p, Nanos arrival);
 
+  /// Buffer a fabric-wire arrival WITHOUT assigning its dispatch seq yet.
+  /// `ingress_link` is the arrival link's ordinal among this switch's
+  /// ingress links and `tx_index` the per-link transmission counter, both
+  /// assigned at send time by the upstream switch's (deterministic)
+  /// dispatch order — together with the arrival time they define one
+  /// canonical total order over wire arrivals that no engine or thread
+  /// schedule can perturb.
+  void StageFromWire(Packet p, Nanos arrival, std::uint32_t ingress_link,
+                     std::uint64_t tx_index);
+
+  /// Move every staged arrival with time <= `bound` into the event lanes,
+  /// in canonical (time, ingress_link, tx_index) order, assigning staged
+  /// seqs. The caller (src/net) guarantees that no arrival at or before
+  /// `bound` can be staged after this call — under that wave-partition
+  /// contract, concatenating the per-call commit sequences yields the
+  /// global canonical sort regardless of where the wave boundaries fall,
+  /// which is why sequential and parallel execution dispatch bit-identical
+  /// per-switch event orders. Returns the number of events committed.
+  std::size_t CommitStagedThrough(Nanos bound);
+
+  /// Earliest staged (uncommitted) arrival time, or -1 when none.
+  Nanos StagedMinTime() const noexcept { return staged_min_; }
+
+  /// Earliest pending work over lanes AND the staged buffer (-1 if idle).
+  Nanos EarliestPendingTime() const noexcept {
+    const Nanos lanes = NextEventTime();
+    if (lanes < 0) return staged_min_;
+    if (staged_min_ < 0) return lanes;
+    return lanes < staged_min_ ? lanes : staged_min_;
+  }
+
+  /// Hook invoked on every enqueue/stage (when set). The owning Network
+  /// uses it to maintain the idle-switch skip list: quiescence detection
+  /// only scans switches that have signalled activity. Kept as a bare
+  /// branch + indirect call so the historical direct-enqueue path stays on
+  /// its fast admission check.
+  void SetActivityListener(std::function<void()> listener) {
+    on_activity_ = std::move(listener);
+  }
+
   /// Process every queued event with time <= t, in time order. Recirculated
   /// packets scheduled within the horizon are processed too.
   void RunUntil(Nanos t);
@@ -207,14 +258,36 @@ class Switch {
     std::uint64_t dropped = 0;
   };
 
+  /// One buffered wire arrival awaiting its canonical commit.
+  struct StagedArrival {
+    Nanos time;
+    std::uint32_t ingress;
+    std::uint64_t tx;
+    Packet packet;
+  };
+
   void DispatchEvent(Event& ev, PassCounts& counts);
   void FlushCounts(const PassCounts& counts) noexcept;
+  void NotifyActivity() {
+    if (on_activity_) on_activity_();
+  }
 
   // FIFO ring lane (power-of-two capacity).
   bool FifoEmpty() const noexcept { return fifo_size_ == 0; }
   const Event& FifoFront() const noexcept { return fifo_[fifo_head_]; }
-  Nanos FifoTailTime() const noexcept {
-    return fifo_[(fifo_head_ + fifo_size_ - 1) & (fifo_.size() - 1)].time;
+  const Event& FifoTail() const noexcept {
+    return fifo_[(fifo_head_ + fifo_size_ - 1) & (fifo_.size() - 1)];
+  }
+  /// (time, seq)-aware admission: the ring only accepts events that extend
+  /// the tail in total order. For the monotone shared-seq direct path this
+  /// degenerates to the historical time-only check; staged commits need the
+  /// seq arm because their small seqs can tie the tail's time yet sort
+  /// before a shared-seq tail event.
+  bool FifoAdmissible(Nanos time, std::uint64_t seq) const noexcept {
+    if (!fifo_enabled_) return false;
+    if (FifoEmpty()) return true;
+    const Event& tail = FifoTail();
+    return time != tail.time ? time > tail.time : seq > tail.seq;
   }
   void FifoPush(Event ev);
   Event FifoPop() noexcept;
@@ -237,7 +310,12 @@ class Switch {
   std::vector<Event> heap_;
   bool fifo_enabled_ = true;
 
-  std::uint64_t next_seq_ = 0;
+  std::vector<StagedArrival> staged_;
+  Nanos staged_min_ = -1;
+  std::uint64_t staged_seq_ = 0;
+  std::function<void()> on_activity_;
+
+  std::uint64_t next_seq_ = kSharedSeqBase;
   Nanos last_dispatched_ = -1;
   std::uint64_t total_passes_ = 0;
   std::uint64_t recirc_passes_ = 0;

@@ -18,7 +18,11 @@
 // SUPPOSED to shrink. There the bar is structural (same window cadence and
 // spans as the fault-free baseline, or flagged) plus localization: hop-by-hop
 // flow conservation over the captured count tables must charge loss to the
-// armed link and to no other.
+// armed link and to no other. Every fabric cell additionally re-runs under
+// the conservative-lookahead parallel engine (threads=4,
+// docs/parallel_execution.md) and demands BIT-IDENTICAL windows, count
+// tables and link ground truth against the sequential run — loss
+// localization must not depend on how many workers drove the fabric.
 //
 // Writes a JSON report (one row per cell) and exits non-zero on any
 // unflagged divergence. CI runs this under ASan (the `chaos` job).
@@ -296,7 +300,8 @@ struct FabricSnap {
 };
 
 FabricSnap SnapFabric(const Trace& trace, const fault::FaultPlan& plan,
-                      std::uint64_t seed, int armed_link) {
+                      std::uint64_t seed, int armed_link,
+                      std::size_t threads = 0) {
   obs::Global().Reset();
   NetworkRunConfig cfg;
   cfg.base = RunConfig::Make(Spec());
@@ -307,6 +312,7 @@ FabricSnap SnapFabric(const Trace& trace, const fault::FaultPlan& plan,
   cfg.fault_link_index = armed_link;
   cfg.report_link_seed = 777 + seed;
   cfg.link_seed = 555 + seed;
+  cfg.parallel.threads = threads;
 
   FabricSnap out;
   out.net = RunOmniWindowFabric(
@@ -329,9 +335,57 @@ struct CellResult {
   std::size_t windows_exact = 0;
   std::size_t windows_flagged = 0;
   std::size_t divergent_unflagged = 0;
+  /// Fabric cells only: mismatches between the sequential and the
+  /// threads=4 parallel run of the SAME faulted cell (must be 0).
+  std::size_t parallel_mismatch = 0;
   std::uint64_t injected_faults = 0;
   bool zero_must_match = false;
 };
+
+/// Bit-identity between the sequential and parallel engines on the SAME
+/// faulted fabric cell: windows (spans, detections, partial flags),
+/// captured count tables, per-link ground truth and the delivery/drop
+/// totals must all match exactly. Returns the number of mismatches.
+std::size_t CompareEngines(const FabricSnap& seq, const FabricSnap& par) {
+  std::size_t bad = 0;
+  if (seq.snap.windows.size() != par.snap.windows.size()) ++bad;
+  const std::size_t nw =
+      std::min(seq.snap.windows.size(), par.snap.windows.size());
+  for (std::size_t i = 0; i < nw; ++i) {
+    const auto& a = seq.snap.windows[i];
+    const auto& b = par.snap.windows[i];
+    if (a.span.first != b.span.first || a.span.last != b.span.last ||
+        a.partial != b.partial || a.detected != b.detected) {
+      ++bad;
+    }
+  }
+  if (seq.net.per_switch.size() != par.net.per_switch.size()) {
+    ++bad;
+  } else {
+    for (std::size_t i = 0; i < seq.net.per_switch.size(); ++i) {
+      if (seq.net.per_switch[i].counts != par.net.per_switch[i].counts) ++bad;
+    }
+  }
+  if (seq.net.links.size() != par.net.links.size()) {
+    ++bad;
+  } else {
+    for (std::size_t i = 0; i < seq.net.links.size(); ++i) {
+      const FabricLinkStats& a = seq.net.links[i];
+      const FabricLinkStats& b = par.net.links[i];
+      if (a.from != b.from || a.to != b.to || a.port != b.port ||
+          a.transmitted != b.transmitted || a.dropped != b.dropped ||
+          a.duplicates != b.duplicates) {
+        ++bad;
+      }
+    }
+  }
+  if (seq.net.delivered != par.net.delivered ||
+      seq.net.link_dropped != par.net.link_dropped ||
+      seq.net.report_dropped != par.net.report_dropped) {
+    ++bad;
+  }
+  return bad;
+}
 
 /// Compare a faulted snapshot against the fault-free baseline. At zero
 /// intensity everything must be exact; above it, every window must be
@@ -562,6 +616,13 @@ int main(int argc, char** argv) {
         if (fabric) {
           const FabricSnap got = SnapFabric(line_trace, plan, s, armed);
           cell.injected_faults = SumFaultCounters();
+          // The same faulted cell under the parallel engine: the fault
+          // injectors hash (stream, seq) so identical wire ordering must
+          // reproduce identical drops, and the windows downstream of them.
+          const FabricSnap par =
+              SnapFabric(line_trace, plan, s, armed, /*threads=*/4);
+          cell.parallel_mismatch = CompareEngines(got, par);
+          cell.divergent_unflagged += cell.parallel_mismatch;
           if (cell.zero_must_match) {
             // Armed-but-idle targeted fault plumbing and count capture must
             // be bit-identical to the baseline, detections included.
@@ -574,10 +635,11 @@ int main(int argc, char** argv) {
           if (cell.divergent_unflagged > 0) ok = false;
           std::printf(
               "%-11s seed=%llu intensity=%.2f windows=%zu exact=%zu "
-              "flagged=%zu divergent=%zu faults=%llu\n",
+              "flagged=%zu divergent=%zu par-mismatch=%zu faults=%llu\n",
               cell.kind.c_str(), static_cast<unsigned long long>(cell.seed),
               cell.intensity, cell.windows_total, cell.windows_exact,
               cell.windows_flagged, cell.divergent_unflagged,
+              cell.parallel_mismatch,
               static_cast<unsigned long long>(cell.injected_faults));
           cells.push_back(std::move(cell));
           continue;
@@ -619,6 +681,7 @@ int main(int argc, char** argv) {
         << ", \"windows_exact\": " << c.windows_exact
         << ", \"windows_flagged\": " << c.windows_flagged
         << ", \"divergent_unflagged\": " << c.divergent_unflagged
+        << ", \"parallel_mismatch\": " << c.parallel_mismatch
         << ", \"injected_faults\": " << c.injected_faults << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
   }
