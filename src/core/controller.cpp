@@ -154,7 +154,7 @@ void OmniWindowController::OnPacket(const Packet& p, Nanos arrival) {
           // or destroyed its region before collecting it: the announced
           // count undercounts the truth and no retry can recover the gap.
           // Degrade the covering window explicitly.
-          degraded_.insert(sw);
+          MarkDegraded(sw);
           ++stats_.subwindows_degraded_by_switch;
           obs_.switch_degraded->Add();
         }
@@ -213,7 +213,7 @@ void OmniWindowController::OnPacket(const Packet& p, Nanos arrival) {
         // the statistic is not invertible): the measurement for that
         // sub-window is knowably short one packet. Degrade the covering
         // window explicitly instead of staying silently wrong.
-        degraded_.insert(sw);
+        MarkDegraded(sw);
       }
       return;
     }
@@ -340,7 +340,7 @@ void OmniWindowController::FinalizeSubWindow(PendingSubWindow& pending,
   // sub-window whose notification never arrived (DrainRdma is idempotent).
   if (cfg_.rdma) DrainRdma(pending);
   obs_.retry_attempts->Record(pending.retransmit_attempts);
-  if (!complete) degraded_.insert(pending.subwindow);
+  if (!complete) MarkDegraded(pending.subwindow);
   SubWindowTiming& t = TimingFor(pending.subwindow);
   if (transform_) {
     // §8: construct AFRs from migrated state (e.g. FlowRadar decode).
@@ -383,6 +383,12 @@ void OmniWindowController::FinalizeSubWindow(PendingSubWindow& pending,
     obs_.subwindows_force_finalized->Add();
   }
   EmitWindowsAfter(pending.subwindow, now);
+}
+
+void OmniWindowController::MarkDegraded(SubWindowNum sw) {
+  if (degraded_.insert(sw).second) {
+    stats_.degraded_subwindows.push_back(sw);
+  }
 }
 
 void OmniWindowController::EmitWindowsAfter(SubWindowNum sw, Nanos now) {

@@ -198,6 +198,12 @@ class OmniWindowController {
     /// force-finish destroyed or truncated their state; degraded bit on
     /// the count announcement).
     std::uint64_t subwindows_degraded_by_switch = 0;
+    /// Every sub-window that ever received a degraded mark, in first-mark
+    /// order (duplicates suppressed). Ground truth for the partial flag:
+    /// a window must emit partial iff its span intersects this set, which
+    /// pins the mark-eviction point (span.first + slide) across
+    /// overlapping sliding windows.
+    std::vector<SubWindowNum> degraded_subwindows;
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -234,6 +240,7 @@ class OmniWindowController {
   void MaybeFinalize(Nanos now);
   void FinalizeSubWindow(PendingSubWindow& pending, Nanos now, bool complete);
   void EmitWindowsAfter(SubWindowNum sw, Nanos now);
+  void MarkDegraded(SubWindowNum sw);
   void EvictFromTable(SubWindowNum keep_from);
   void TrimHistory();
   void RequestRetransmissions(PendingSubWindow& pending, Nanos now);

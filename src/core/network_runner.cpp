@@ -136,8 +136,12 @@ NetworkRunResult RunOmniWindowFabric(
     sw->SetControllerHandler(
         [report](const Packet& p, Nanos now) { report->Transmit(p, now); });
     const bool capture = cfg.capture_counts;
+    const auto* observer = &cfg.window_observer;
     controller->SetWindowHandler(
-        [&result, i, &detect, capture](const WindowResult& w) {
+        [&result, i, &detect, capture, observer](const WindowResult& w) {
+          // Streaming consumers see the window first, while the table view
+          // is live. Concurrency contract: see NetworkRunConfig.
+          if (*observer) (*observer)(i, w);
           EmittedWindow ew;
           ew.span = w.span;
           ew.completed_at = w.completed_at;

@@ -80,6 +80,15 @@ struct NetworkRunConfig {
   /// (parallel_fabric_test); `detect` callbacks must be thread-safe under
   /// a parallel drive (per-switch window handlers may run concurrently).
   ParallelConfig parallel;
+  /// Always-on streaming consumer: invoked for every completed window of
+  /// every controller, with the owning switch's index, while the window's
+  /// table view is still valid. Under a parallel drive, calls for one
+  /// switch are serialized but different switches may call concurrently —
+  /// the observer must not share unsynchronized state across switch ids
+  /// (src/detect's DetectionService keeps per-switch detectors for exactly
+  /// this reason).
+  std::function<void(std::size_t switch_index, const WindowResult&)>
+      window_observer;
 };
 
 struct SwitchRun {

@@ -44,6 +44,14 @@ struct WindowSpec {
       throw std::invalid_argument(
           "WindowSpec: slide must be a positive multiple of subwindow_size");
     }
+    if (slide > window_size) {
+      // Consecutive windows [t, t+W) and [t+S, t+S+W) with S > W leave the
+      // sub-windows in [t+W, t+S) covered by no window at all — a silent
+      // measurement gap, not a sliding window.
+      throw std::invalid_argument(
+          "WindowSpec: slide must not exceed window_size (a hopping gap "
+          "would leave sub-windows covered by no window)");
+    }
     return std::size_t(slide / subwindow_size);
   }
 
@@ -63,6 +71,8 @@ struct SubWindowSpan {
   bool Contains(SubWindowNum n) const noexcept {
     return n >= first && n <= last;
   }
+
+  friend bool operator==(const SubWindowSpan&, const SubWindowSpan&) = default;
 };
 
 }  // namespace ow

@@ -1,0 +1,395 @@
+#include "src/detect/detect.h"
+
+#include <algorithm>
+
+#include "src/obs/obs.h"
+
+namespace ow::detect {
+namespace {
+
+FlowKey SrcEntity(std::uint32_t ip) {
+  return FlowKey(FlowKeyKind::kSrcIp, {.src_ip = ip});
+}
+
+FlowKey DstEntity(std::uint32_t ip) {
+  return FlowKey(FlowKeyKind::kDstIp, {.dst_ip = ip});
+}
+
+}  // namespace
+
+const char* HealthStateName(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kDown: return "down";
+  }
+  return "?";
+}
+
+void ScoreModel::Absorb(double value, bool freeze,
+                        const ScoreModelConfig& cfg) {
+  lag_ring_.push_back(value);
+  if (lag_ring_.size() <= cfg.baseline_lag) return;
+  const double delayed = lag_ring_.front();
+  lag_ring_.erase(lag_ring_.begin());
+  // While the entity is suspect the delayed value is discarded outright:
+  // attack-era traffic must never become the baseline it is judged against.
+  if (!freeze) {
+    baseline_ = cfg.alpha * delayed + (1.0 - cfg.alpha) * baseline_;
+  }
+}
+
+bool HysteresisFsm::Step(double score, const HysteresisConfig& cfg) {
+  HealthState next = state_;
+  switch (state_) {
+    case HealthState::kHealthy:
+      if (score >= cfg.enter_score) {
+        cool_streak_ = 0;
+        if (++hot_streak_ >= cfg.enter_dwell) next = HealthState::kDegraded;
+      } else {
+        hot_streak_ = 0;
+      }
+      break;
+    case HealthState::kDegraded:
+      if (score >= cfg.down_score) {
+        cool_streak_ = 0;
+        if (++hot_streak_ >= cfg.enter_dwell) next = HealthState::kDown;
+      } else if (score <= cfg.exit_score) {
+        hot_streak_ = 0;
+        if (++cool_streak_ >= cfg.exit_dwell) next = HealthState::kHealthy;
+      } else {
+        // Hysteresis band: hold the state, reset both streaks.
+        hot_streak_ = 0;
+        cool_streak_ = 0;
+      }
+      break;
+    case HealthState::kDown:
+      if (score <= cfg.exit_score) {
+        hot_streak_ = 0;
+        if (++cool_streak_ >= cfg.exit_dwell) next = HealthState::kDegraded;
+      } else {
+        cool_streak_ = 0;
+      }
+      break;
+  }
+  if (next == state_) return false;
+  prev_ = state_;
+  state_ = next;
+  hot_streak_ = 0;
+  cool_streak_ = 0;
+  return true;
+}
+
+EntityDetector::EntityDetector(const DetectorConfig& cfg, int switch_id)
+    : cfg_(cfg), switch_id_(switch_id) {
+  auto& reg = obs::Global();
+  c_windows_ = &reg.GetCounter("detect.windows");
+  c_partial_ = &reg.GetCounter("detect.windows_partial");
+  c_degraded_ = &reg.GetCounter("detect.transitions.degraded");
+  c_down_ = &reg.GetCounter("detect.transitions.down");
+  c_recovered_ = &reg.GetCounter("detect.transitions.recovered");
+  c_evictions_ = &reg.GetCounter("detect.evictions");
+  c_rejected_ = &reg.GetCounter("detect.admissions_rejected");
+}
+
+void EntityDetector::OnWindow(const WindowResult& w) {
+  // Aggregate the (arbitrary-kind, arbitrary-order) flow table into ordered
+  // per-entity totals first: scoring must not observe shard iteration order.
+  std::map<FlowKey, std::uint64_t> totals;
+  w.table->ForEach([&](const KvSlot& slot) {
+    const std::uint64_t v = slot.attrs[0];
+    if (v == 0) return;
+    switch (slot.key.kind()) {
+      case FlowKeyKind::kFiveTuple:
+      case FlowKeyKind::kIpPair:
+        if (cfg_.track_src) totals[SrcEntity(slot.key.src_ip())] += v;
+        if (cfg_.track_dst) totals[DstEntity(slot.key.dst_ip())] += v;
+        break;
+      case FlowKeyKind::kSrcIp:
+        if (cfg_.track_src) totals[slot.key] += v;
+        break;
+      case FlowKeyKind::kDstIp:
+        if (cfg_.track_dst) totals[slot.key] += v;
+        break;
+      case FlowKeyKind::kSrcIpDstPort:
+        // Only the source address survives this projection.
+        if (cfg_.track_src) totals[SrcEntity(slot.key.src_ip())] += v;
+        break;
+    }
+  });
+  OnTotals(totals, w.span, w.completed_at, w.partial);
+}
+
+bool EntityDetector::Admit(const FlowKey& key, double value,
+                           EntityState** out) {
+  if (entities_.size() >= cfg_.max_entities) {
+    // Evict the quiet entity with the smallest baseline, but only if the
+    // newcomer looks bigger than what it displaces. std::map order makes
+    // the tie-break (smallest key) deterministic.
+    auto victim = entities_.end();
+    double victim_baseline = value;
+    for (auto it = entities_.begin(); it != entities_.end(); ++it) {
+      if (!it->second.fsm.quiet()) continue;
+      if (it->second.model.baseline() < victim_baseline) {
+        victim = it;
+        victim_baseline = it->second.model.baseline();
+      }
+    }
+    if (victim == entities_.end()) {
+      ++stats_.admissions_rejected;
+      c_rejected_->Add();
+      return false;
+    }
+    entities_.erase(victim);
+    ++stats_.evictions;
+    c_evictions_->Add();
+  }
+  *out = &entities_[key];
+  stats_.tracked_peak = std::max(stats_.tracked_peak, entities_.size());
+  return true;
+}
+
+void EntityDetector::StepEntity(const FlowKey& key, EntityState& st,
+                                std::uint64_t value, SubWindowSpan span,
+                                Nanos completed_at, bool partial) {
+  const double v = double(value);
+  const double score = st.model.Score(v, cfg_.score);
+  const bool suspect = score >= cfg_.fsm.enter_score ||
+                       st.fsm.state() != HealthState::kHealthy;
+  const HealthState before = st.fsm.state();
+  if (st.fsm.Step(score, cfg_.fsm)) {
+    const HealthState after = st.fsm.state();
+    Alert a;
+    a.switch_id = switch_id_;
+    a.entity = key;
+    a.from = before;
+    a.to = after;
+    a.score = score;
+    a.value = value;
+    a.span = span;
+    a.window_start = Nanos(span.first) * cfg_.subwindow_size;
+    a.window_end = Nanos(span.last + 1) * cfg_.subwindow_size;
+    a.completed_at = completed_at;
+    a.partial = partial;
+    alerts_.push_back(a);
+    switch (after) {
+      case HealthState::kDegraded:
+        if (before == HealthState::kHealthy) {
+          ++stats_.transitions_degraded;
+          c_degraded_->Add();
+        } else {
+          ++stats_.recoveries;  // down -> degraded is a partial recovery
+          c_recovered_->Add();
+        }
+        break;
+      case HealthState::kDown:
+        ++stats_.transitions_down;
+        c_down_->Add();
+        break;
+      case HealthState::kHealthy:
+        ++stats_.recoveries;
+        c_recovered_->Add();
+        break;
+    }
+  }
+  st.model.Absorb(v, suspect, cfg_.score);
+  if (value == 0) {
+    ++st.idle_windows;
+  } else {
+    st.idle_windows = 0;
+  }
+}
+
+void EntityDetector::OnTotals(const std::map<FlowKey, std::uint64_t>& totals,
+                              SubWindowSpan span, Nanos completed_at,
+                              bool partial) {
+  ++stats_.windows;
+  c_windows_->Add();
+  if (partial) {
+    ++stats_.partial_windows;
+    c_partial_->Add();
+  }
+
+  if (cold_) {
+    // The detector's first-ever window has no history to deviate from:
+    // adopt it as the baseline. Steady heavy background entities must not
+    // alert simply for existing; genuinely anomalous later arrivals will
+    // deviate from these seeds.
+    cold_ = false;
+    for (const auto& [key, value] : totals) {
+      if (double(value) < cfg_.score.min_baseline) continue;
+      EntityState* st = nullptr;
+      if (Admit(key, double(value), &st)) st->model.Seed(double(value));
+    }
+    return;
+  }
+
+  // One pass over the union of tracked entities and this window's totals,
+  // in key order. Tracked entities absent from the window step with value
+  // zero (their baseline decays toward eviction); untracked entities above
+  // the admission floor start being tracked.
+  auto te = entities_.begin();
+  auto tv = totals.begin();
+  while (te != entities_.end() || tv != totals.end()) {
+    if (tv == totals.end() ||
+        (te != entities_.end() && te->first < tv->first)) {
+      // Tracked, absent this window.
+      StepEntity(te->first, te->second, 0, span, completed_at, partial);
+      if (te->second.fsm.quiet() &&
+          te->second.idle_windows >= cfg_.idle_evict_windows) {
+        te = entities_.erase(te);
+        ++stats_.evictions;
+        c_evictions_->Add();
+      } else {
+        ++te;
+      }
+    } else if (te == entities_.end() || tv->first < te->first) {
+      // Present, untracked: admission-gate on the scoring floor.
+      if (double(tv->second) >= cfg_.score.min_baseline) {
+        EntityState* st = nullptr;
+        if (Admit(tv->first, double(tv->second), &st)) {
+          StepEntity(tv->first, *st, tv->second, span, completed_at, partial);
+        }
+      }
+      ++tv;
+    } else {
+      StepEntity(te->first, te->second, tv->second, span, completed_at,
+                 partial);
+      ++te;
+      ++tv;
+    }
+  }
+  stats_.tracked_peak = std::max(stats_.tracked_peak, entities_.size());
+}
+
+DetectionService::DetectionService(const DetectorConfig& cfg,
+                                   std::size_t num_switches) {
+  for (std::size_t i = 0; i < num_switches; ++i) {
+    detectors_.emplace_back(cfg, int(i));
+  }
+}
+
+void DetectionService::OnWindow(std::size_t switch_id, const WindowResult& w) {
+  detectors_[switch_id].OnWindow(w);
+}
+
+std::function<void(std::size_t, const WindowResult&)>
+DetectionService::Observer() {
+  return [this](std::size_t switch_id, const WindowResult& w) {
+    OnWindow(switch_id, w);
+  };
+}
+
+std::vector<Alert> DetectionService::Alerts() const {
+  std::vector<Alert> all;
+  for (const auto& d : detectors_) {
+    all.insert(all.end(), d.alerts().begin(), d.alerts().end());
+  }
+  std::sort(all.begin(), all.end(), [](const Alert& a, const Alert& b) {
+    if (a.window_end != b.window_end) return a.window_end < b.window_end;
+    if (a.switch_id != b.switch_id) return a.switch_id < b.switch_id;
+    if (a.entity != b.entity) return a.entity < b.entity;
+    return a.to < b.to;
+  });
+  return all;
+}
+
+std::size_t DetectionService::tracked_total() const {
+  std::size_t n = 0;
+  for (const auto& d : detectors_) n += d.tracked();
+  return n;
+}
+
+EntityDetector::Stats DetectionService::TotalStats() const {
+  EntityDetector::Stats t;
+  for (const auto& d : detectors_) {
+    const auto& s = d.stats();
+    t.windows += s.windows;
+    t.partial_windows += s.partial_windows;
+    t.transitions_degraded += s.transitions_degraded;
+    t.transitions_down += s.transitions_down;
+    t.recoveries += s.recoveries;
+    t.evictions += s.evictions;
+    t.admissions_rejected += s.admissions_rejected;
+    t.tracked_peak += s.tracked_peak;
+  }
+  return t;
+}
+
+// --- ground-truth matching -----------------------------------------------
+
+namespace {
+
+bool KeyNamesEndpoint(const FlowKey& entity, const FlowKey& label_key) {
+  const bool entity_is_src = entity.kind() == FlowKeyKind::kSrcIp;
+  switch (label_key.kind()) {
+    case FlowKeyKind::kSrcIp:
+      return entity_is_src && entity.src_ip() == label_key.src_ip();
+    case FlowKeyKind::kDstIp:
+      return !entity_is_src && entity.dst_ip() == label_key.dst_ip();
+    case FlowKeyKind::kFiveTuple:
+    case FlowKeyKind::kIpPair:
+      return entity_is_src ? entity.src_ip() == label_key.src_ip()
+                           : entity.dst_ip() == label_key.dst_ip();
+    case FlowKeyKind::kSrcIpDstPort:
+      return entity_is_src && entity.src_ip() == label_key.src_ip();
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EntityMatchesLabel(const FlowKey& entity, const InjectedAnomaly& label) {
+  if (KeyNamesEndpoint(entity, label.victim_or_actor)) return true;
+  for (const auto& k : label.secondary) {
+    if (KeyNamesEndpoint(entity, k)) return true;
+  }
+  return false;
+}
+
+StreamingScore ScoreAlertStream(const std::vector<Alert>& alerts,
+                                const std::vector<InjectedAnomaly>& labels,
+                                const MatchConfig& cfg) {
+  StreamingScore out;
+  out.labels = labels.size();
+  std::vector<Nanos> first_hit(labels.size(), -1);
+  for (const auto& a : alerts) {
+    if (!a.actionable()) continue;
+    ++out.actionable_alerts;
+    bool matched = false;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const auto& label = labels[i];
+      // Window/label interval overlap, with slack for windows that close
+      // after the attack's last packet.
+      if (a.window_start >= label.end + cfg.slack) continue;
+      if (a.window_end <= label.start) continue;
+      if (!EntityMatchesLabel(a.entity, label)) continue;
+      matched = true;
+      const Nanos latency = std::max<Nanos>(0, a.window_end - label.start);
+      if (first_hit[i] < 0 || latency < first_hit[i]) first_hit[i] = latency;
+    }
+    if (matched) ++out.matched_alerts;
+  }
+  Nanos total_latency = 0;
+  for (Nanos latency : first_hit) {
+    if (latency < 0) continue;
+    ++out.labels_detected;
+    total_latency += latency;
+    out.max_detection_latency = std::max(out.max_detection_latency, latency);
+  }
+  out.pr.true_positives = out.matched_alerts;
+  out.pr.reported = out.actionable_alerts;
+  out.pr.actual = out.labels;
+  out.pr.precision = out.actionable_alerts == 0
+                         ? 1.0
+                         : double(out.matched_alerts) /
+                               double(out.actionable_alerts);
+  out.pr.recall = out.labels == 0 ? 1.0
+                                  : double(out.labels_detected) /
+                                        double(out.labels);
+  out.mean_detection_latency =
+      out.labels_detected == 0 ? 0 : total_latency / Nanos(out.labels_detected);
+  return out;
+}
+
+}  // namespace ow::detect

@@ -119,7 +119,13 @@ std::vector<BaselineWindowResult> RunIdealSliding(const QueryDef& def,
   IdealQueryEngine ideal(trace);
   std::vector<BaselineWindowResult> out;
   const Nanos duration = trace.Duration();
-  for (Nanos end = window_size; end <= duration + window_size; end += slide) {
+  // Match the runtime's sliding emission cadence: the controller emits a
+  // window ending at every slide boundary from `window_size` up to and
+  // including the first boundary at or past the trace end; it never emits a
+  // window whose start lies beyond the last measured sub-window. The old
+  // bound (`end <= duration + window_size`) tacked on trailing windows past
+  // the trace end, misaligning ISW ground truth with runtime emission.
+  for (Nanos end = window_size; end - slide < duration; end += slide) {
     out.push_back(
         {end - window_size, end, ideal.Evaluate(def, end - window_size, end)});
   }

@@ -37,6 +37,16 @@ std::uint32_t TraceGenerator::RandomHost() {
   return kBackgroundBase + std::uint32_t(rng_.Uniform(cfg_.num_hosts));
 }
 
+std::uint16_t TraceGenerator::EphemeralPort() {
+  // Historically `next_ephemeral_++ % 65535 + 1`, which wrapped injected
+  // "client" source ports into 1–1023 and polluted port-keyed ground truth
+  // (a wrapped source port 22 is indistinguishable from SSH to a port-keyed
+  // query). Cycle through the client range only.
+  constexpr std::uint32_t kLo = 1024;
+  constexpr std::uint32_t kSpan = 65536 - kLo;
+  return std::uint16_t(kLo + next_ephemeral_++ % kSpan);
+}
+
 FiveTuple TraceGenerator::RandomBackgroundTuple(std::size_t flow_rank) {
   return flow_pool_[flow_rank % flow_pool_.size()];
 }
@@ -79,7 +89,7 @@ void TraceGenerator::InjectConnectionFlood(Trace& trace, Nanos start,
     Packet p;
     p.ft.src_ip = actor;
     p.ft.dst_ip = RandomHost();
-    p.ft.src_port = std::uint16_t(next_ephemeral_++ % 65535 + 1);
+    p.ft.src_port = EphemeralPort();
     p.ft.dst_port = std::uint16_t(rng_.Range(1, 1023));
     p.ft.proto = 6;
     p.tcp_flags = kTcpSyn;
@@ -99,7 +109,7 @@ void TraceGenerator::InjectSshBruteForce(Trace& trace, Nanos start,
   const std::uint32_t attacker = kActorBase + 512;
   for (std::size_t i = 0; i < attempts; ++i) {
     const Nanos t0 = start + Nanos(rng_.Uniform(std::uint64_t(duration)));
-    FiveTuple ft{attacker, victim, std::uint16_t(next_ephemeral_++ % 65535 + 1),
+    FiveTuple ft{attacker, victim, EphemeralPort(),
                  22, 6};
     // Each attempt: SYN, a couple of small auth packets, FIN.
     Packet syn{.ft = ft, .size_bytes = 64, .ts = t0, .tcp_flags = kTcpSyn};
@@ -111,27 +121,38 @@ void TraceGenerator::InjectSshBruteForce(Trace& trace, Nanos start,
     trace.packets.push_back(auth);
     trace.packets.push_back(fin);
   }
-  injected_.push_back({"ssh_brute_force",
-                       FlowKey(FlowKeyKind::kDstIp, {.dst_ip = victim}), start,
-                       start + duration, attempts * 3});
+  InjectedAnomaly rec{"ssh_brute_force",
+                      FlowKey(FlowKeyKind::kDstIp, {.dst_ip = victim}), start,
+                      start + duration, attempts * 3};
+  // The attacking host is as legitimately alertable as the victim.
+  rec.secondary.push_back(FlowKey(FlowKeyKind::kSrcIp, {.src_ip = attacker}));
+  injected_.push_back(std::move(rec));
 }
 
 void TraceGenerator::InjectPortScan(Trace& trace, Nanos start, Nanos duration,
                                     std::size_t ports) {
   const std::uint32_t victim = kVictimBase + 2;
   const std::uint32_t scanner = kActorBase + 1024;
+  // The probe sequence walks ports 1..65535 and only repeats once the whole
+  // port space is exhausted, so the distinct-count ground truth is exact:
+  // min(ports, 65535) unique destination ports.
+  const std::size_t unique_ports = std::min<std::size_t>(ports, 65535);
   for (std::size_t i = 0; i < ports; ++i) {
     Packet p;
-    p.ft = {scanner, victim, std::uint16_t(next_ephemeral_++ % 65535 + 1),
-            std::uint16_t(1 + i % 65535), 6};
+    p.ft = {scanner, victim, EphemeralPort(), std::uint16_t(1 + i % 65535), 6};
     p.tcp_flags = kTcpSyn;
     p.size_bytes = 64;
     p.ts = start + Nanos(double(i) / double(ports) * double(duration));
     trace.packets.push_back(p);
   }
-  injected_.push_back({"port_scan",
-                       FlowKey(FlowKeyKind::kDstIp, {.dst_ip = victim}), start,
-                       start + duration, ports});
+  InjectedAnomaly rec{"port_scan",
+                      FlowKey(FlowKeyKind::kDstIp, {.dst_ip = victim}),
+                      start,
+                      start + duration,
+                      ports,
+                      unique_ports};
+  rec.secondary.push_back(FlowKey(FlowKeyKind::kSrcIp, {.src_ip = scanner}));
+  injected_.push_back(std::move(rec));
 }
 
 void TraceGenerator::InjectDdos(Trace& trace, Nanos start, Nanos duration,
@@ -152,7 +173,7 @@ void TraceGenerator::InjectDdos(Trace& trace, Nanos start, Nanos duration,
     }
   }
   injected_.push_back({"ddos", FlowKey(FlowKeyKind::kDstIp, {.dst_ip = victim}),
-                       start, start + duration, sources});
+                       start, start + duration, sources, sources});
 }
 
 void TraceGenerator::InjectSynFlood(Trace& trace, Nanos start, Nanos duration,
@@ -162,7 +183,7 @@ void TraceGenerator::InjectSynFlood(Trace& trace, Nanos start, Nanos duration,
   for (std::size_t i = 0; i < syns; ++i) {
     Packet p;
     p.ft = {attacker + std::uint32_t(i % 16), victim,
-            std::uint16_t(next_ephemeral_++ % 65535 + 1), 443, 6};
+            EphemeralPort(), 443, 6};
     p.tcp_flags = kTcpSyn;
     p.size_bytes = 64;
     p.ts = start + Nanos(rng_.Uniform(std::uint64_t(duration)));
@@ -179,7 +200,7 @@ void TraceGenerator::InjectCompletedFlows(Trace& trace, Nanos start,
   for (std::size_t i = 0; i < flows; ++i) {
     const Nanos t0 = start + Nanos(rng_.Uniform(std::uint64_t(duration)));
     FiveTuple ft{kActorBase + 0x4000 + std::uint32_t(i % 64), host,
-                 std::uint16_t(next_ephemeral_++ % 65535 + 1), 8080, 6};
+                 EphemeralPort(), 8080, 6};
     Packet syn{.ft = ft, .size_bytes = 64, .ts = t0, .tcp_flags = kTcpSyn};
     Packet dat{.ft = ft, .size_bytes = 900, .ts = t0 + 40 * kMicro,
                .tcp_flags = kTcpAck | kTcpPsh, .seq = 1};
@@ -200,7 +221,7 @@ void TraceGenerator::InjectSlowloris(Trace& trace, Nanos start, Nanos duration,
   const std::uint32_t attacker = kActorBase + 0x5000;
   for (std::size_t i = 0; i < conns; ++i) {
     FiveTuple ft{attacker + std::uint32_t(i % 8), victim,
-                 std::uint16_t(next_ephemeral_++ % 65535 + 1), 80, 6};
+                 EphemeralPort(), 80, 6};
     // A SYN then tiny keep-alive packets trickling across the window.
     const std::size_t trickles = 4 + rng_.Uniform(4);
     for (std::size_t j = 0; j <= trickles; ++j) {
@@ -211,6 +232,10 @@ void TraceGenerator::InjectSlowloris(Trace& trace, Nanos start, Nanos duration,
       p.seq = std::uint32_t(j);
       p.ts = start + Nanos(double(j) / double(trickles + 1) * double(duration)) +
              Nanos(rng_.Uniform(kMilli));
+      // The per-packet jitter can push the final trickle past the recorded
+      // [start, start + duration) ground-truth interval; keep every injected
+      // packet inside its own label.
+      if (p.ts >= start + duration) p.ts = start + duration - 1;
       trace.packets.push_back(p);
     }
   }
@@ -233,13 +258,14 @@ void TraceGenerator::InjectSuperSpreader(Trace& trace, Nanos start,
   }
   injected_.push_back({"super_spreader",
                        FlowKey(FlowKeyKind::kSrcIp, {.src_ip = spreader}),
-                       start, start + duration, fanout});
+                       start, start + duration, fanout,
+                       std::min<std::size_t>(fanout, 0xFFFF)});
 }
 
 void TraceGenerator::InjectBoundaryBurst(Trace& trace, Nanos center,
                                          Nanos spread, std::size_t packets) {
   FiveTuple ft{kActorBase + 0x7000 + std::uint32_t(injected_.size()),
-               kVictimBase + 7, std::uint16_t(next_ephemeral_++ % 65535 + 1),
+               kVictimBase + 7, EphemeralPort(),
                80, 6};
   for (std::size_t i = 0; i < packets; ++i) {
     Packet p;

@@ -38,6 +38,16 @@ struct InjectedAnomaly {
   Nanos start = 0;
   Nanos end = 0;
   std::size_t packets = 0;
+  /// Exact distinct-element count behind the anomaly where one exists (unique
+  /// ports of a port scan, unique sources of a DDoS, unique destinations of a
+  /// super-spreader). 0 when the anomaly has no meaningful distinct count.
+  std::size_t distinct = 0;
+  /// Additional endpoints a detector may legitimately flag for this anomaly
+  /// beyond `victim_or_actor` — e.g. the attacker source of an SSH brute
+  /// force whose primary key names the victim. Used when matching alert
+  /// streams against ground truth so attacker-side alerts score as true
+  /// positives instead of false ones.
+  std::vector<FlowKey> secondary;
 };
 
 class TraceGenerator {
@@ -98,6 +108,10 @@ class TraceGenerator {
  private:
   FiveTuple RandomBackgroundTuple(std::size_t flow_rank);
   std::uint32_t RandomHost();
+  /// Next client-side source port, cycling through [1024, 65535] only: the
+  /// privileged/service range must stay reserved for the *destination* ports
+  /// that define ground truth (22, 80, 443, ...).
+  std::uint16_t EphemeralPort();
 
   TraceConfig cfg_;
   Rng rng_;

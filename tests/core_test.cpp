@@ -40,6 +40,28 @@ TEST(WindowSpec, RejectsNonDivisibleSizes) {
   EXPECT_THROW(spec.Validate(), std::invalid_argument);
 }
 
+TEST(WindowSpec, RejectsSlideLargerThanWindow) {
+  // [t, t+W) followed by [t+S, t+S+W) with S > W leaves [t+W, t+S) covered
+  // by no window: a hopping gap, silently dropping traffic from every
+  // window. Must be rejected, not measured wrong.
+  WindowSpec spec;
+  spec.type = WindowType::kSliding;
+  spec.window_size = 200 * kMilli;
+  spec.subwindow_size = 100 * kMilli;
+  spec.slide = 300 * kMilli;
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  // slide == window_size is a degenerate but gapless (tumbling) cadence.
+  spec.slide = 200 * kMilli;
+  EXPECT_NO_THROW(spec.Validate());
+  EXPECT_EQ(spec.SubWindowsPerSlide(), 2u);
+
+  // Tumbling windows never consult slide.
+  spec.type = WindowType::kTumbling;
+  spec.slide = 300 * kMilli;
+  EXPECT_NO_THROW(spec.Validate());
+}
+
 TEST(SubWindowSpan, ContainsAndCount) {
   SubWindowSpan span{3, 7};
   EXPECT_EQ(span.count(), 5u);

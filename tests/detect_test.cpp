@@ -1,0 +1,434 @@
+// src/detect: streaming anomaly detection over sliding windows.
+//
+// Units: ScoreModel (floor, cold seed, lagged absorption, freeze),
+// HysteresisFsm (dwell, hysteresis band, two-stage recovery), EntityDetector
+// (cold-window seeding, top-K bound, idle eviction) and alert/ground-truth
+// matching. End to end: a fabric run over injected anomalies must detect
+// them streaming with bounded memory, and the alert stream must be
+// bit-identical across merge_threads and parallel engine thread counts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/core/network_runner.h"
+#include "src/detect/detect.h"
+#include "src/obs/obs.h"
+#include "src/telemetry/exact_count.h"
+#include "src/trace/generator.h"
+
+namespace ow {
+namespace {
+
+using detect::Alert;
+using detect::DetectionService;
+using detect::DetectorConfig;
+using detect::EntityDetector;
+using detect::HealthState;
+using detect::HysteresisConfig;
+using detect::HysteresisFsm;
+using detect::ScoreModel;
+using detect::ScoreModelConfig;
+
+FlowKey Src(std::uint32_t ip) {
+  return FlowKey(FlowKeyKind::kSrcIp, {.src_ip = ip});
+}
+FlowKey Dst(std::uint32_t ip) {
+  return FlowKey(FlowKeyKind::kDstIp, {.dst_ip = ip});
+}
+
+// --- ScoreModel ------------------------------------------------------------
+
+TEST(ScoreModel, FloorBoundsScoresOfSmallEntities) {
+  ScoreModelConfig cfg;
+  cfg.min_baseline = 20.0;
+  ScoreModel m;  // baseline 0: the floor takes over
+  EXPECT_DOUBLE_EQ(m.Score(10, cfg), 0.5);
+  EXPECT_DOUBLE_EQ(m.Score(60, cfg), 3.0);
+  m.Seed(200);
+  EXPECT_DOUBLE_EQ(m.Score(200, cfg), 1.0);
+  EXPECT_DOUBLE_EQ(m.Score(600, cfg), 3.0);
+}
+
+TEST(ScoreModel, AbsorptionIsLaggedByConfiguredWindows) {
+  ScoreModelConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.baseline_lag = 2;
+  ScoreModel m;
+  m.Seed(100);
+  // Values 1000.. pushed now must not move the baseline for `lag` windows.
+  m.Absorb(1000, /*freeze=*/false, cfg);
+  EXPECT_DOUBLE_EQ(m.baseline(), 100);
+  m.Absorb(1000, false, cfg);
+  EXPECT_DOUBLE_EQ(m.baseline(), 100);
+  // Third absorb pops the first 1000: baseline = 0.5*1000 + 0.5*100.
+  m.Absorb(1000, false, cfg);
+  EXPECT_DOUBLE_EQ(m.baseline(), 550);
+}
+
+TEST(ScoreModel, FreezeDiscardsSuspectValues) {
+  ScoreModelConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.baseline_lag = 1;
+  ScoreModel m;
+  m.Seed(100);
+  m.Absorb(1000, false, cfg);   // queue 1000
+  m.Absorb(1000, true, cfg);    // frozen: the queued 1000 is dropped
+  EXPECT_DOUBLE_EQ(m.baseline(), 100);
+  m.Absorb(80, false, cfg);     // unfrozen: absorbs the queued 1000? no —
+  // the 1000 pushed while frozen was already popped and discarded; this
+  // absorbs the second queued value in order.
+  EXPECT_DOUBLE_EQ(m.baseline(), 550);
+}
+
+// --- HysteresisFsm ---------------------------------------------------------
+
+HysteresisConfig FsmCfg() {
+  HysteresisConfig cfg;
+  cfg.enter_score = 3.0;
+  cfg.down_score = 10.0;
+  cfg.exit_score = 1.5;
+  cfg.enter_dwell = 2;
+  cfg.exit_dwell = 3;
+  return cfg;
+}
+
+TEST(HysteresisFsm, EnterDwellSuppressesOneWindowSpikes) {
+  const HysteresisConfig cfg = FsmCfg();
+  HysteresisFsm fsm;
+  // Alternating hot/cold never satisfies a 2-window dwell.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(fsm.Step(5.0, cfg));
+    EXPECT_FALSE(fsm.Step(1.0, cfg));
+  }
+  EXPECT_EQ(fsm.state(), HealthState::kHealthy);
+  // Two consecutive hot windows transition.
+  EXPECT_FALSE(fsm.Step(5.0, cfg));
+  EXPECT_TRUE(fsm.Step(5.0, cfg));
+  EXPECT_EQ(fsm.state(), HealthState::kDegraded);
+  EXPECT_EQ(fsm.prev_state(), HealthState::kHealthy);
+}
+
+TEST(HysteresisFsm, HysteresisBandHoldsStateWithoutFlapping) {
+  const HysteresisConfig cfg = FsmCfg();
+  HysteresisFsm fsm;
+  fsm.Step(5.0, cfg);
+  fsm.Step(5.0, cfg);
+  ASSERT_EQ(fsm.state(), HealthState::kDegraded);
+  // Scores inside (exit, down) — including below enter — hold degraded.
+  for (double s : {2.0, 9.0, 1.6, 2.9, 5.0}) {
+    EXPECT_FALSE(fsm.Step(s, cfg)) << s;
+    EXPECT_EQ(fsm.state(), HealthState::kDegraded);
+  }
+  // Two cool windows are not enough (exit_dwell = 3), and the band resets
+  // the cool streak.
+  EXPECT_FALSE(fsm.Step(1.0, cfg));
+  EXPECT_FALSE(fsm.Step(1.0, cfg));
+  EXPECT_FALSE(fsm.Step(2.0, cfg));  // band: streak reset
+  EXPECT_FALSE(fsm.Step(1.0, cfg));
+  EXPECT_FALSE(fsm.Step(1.0, cfg));
+  EXPECT_TRUE(fsm.Step(1.0, cfg));  // third consecutive completes the dwell
+  EXPECT_EQ(fsm.state(), HealthState::kHealthy);
+}
+
+TEST(HysteresisFsm, EscalatesToDownAndRecoversOneLevelAtATime) {
+  const HysteresisConfig cfg = FsmCfg();
+  HysteresisFsm fsm;
+  fsm.Step(20.0, cfg);
+  EXPECT_TRUE(fsm.Step(20.0, cfg));  // healthy -> degraded
+  fsm.Step(20.0, cfg);
+  EXPECT_TRUE(fsm.Step(20.0, cfg));  // degraded -> down
+  EXPECT_EQ(fsm.state(), HealthState::kDown);
+  fsm.Step(0.0, cfg);
+  fsm.Step(0.0, cfg);
+  EXPECT_TRUE(fsm.Step(0.0, cfg));  // down -> degraded
+  EXPECT_EQ(fsm.state(), HealthState::kDegraded);
+  fsm.Step(0.0, cfg);
+  fsm.Step(0.0, cfg);
+  EXPECT_TRUE(fsm.Step(0.0, cfg));  // degraded -> healthy
+  EXPECT_EQ(fsm.state(), HealthState::kHealthy);
+}
+
+// --- EntityDetector over synthetic totals ---------------------------------
+
+DetectorConfig SmallCfg() {
+  DetectorConfig cfg;
+  cfg.subwindow_size = 100 * kMilli;
+  cfg.score.min_baseline = 20.0;
+  cfg.score.baseline_lag = 3;
+  cfg.fsm = FsmCfg();
+  return cfg;
+}
+
+void Feed(EntityDetector& d, const std::map<FlowKey, std::uint64_t>& totals,
+          SubWindowNum window_index) {
+  const SubWindowSpan span{window_index, SubWindowNum(window_index + 4)};
+  d.OnTotals(totals, span, Nanos(window_index + 5) * 100 * kMilli, false);
+}
+
+TEST(EntityDetector, ColdWindowSeedsWithoutAlerting) {
+  EntityDetector d(SmallCfg(), 0);
+  // A huge steady entity present from the start must never alert.
+  const std::map<FlowKey, std::uint64_t> steady{{Src(1), 5000}, {Dst(2), 900}};
+  for (SubWindowNum w = 0; w < 20; ++w) Feed(d, steady, w);
+  EXPECT_TRUE(d.alerts().empty());
+  EXPECT_EQ(d.tracked(), 2u);
+}
+
+TEST(EntityDetector, DetectsSpikeAboveSeededBaselineAfterDwell) {
+  EntityDetector d(SmallCfg(), 7);
+  std::map<FlowKey, std::uint64_t> totals{{Src(1), 100}, {Dst(2), 50}};
+  Feed(d, totals, 0);  // cold: seeds 100 / 50
+  Feed(d, totals, 1);
+  Feed(d, totals, 2);
+  totals[Src(1)] = 520;  // score 5.2 vs seeded baseline
+  Feed(d, totals, 3);
+  EXPECT_TRUE(d.alerts().empty());  // dwell = 2: not yet
+  Feed(d, totals, 4);
+  ASSERT_EQ(d.alerts().size(), 1u);
+  const Alert& a = d.alerts()[0];
+  EXPECT_EQ(a.switch_id, 7);
+  EXPECT_EQ(a.entity, Src(1));
+  EXPECT_EQ(a.from, HealthState::kHealthy);
+  EXPECT_EQ(a.to, HealthState::kDegraded);
+  EXPECT_DOUBLE_EQ(a.score, 5.2);
+  EXPECT_EQ(a.value, 520u);
+  EXPECT_EQ(a.window_start, Nanos(4) * 100 * kMilli);
+  EXPECT_EQ(a.window_end, Nanos(9) * 100 * kMilli);
+  EXPECT_TRUE(a.actionable());
+
+  // Sustained attack: frozen baseline, no further transitions below the
+  // down threshold, hence no alert churn.
+  for (SubWindowNum w = 5; w < 12; ++w) Feed(d, totals, w);
+  EXPECT_EQ(d.alerts().size(), 1u);
+
+  // Attack ends: exit dwell (3 windows at/below exit) recovers, emitting an
+  // informational (non-actionable) alert.
+  totals[Src(1)] = 100;
+  for (SubWindowNum w = 12; w < 16; ++w) Feed(d, totals, w);
+  ASSERT_EQ(d.alerts().size(), 2u);
+  EXPECT_EQ(d.alerts()[1].to, HealthState::kHealthy);
+  EXPECT_FALSE(d.alerts()[1].actionable());
+}
+
+TEST(EntityDetector, FreshEntityAboveFloorTimesEnterAlertsQuickly) {
+  EntityDetector d(SmallCfg(), 0);
+  std::map<FlowKey, std::uint64_t> totals{{Src(1), 100}};
+  Feed(d, totals, 0);  // cold
+  totals[Dst(9)] = 90;  // fresh entity, score 90/20 = 4.5
+  Feed(d, totals, 1);
+  Feed(d, totals, 2);
+  ASSERT_EQ(d.alerts().size(), 1u);
+  EXPECT_EQ(d.alerts()[0].entity, Dst(9));
+}
+
+TEST(EntityDetector, TopKBoundHoldsAndKeepsTheLargest) {
+  DetectorConfig cfg = SmallCfg();
+  cfg.max_entities = 4;
+  EntityDetector d(cfg, 0);
+  std::map<FlowKey, std::uint64_t> totals;
+  for (std::uint32_t i = 1; i <= 6; ++i) totals[Src(i)] = 100 * i;
+  Feed(d, totals, 0);
+  EXPECT_EQ(d.tracked(), 4u);
+  EXPECT_EQ(d.stats().evictions, 2u);
+  EXPECT_EQ(d.stats().tracked_peak, 4u);
+  // The four largest survived the admission fight.
+  for (SubWindowNum w = 1; w < 3; ++w) Feed(d, totals, w);
+  EXPECT_TRUE(d.alerts().empty());  // all seeded or below-floor, no alerts
+
+  // A below-everyone newcomer is rejected, not admitted.
+  totals[Src(7)] = 25;
+  Feed(d, totals, 3);
+  EXPECT_EQ(d.tracked(), 4u);
+  EXPECT_GT(d.stats().admissions_rejected, 0u);
+}
+
+TEST(EntityDetector, IdleQuietEntitiesAreEvicted) {
+  DetectorConfig cfg = SmallCfg();
+  cfg.idle_evict_windows = 3;
+  EntityDetector d(cfg, 0);
+  std::map<FlowKey, std::uint64_t> totals{{Src(1), 100}, {Src(2), 100}};
+  Feed(d, totals, 0);
+  EXPECT_EQ(d.tracked(), 2u);
+  totals.erase(Src(2));
+  for (SubWindowNum w = 1; w <= 3; ++w) Feed(d, totals, w);
+  EXPECT_EQ(d.tracked(), 1u);
+  EXPECT_GT(d.stats().evictions, 0u);
+}
+
+// --- ground-truth matching -------------------------------------------------
+
+TEST(ScoreAlertStream, MatchesPrimaryAndSecondaryEndpoints) {
+  InjectedAnomaly label;
+  label.kind = "ssh_brute_force";
+  label.victim_or_actor = Dst(0xC0A80001);
+  label.secondary.push_back(Src(0xAC100200));
+  label.start = 1 * kSecond;
+  label.end = 2 * kSecond;
+
+  EXPECT_TRUE(detect::EntityMatchesLabel(Dst(0xC0A80001), label));
+  EXPECT_TRUE(detect::EntityMatchesLabel(Src(0xAC100200), label));
+  EXPECT_FALSE(detect::EntityMatchesLabel(Src(0xC0A80001), label));  // side
+  EXPECT_FALSE(detect::EntityMatchesLabel(Dst(0xAC100200), label));
+  EXPECT_FALSE(detect::EntityMatchesLabel(Dst(0x0A000001), label));
+
+  Alert hit;
+  hit.entity = Src(0xAC100200);
+  hit.from = HealthState::kHealthy;
+  hit.to = HealthState::kDegraded;
+  hit.window_start = 1200 * kMilli;
+  hit.window_end = 1700 * kMilli;
+  Alert miss = hit;
+  miss.entity = Src(0x0A000009);  // unrelated entity -> false positive
+  Alert recovery = hit;
+  recovery.from = HealthState::kDegraded;
+  recovery.to = HealthState::kHealthy;  // informational: excluded
+  Alert late = hit;
+  late.window_start = 4 * kSecond;  // outside label + slack
+  late.window_end = late.window_start + 500 * kMilli;
+
+  const detect::StreamingScore s =
+      detect::ScoreAlertStream({hit, miss, recovery, late}, {label});
+  EXPECT_EQ(s.actionable_alerts, 3u);
+  EXPECT_EQ(s.matched_alerts, 1u);
+  EXPECT_EQ(s.labels_detected, 1u);
+  EXPECT_DOUBLE_EQ(s.pr.precision, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.pr.recall, 1.0);
+  EXPECT_EQ(s.mean_detection_latency, 700 * kMilli);
+}
+
+TEST(ScoreAlertStream, FiveTupleLabelsMatchBothSides) {
+  InjectedAnomaly label;
+  label.kind = "boundary_burst";
+  label.victim_or_actor =
+      FlowKey(FlowKeyKind::kFiveTuple,
+              {.src_ip = 0xAC107000, .dst_ip = 0xC0A80007, .src_port = 1024,
+               .dst_port = 80, .proto = 6});
+  EXPECT_TRUE(detect::EntityMatchesLabel(Src(0xAC107000), label));
+  EXPECT_TRUE(detect::EntityMatchesLabel(Dst(0xC0A80007), label));
+  EXPECT_FALSE(detect::EntityMatchesLabel(Src(0xC0A80007), label));
+}
+
+// --- end to end on a fabric ------------------------------------------------
+
+struct LabeledTrace {
+  Trace trace;
+  std::vector<InjectedAnomaly> labels;
+};
+
+/// Background plus four anomalies, all starting after the detector's first
+/// (cold, baseline-seeding) 500 ms window.
+LabeledTrace MakeAttackTrace() {
+  TraceConfig tc;
+  tc.seed = 91;
+  tc.duration = 2'500 * kMilli;
+  tc.packets_per_sec = 10'000;
+  tc.num_flows = 2'000;
+  TraceGenerator gen(tc);
+  LabeledTrace out;
+  out.trace = gen.GenerateBackground();
+  gen.InjectSynFlood(out.trace, 700 * kMilli, 600 * kMilli, 500);
+  gen.InjectSlowloris(out.trace, 1'000 * kMilli, 1'000 * kMilli, 60);
+  gen.InjectSuperSpreader(out.trace, 1'200 * kMilli, 500 * kMilli, 400);
+  gen.InjectBoundaryBurst(out.trace, 1'500 * kMilli, 60 * kMilli, 150);
+  out.trace.SortByTime();
+  out.labels = gen.injected();
+  return out;
+}
+
+WindowSpec SlidingSpec() {
+  WindowSpec spec;
+  spec.type = WindowType::kSliding;
+  spec.window_size = 500 * kMilli;
+  spec.slide = 100 * kMilli;
+  spec.subwindow_size = 100 * kMilli;
+  return spec;
+}
+
+std::vector<Alert> RunFabricDetection(const LabeledTrace& lt,
+                                      TopologyConfig topo,
+                                      std::size_t merge_threads,
+                                      std::size_t engine_threads,
+                                      DetectionService** out_service,
+                                      DetectionService* storage) {
+  NetworkRunConfig cfg;
+  cfg.base = RunConfig::Make(SlidingSpec());
+  cfg.base.controller.kv_capacity = 1 << 15;
+  cfg.base.controller.merge_threads = merge_threads;
+  cfg.topology = topo;
+  cfg.parallel.threads = engine_threads;
+  *storage = DetectionService(DetectorConfig{}, TopologySwitchCount(topo));
+  cfg.window_observer = storage->Observer();
+  RunOmniWindowFabric(
+      lt.trace, [](std::size_t) { return std::make_shared<ExactCountApp>(); },
+      cfg);
+  if (out_service) *out_service = storage;
+  return storage->Alerts();
+}
+
+TEST(DetectEndToEnd, StreamsAlertsForInjectedAnomaliesWithBoundedMemory) {
+  const LabeledTrace lt = MakeAttackTrace();
+  TopologyConfig topo;
+  topo.kind = TopologyKind::kLine;
+  topo.line_switches = 1;
+  DetectionService storage(DetectorConfig{}, 0);
+  DetectionService* svc = nullptr;
+  const std::vector<Alert> alerts =
+      RunFabricDetection(lt, topo, 1, 0, &svc, &storage);
+
+  const detect::StreamingScore s = detect::ScoreAlertStream(alerts, lt.labels);
+  EXPECT_EQ(s.labels, 4u);
+  EXPECT_EQ(s.labels_detected, 4u) << "recall " << s.pr.recall;
+  EXPECT_GE(s.pr.precision, 0.9);
+  // Streaming: every alert fired at its window's completion time, which is
+  // inside the run, not after it.
+  for (const Alert& a : alerts) {
+    EXPECT_GE(a.completed_at, a.window_end);
+    EXPECT_LT(a.completed_at, Nanos(4) * kSecond);
+  }
+  // Bounded memory: tracked entities stay under the per-switch cap.
+  EXPECT_LE(svc->TotalStats().tracked_peak, DetectorConfig{}.max_entities);
+  EXPECT_GT(svc->TotalStats().tracked_peak, 0u);
+}
+
+TEST(DetectEndToEnd, AlertStreamBitIdenticalAcrossMergeThreads) {
+  const LabeledTrace lt = MakeAttackTrace();
+  TopologyConfig topo;
+  topo.kind = TopologyKind::kLine;
+  topo.line_switches = 2;
+  DetectionService s1(DetectorConfig{}, 0), s2(DetectorConfig{}, 0);
+  const std::vector<Alert> a = RunFabricDetection(lt, topo, 1, 0, nullptr, &s1);
+  const std::vector<Alert> b = RunFabricDetection(lt, topo, 4, 0, nullptr, &s2);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DetectEndToEnd, AlertStreamBitIdenticalAcrossEngineThreads) {
+  const LabeledTrace lt = MakeAttackTrace();
+  TopologyConfig topo;
+  topo.kind = TopologyKind::kLeafSpine;
+  topo.leaves = 2;
+  topo.spines = 2;
+  DetectionService s1(DetectorConfig{}, 0), s2(DetectorConfig{}, 0);
+  const std::vector<Alert> a = RunFabricDetection(lt, topo, 1, 0, nullptr, &s1);
+  const std::vector<Alert> b = RunFabricDetection(lt, topo, 1, 4, nullptr, &s2);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DetectObs, CountersTrackWindowsAndTransitions) {
+  obs::Global().Reset();
+  EntityDetector d(SmallCfg(), 0);
+  std::map<FlowKey, std::uint64_t> totals{{Src(1), 100}};
+  Feed(d, totals, 0);
+  totals[Src(1)] = 600;
+  for (SubWindowNum w = 1; w < 4; ++w) Feed(d, totals, w);
+  EXPECT_EQ(obs::Global().GetCounter("detect.windows").value(),
+            d.stats().windows);
+  EXPECT_EQ(obs::Global().GetCounter("detect.transitions.degraded").value(),
+            d.stats().transitions_degraded);
+  EXPECT_GT(d.stats().transitions_degraded, 0u);
+}
+
+}  // namespace
+}  // namespace ow

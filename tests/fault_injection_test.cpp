@@ -60,10 +60,11 @@ WindowSpec Spec() {
 }
 
 NetworkRunResult RunLine(const Trace& trace, const fault::FaultPlan& plan,
-                         std::vector<std::shared_ptr<QueryAdapter>>& apps) {
+                         std::vector<std::shared_ptr<QueryAdapter>>& apps,
+                         const WindowSpec& spec = Spec()) {
   obs::Global().Reset();
   NetworkRunConfig cfg;
-  cfg.base = RunConfig::Make(Spec());
+  cfg.base = RunConfig::Make(spec);
   cfg.base.fault = plan;
   cfg.num_switches = 2;
   cfg.report_link_seed = 777;
@@ -288,6 +289,57 @@ TEST(FaultInjection, PhasedBlackoutDegradesOnlyItsSpanAndRecoversAfter) {
   // At least one switch had to invoke the late-collection degraded-bit
   // machinery (region re-written before its C&R ran).
   EXPECT_GT(degraded_by_switch, 0u);
+}
+
+TEST(FaultInjection, SlidingWindowsFlagEveryWindowCoveringADegradedSub) {
+  // Sliding windows overlap: one degraded sub-window taints every window
+  // whose span covers it (W/S consecutive windows), so its mark must
+  // survive until no future window can reach it — eviction at
+  // span.first + S — not be dropped after the first emission the way
+  // tumbling windows may. The controller records every mark in
+  // stats().degraded_subwindows; the partial flag must satisfy the exact
+  // biconditional: partial(w) <=> span(w) intersects the marked set.
+  const Trace trace = MakeTrace();
+  WindowSpec spec;
+  spec.type = WindowType::kSliding;
+  spec.window_size = 150 * kMilli;
+  spec.slide = 50 * kMilli;
+  spec.subwindow_size = 50 * kMilli;
+
+  std::vector<std::shared_ptr<QueryAdapter>> apps;
+  const NetworkRunResult base = RunLine(trace, fault::FaultPlan{}, apps, spec);
+
+  // Report path dead for the first 180 ms: the early sub-windows' triggers
+  // are lost, their late collections hit rewritten regions, and the damage
+  // must surface as degraded marks covering several overlapping windows.
+  fault::FaultPlan plan;
+  plan.report_link.drop_rate = 1.0;
+  plan.report_link.phases.push_back({0, 180 * kMilli, 1.0});
+  const NetworkRunResult got = RunLine(trace, plan, apps, spec);
+
+  std::size_t partial_windows = 0, clean_windows = 0;
+  for (std::size_t s = 0; s < got.per_switch.size(); ++s) {
+    const auto& marks = got.per_switch[s].controller.degraded_subwindows;
+    const auto& gw = got.per_switch[s].windows;
+    const auto& bw = base.per_switch[s].windows;
+    ASSERT_EQ(gw.size(), bw.size());
+    for (std::size_t w = 0; w < gw.size(); ++w) {
+      bool tainted = false;
+      for (const SubWindowNum d : marks) tainted |= gw[w].span.Contains(d);
+      EXPECT_EQ(gw[w].partial, tainted)
+          << "switch " << s << " window [" << gw[w].span.first << ","
+          << gw[w].span.last << "]";
+      // Unflagged windows carry no excuse: they must be exact.
+      if (!gw[w].partial) {
+        EXPECT_EQ(gw[w].detected, bw[w].detected)
+            << "switch " << s << " window " << w;
+      }
+      (gw[w].partial ? partial_windows : clean_windows) += 1;
+    }
+  }
+  // The scenario must actually exercise both sides of the biconditional.
+  EXPECT_GT(partial_windows, 0u);
+  EXPECT_GT(clean_windows, 0u);
 }
 
 TEST(FaultInjection, RdmaWriteFaultsAreChasedBackToExactness) {

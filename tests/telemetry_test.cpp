@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "src/core/runner.h"
 #include "src/sketch/count_min.h"
 #include "src/sketch/mv_sketch.h"
 #include "src/sketch/spread_sketch.h"
@@ -241,6 +242,48 @@ TEST(Baselines, IdealSlidingCatchesBoundaryBurst) {
   const auto isw = RunIdealSliding(def, trace, 300 * kMilli, 60 * kMilli);
   EXPECT_FALSE(UnionDetections(itw).contains(burst_flow));
   EXPECT_TRUE(UnionDetections(isw).contains(burst_flow));
+}
+
+TEST(Baselines, IdealSlidingMatchesRuntimeEmissionCadence) {
+  // Pin ISW ground truth to the runtime's sliding emission: same number of
+  // windows, same [start, end) per window. The old loop bound
+  // (`end <= duration + window_size`) appended trailing windows past the
+  // trace end that the runtime never emits, so per-window accuracy
+  // comparisons silently misaligned.
+  TraceConfig cfg = SmallConfig();  // 600 ms of background
+  TraceGenerator gen(cfg);
+  Trace trace = gen.GenerateBackground();
+  trace.SortByTime();
+
+  const Nanos window = 150 * kMilli;
+  const Nanos slide = 50 * kMilli;
+  QueryDef def;
+  def.name = "hh";
+  def.key_kind = FlowKeyKind::kFiveTuple;
+  def.aggregate = QueryAggregate::kCount;
+  def.threshold = 50;
+  const auto isw = RunIdealSliding(def, trace, window, slide);
+
+  WindowSpec spec;
+  spec.type = WindowType::kSliding;
+  spec.window_size = window;
+  spec.slide = slide;
+  spec.subwindow_size = slide;
+  const RunResult run = RunOmniWindow(
+      trace, std::make_shared<QueryAdapter>(def, 4096), RunConfig::Make(spec));
+
+  ASSERT_EQ(isw.size(), run.windows.size());
+  for (std::size_t i = 0; i < isw.size(); ++i) {
+    const SubWindowSpan span = run.windows[i].span;
+    EXPECT_EQ(isw[i].start, Nanos(span.first) * spec.subwindow_size) << i;
+    EXPECT_EQ(isw[i].end, Nanos(span.last + 1) * spec.subwindow_size) << i;
+  }
+  // First window ends one full window in; the last covers the trace end and
+  // no ISW window starts past the final measured sub-window.
+  ASSERT_FALSE(isw.empty());
+  EXPECT_EQ(isw.front().end, window);
+  EXPECT_GE(isw.back().end, trace.Duration());
+  EXPECT_LT(isw.back().start, trace.Duration());
 }
 
 // -------------------------------------------------------------- LossRadar

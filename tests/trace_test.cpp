@@ -112,6 +112,73 @@ TEST(TraceGenerator, SuperSpreaderFanout) {
   EXPECT_EQ(dsts.size(), 400u);
 }
 
+TEST(TraceGenerator, InjectedEphemeralPortsAreClientSide) {
+  // Every injector that draws ephemeral source ports must stay inside the
+  // registered/dynamic range [1024, 65535]: a modulo into [1, 65535] used to
+  // let attack flows claim well-known service ports, which breaks any
+  // query or detector that filters on the server side of the connection.
+  TraceGenerator gen(SmallConfig());
+  Trace trace;
+  gen.InjectConnectionFlood(trace, 0, 100 * kMilli, 200);
+  gen.InjectSshBruteForce(trace, 0, 100 * kMilli, 200);
+  gen.InjectPortScan(trace, 0, 100 * kMilli, 200);
+  gen.InjectDdos(trace, 0, 100 * kMilli, 200);
+  gen.InjectSynFlood(trace, 0, 100 * kMilli, 200);
+  gen.InjectCompletedFlows(trace, 0, 100 * kMilli, 100);
+  gen.InjectSlowloris(trace, 0, 100 * kMilli, 50);
+  gen.InjectSuperSpreader(trace, 0, 100 * kMilli, 200);
+  gen.InjectBoundaryBurst(trace, 50 * kMilli, 20 * kMilli, 100);
+  ASSERT_FALSE(trace.packets.empty());
+  for (const Packet& p : trace.packets) {
+    EXPECT_GE(p.ft.src_port, 1024) << "well-known source port " << p.ft.src_port;
+  }
+}
+
+TEST(TraceGenerator, SlowlorisStaysInsideItsLabelInterval) {
+  // Keep-alive trickles used to spill past start+duration, so the recorded
+  // [start, end) label under-covered the anomaly's actual packets and
+  // streaming true positives after `end` scored as false positives.
+  TraceGenerator gen(SmallConfig());
+  Trace trace;
+  gen.InjectSlowloris(trace, 100 * kMilli, 200 * kMilli, 40);
+  ASSERT_EQ(gen.injected().size(), 1u);
+  const InjectedAnomaly& label = gen.injected()[0];
+  EXPECT_EQ(label.start, 100 * kMilli);
+  EXPECT_EQ(label.end, 300 * kMilli);
+  ASSERT_FALSE(trace.packets.empty());
+  for (const Packet& p : trace.packets) {
+    EXPECT_GE(p.ts, label.start);
+    EXPECT_LT(p.ts, label.end);
+  }
+}
+
+TEST(TraceGenerator, PortScanRecordsItsDistinctPortCount) {
+  TraceGenerator gen(SmallConfig());
+  Trace trace;
+  gen.InjectPortScan(trace, 0, 100 * kMilli, 200);
+  ASSERT_EQ(gen.injected().size(), 1u);
+  EXPECT_EQ(gen.injected()[0].distinct, 200u);
+  // The scanning source is a legitimate secondary endpoint for matching.
+  EXPECT_EQ(gen.injected()[0].secondary.size(), 1u);
+
+  // More probes than the 16-bit port space can never mean more distinct
+  // ports than the port space holds.
+  TraceGenerator gen2(SmallConfig());
+  Trace huge;
+  gen2.InjectPortScan(huge, 0, 100 * kMilli, 70'000);
+  EXPECT_EQ(gen2.injected()[0].distinct, 65'535u);
+}
+
+TEST(TraceGenerator, DistinctCountsMatchInjectedCardinality) {
+  TraceGenerator gen(SmallConfig());
+  Trace trace;
+  gen.InjectDdos(trace, 0, 100 * kMilli, 300);
+  gen.InjectSuperSpreader(trace, 0, 100 * kMilli, 400);
+  ASSERT_EQ(gen.injected().size(), 2u);
+  EXPECT_EQ(gen.injected()[0].distinct, 300u);
+  EXPECT_EQ(gen.injected()[1].distinct, 400u);
+}
+
 TEST(TraceGenerator, EvaluationTraceContainsAllAnomalies) {
   TraceGenerator gen(SmallConfig());
   const Trace trace = gen.GenerateEvaluationTrace();
