@@ -27,6 +27,7 @@
 #include "bench/harness.h"
 #include "src/core/network_runner.h"
 #include "src/detect/detect.h"
+#include "src/detect/score.h"
 #include "src/telemetry/exact_count.h"
 #include "src/trace/generator.h"
 

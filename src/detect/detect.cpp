@@ -125,7 +125,11 @@ bool EntityDetector::Admit(const FlowKey& key, double value,
   if (entities_.size() >= cfg_.max_entities) {
     // Evict the quiet entity with the smallest baseline, but only if the
     // newcomer looks bigger than what it displaces. std::map order makes
-    // the tie-break (smallest key) deterministic.
+    // the tie-break (smallest key) deterministic. The scan is
+    // O(max_entities) per admission attempt at cap; that is acceptable
+    // because admissions are floor-gated (min_baseline) and the cap is
+    // sized so steady state sits below it — sustained churn of distinct
+    // above-floor sources pays O(cap) per newcomer per window.
     auto victim = entities_.end();
     double victim_baseline = value;
     for (auto it = entities_.begin(); it != entities_.end(); ++it) {
@@ -133,6 +137,9 @@ bool EntityDetector::Admit(const FlowKey& key, double value,
       if (it->second.model.baseline() < victim_baseline) {
         victim = it;
         victim_baseline = it->second.model.baseline();
+        // Baselines cannot be negative: the first quiet zero-baseline
+        // entity (smallest key among them) is already the final choice.
+        if (victim_baseline <= 0.0) break;
       }
     }
     if (victim == entities_.end()) {
@@ -227,7 +234,11 @@ void EntityDetector::OnTotals(const std::map<FlowKey, std::uint64_t>& totals,
   // One pass over the union of tracked entities and this window's totals,
   // in key order. Tracked entities absent from the window step with value
   // zero (their baseline decays toward eviction); untracked entities above
-  // the admission floor start being tracked.
+  // the admission floor start being tracked. Admissions are deferred past
+  // the merge: Admit() at the capacity cap evicts an arbitrary quiet entity
+  // from entities_, which could be the very element the merge cursor points
+  // at — erasing it mid-pass would leave `te` dangling.
+  std::vector<std::pair<FlowKey, std::uint64_t>> fresh;
   auto te = entities_.begin();
   auto tv = totals.begin();
   while (te != entities_.end() || tv != totals.end()) {
@@ -246,10 +257,7 @@ void EntityDetector::OnTotals(const std::map<FlowKey, std::uint64_t>& totals,
     } else if (te == entities_.end() || tv->first < te->first) {
       // Present, untracked: admission-gate on the scoring floor.
       if (double(tv->second) >= cfg_.score.min_baseline) {
-        EntityState* st = nullptr;
-        if (Admit(tv->first, double(tv->second), &st)) {
-          StepEntity(tv->first, *st, tv->second, span, completed_at, partial);
-        }
+        fresh.emplace_back(tv->first, tv->second);
       }
       ++tv;
     } else {
@@ -257,6 +265,14 @@ void EntityDetector::OnTotals(const std::map<FlowKey, std::uint64_t>& totals,
                  partial);
       ++te;
       ++tv;
+    }
+  }
+  // `fresh` is in key order (totals is an ordered map), so admissions and
+  // any capacity evictions they trigger remain deterministic.
+  for (const auto& [key, value] : fresh) {
+    EntityState* st = nullptr;
+    if (Admit(key, double(value), &st)) {
+      StepEntity(key, *st, value, span, completed_at, partial);
     }
   }
   stats_.tracked_peak = std::max(stats_.tracked_peak, entities_.size());
@@ -314,82 +330,6 @@ EntityDetector::Stats DetectionService::TotalStats() const {
     t.tracked_peak += s.tracked_peak;
   }
   return t;
-}
-
-// --- ground-truth matching -----------------------------------------------
-
-namespace {
-
-bool KeyNamesEndpoint(const FlowKey& entity, const FlowKey& label_key) {
-  const bool entity_is_src = entity.kind() == FlowKeyKind::kSrcIp;
-  switch (label_key.kind()) {
-    case FlowKeyKind::kSrcIp:
-      return entity_is_src && entity.src_ip() == label_key.src_ip();
-    case FlowKeyKind::kDstIp:
-      return !entity_is_src && entity.dst_ip() == label_key.dst_ip();
-    case FlowKeyKind::kFiveTuple:
-    case FlowKeyKind::kIpPair:
-      return entity_is_src ? entity.src_ip() == label_key.src_ip()
-                           : entity.dst_ip() == label_key.dst_ip();
-    case FlowKeyKind::kSrcIpDstPort:
-      return entity_is_src && entity.src_ip() == label_key.src_ip();
-  }
-  return false;
-}
-
-}  // namespace
-
-bool EntityMatchesLabel(const FlowKey& entity, const InjectedAnomaly& label) {
-  if (KeyNamesEndpoint(entity, label.victim_or_actor)) return true;
-  for (const auto& k : label.secondary) {
-    if (KeyNamesEndpoint(entity, k)) return true;
-  }
-  return false;
-}
-
-StreamingScore ScoreAlertStream(const std::vector<Alert>& alerts,
-                                const std::vector<InjectedAnomaly>& labels,
-                                const MatchConfig& cfg) {
-  StreamingScore out;
-  out.labels = labels.size();
-  std::vector<Nanos> first_hit(labels.size(), -1);
-  for (const auto& a : alerts) {
-    if (!a.actionable()) continue;
-    ++out.actionable_alerts;
-    bool matched = false;
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      const auto& label = labels[i];
-      // Window/label interval overlap, with slack for windows that close
-      // after the attack's last packet.
-      if (a.window_start >= label.end + cfg.slack) continue;
-      if (a.window_end <= label.start) continue;
-      if (!EntityMatchesLabel(a.entity, label)) continue;
-      matched = true;
-      const Nanos latency = std::max<Nanos>(0, a.window_end - label.start);
-      if (first_hit[i] < 0 || latency < first_hit[i]) first_hit[i] = latency;
-    }
-    if (matched) ++out.matched_alerts;
-  }
-  Nanos total_latency = 0;
-  for (Nanos latency : first_hit) {
-    if (latency < 0) continue;
-    ++out.labels_detected;
-    total_latency += latency;
-    out.max_detection_latency = std::max(out.max_detection_latency, latency);
-  }
-  out.pr.true_positives = out.matched_alerts;
-  out.pr.reported = out.actionable_alerts;
-  out.pr.actual = out.labels;
-  out.pr.precision = out.actionable_alerts == 0
-                         ? 1.0
-                         : double(out.matched_alerts) /
-                               double(out.actionable_alerts);
-  out.pr.recall = out.labels == 0 ? 1.0
-                                  : double(out.labels_detected) /
-                                        double(out.labels);
-  out.mean_detection_latency =
-      out.labels_detected == 0 ? 0 : total_latency / Nanos(out.labels_detected);
-  return out;
 }
 
 }  // namespace ow::detect

@@ -43,10 +43,8 @@
 #include <vector>
 
 #include "src/common/flowkey.h"
-#include "src/common/metrics.h"
 #include "src/common/types.h"
 #include "src/core/controller.h"
-#include "src/trace/generator.h"
 
 namespace ow::obs {
 class Counter;
@@ -251,35 +249,9 @@ class DetectionService {
   std::deque<EntityDetector> detectors_;  // stable addresses, no copies
 };
 
-// --- scoring against injected ground truth -------------------------------
-
-struct MatchConfig {
-  /// An alert may trail its label's end by this much (the last windows
-  /// containing attack traffic finish after the attack stops).
-  Nanos slack = 500 * kMilli;
-};
-
-struct StreamingScore {
-  PrecisionRecall pr;  ///< alert-level precision, label-level recall
-  std::size_t actionable_alerts = 0;
-  std::size_t matched_alerts = 0;
-  std::size_t labels = 0;
-  std::size_t labels_detected = 0;
-  /// Over detected labels: first matching alert's window end minus label
-  /// start (0 when the window closed before the label even started).
-  Nanos mean_detection_latency = 0;
-  Nanos max_detection_latency = 0;
-};
-
-/// Does `entity` (a kSrcIp/kDstIp detector key) name an endpoint of
-/// `label` — its primary victim_or_actor or any secondary key?
-bool EntityMatchesLabel(const FlowKey& entity, const InjectedAnomaly& label);
-
-/// Match a (streaming) alert stream against injected ground truth. An
-/// actionable alert is a true positive when its window overlaps
-/// [label.start, label.end + slack) for a label whose endpoints it names.
-StreamingScore ScoreAlertStream(const std::vector<Alert>& alerts,
-                                const std::vector<InjectedAnomaly>& labels,
-                                const MatchConfig& cfg = {});
+// Ground-truth matching of alert streams against TraceGenerator labels
+// (EntityMatchesLabel, ScoreAlertStream) is evaluation-only and lives in
+// src/detect/score.h (ow_detect_score), so this library stays free of the
+// synthetic trace generator.
 
 }  // namespace ow::detect

@@ -1,0 +1,80 @@
+#include "src/detect/score.h"
+
+#include <algorithm>
+
+namespace ow::detect {
+namespace {
+
+bool KeyNamesEndpoint(const FlowKey& entity, const FlowKey& label_key) {
+  const bool entity_is_src = entity.kind() == FlowKeyKind::kSrcIp;
+  switch (label_key.kind()) {
+    case FlowKeyKind::kSrcIp:
+      return entity_is_src && entity.src_ip() == label_key.src_ip();
+    case FlowKeyKind::kDstIp:
+      return !entity_is_src && entity.dst_ip() == label_key.dst_ip();
+    case FlowKeyKind::kFiveTuple:
+    case FlowKeyKind::kIpPair:
+      return entity_is_src ? entity.src_ip() == label_key.src_ip()
+                           : entity.dst_ip() == label_key.dst_ip();
+    case FlowKeyKind::kSrcIpDstPort:
+      return entity_is_src && entity.src_ip() == label_key.src_ip();
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EntityMatchesLabel(const FlowKey& entity, const InjectedAnomaly& label) {
+  if (KeyNamesEndpoint(entity, label.victim_or_actor)) return true;
+  for (const auto& k : label.secondary) {
+    if (KeyNamesEndpoint(entity, k)) return true;
+  }
+  return false;
+}
+
+StreamingScore ScoreAlertStream(const std::vector<Alert>& alerts,
+                                const std::vector<InjectedAnomaly>& labels,
+                                const MatchConfig& cfg) {
+  StreamingScore out;
+  out.labels = labels.size();
+  std::vector<Nanos> first_hit(labels.size(), -1);
+  for (const auto& a : alerts) {
+    if (!a.actionable()) continue;
+    ++out.actionable_alerts;
+    bool matched = false;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const auto& label = labels[i];
+      // Window/label interval overlap, with slack for windows that close
+      // after the attack's last packet.
+      if (a.window_start >= label.end + cfg.slack) continue;
+      if (a.window_end <= label.start) continue;
+      if (!EntityMatchesLabel(a.entity, label)) continue;
+      matched = true;
+      const Nanos latency = std::max<Nanos>(0, a.window_end - label.start);
+      if (first_hit[i] < 0 || latency < first_hit[i]) first_hit[i] = latency;
+    }
+    if (matched) ++out.matched_alerts;
+  }
+  Nanos total_latency = 0;
+  for (Nanos latency : first_hit) {
+    if (latency < 0) continue;
+    ++out.labels_detected;
+    total_latency += latency;
+    out.max_detection_latency = std::max(out.max_detection_latency, latency);
+  }
+  out.pr.true_positives = out.matched_alerts;
+  out.pr.reported = out.actionable_alerts;
+  out.pr.actual = out.labels;
+  out.pr.precision = out.actionable_alerts == 0
+                         ? 1.0
+                         : double(out.matched_alerts) /
+                               double(out.actionable_alerts);
+  out.pr.recall = out.labels == 0 ? 1.0
+                                  : double(out.labels_detected) /
+                                        double(out.labels);
+  out.mean_detection_latency =
+      out.labels_detected == 0 ? 0 : total_latency / Nanos(out.labels_detected);
+  return out;
+}
+
+}  // namespace ow::detect

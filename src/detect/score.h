@@ -1,0 +1,49 @@
+// Evaluation-only scoring of alert streams against injected ground truth.
+//
+// Kept out of src/detect/detect.h on purpose: the always-on detection
+// library must not depend on the synthetic trace generator. Only benches
+// and tests that compare a detector's alert stream with
+// TraceGenerator::injected() labels need this header (ow_detect_score).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/flowkey.h"
+#include "src/common/metrics.h"
+#include "src/common/types.h"
+#include "src/detect/detect.h"
+#include "src/trace/generator.h"
+
+namespace ow::detect {
+
+struct MatchConfig {
+  /// An alert may trail its label's end by this much (the last windows
+  /// containing attack traffic finish after the attack stops).
+  Nanos slack = 500 * kMilli;
+};
+
+struct StreamingScore {
+  PrecisionRecall pr;  ///< alert-level precision, label-level recall
+  std::size_t actionable_alerts = 0;
+  std::size_t matched_alerts = 0;
+  std::size_t labels = 0;
+  std::size_t labels_detected = 0;
+  /// Over detected labels: first matching alert's window end minus label
+  /// start (0 when the window closed before the label even started).
+  Nanos mean_detection_latency = 0;
+  Nanos max_detection_latency = 0;
+};
+
+/// Does `entity` (a kSrcIp/kDstIp detector key) name an endpoint of
+/// `label` — its primary victim_or_actor or any secondary key?
+bool EntityMatchesLabel(const FlowKey& entity, const InjectedAnomaly& label);
+
+/// Match a (streaming) alert stream against injected ground truth. An
+/// actionable alert is a true positive when its window overlaps
+/// [label.start, label.end + slack) for a label whose endpoints it names.
+StreamingScore ScoreAlertStream(const std::vector<Alert>& alerts,
+                                const std::vector<InjectedAnomaly>& labels,
+                                const MatchConfig& cfg = {});
+
+}  // namespace ow::detect

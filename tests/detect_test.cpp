@@ -13,6 +13,7 @@
 
 #include "src/core/network_runner.h"
 #include "src/detect/detect.h"
+#include "src/detect/score.h"
 #include "src/obs/obs.h"
 #include "src/telemetry/exact_count.h"
 #include "src/trace/generator.h"
@@ -241,6 +242,30 @@ TEST(EntityDetector, TopKBoundHoldsAndKeepsTheLargest) {
   Feed(d, totals, 3);
   EXPECT_EQ(d.tracked(), 4u);
   EXPECT_GT(d.stats().admissions_rejected, 0u);
+}
+
+// Regression: at the capacity cap, a newcomer admitted mid-window evicts the
+// smallest-baseline quiet entity — which can be the very entity the
+// union-merge pass is currently iterating. The eviction must not invalidate
+// the merge (this used to erase the live cursor: UB, caught under ASan).
+TEST(EntityDetector, CapacityEvictionOfMergeCursorEntityIsSafe) {
+  DetectorConfig cfg = SmallCfg();
+  cfg.max_entities = 2;
+  EntityDetector d(cfg, 0);
+  // Cold window seeds Src(5) (baseline 30, the eviction candidate) and
+  // Src(6) (baseline 100) — both quiet.
+  Feed(d, {{Src(5), 30}, {Src(6), 100}}, 0);
+  ASSERT_EQ(d.tracked(), 2u);
+  // Src(1) sorts before both tracked keys, so its admission happens while
+  // the merge cursor sits on Src(5) — the smallest-baseline victim.
+  Feed(d, {{Src(1), 500}, {Src(5), 30}, {Src(6), 100}}, 1);
+  EXPECT_EQ(d.tracked(), 2u);
+  EXPECT_EQ(d.stats().evictions, 1u);
+  // Src(1) really was admitted: its 25x-floor score escalates after dwell.
+  Feed(d, {{Src(1), 500}, {Src(6), 100}}, 2);
+  ASSERT_FALSE(d.alerts().empty());
+  EXPECT_EQ(d.alerts()[0].entity, Src(1));
+  EXPECT_EQ(d.alerts()[0].to, HealthState::kDegraded);
 }
 
 TEST(EntityDetector, IdleQuietEntitiesAreEvicted) {
