@@ -53,6 +53,10 @@ bool WriteThroughputJson(const std::string& path, const std::string& bench,
       std::fprintf(f, ", \"critical_path_speedup\": %.2f",
                    r.critical_path_speedup);
     }
+    if (r.allocs_per_item >= 0) {
+      std::fprintf(f, ", \"allocs_per_%s\": %.4f", item_name.c_str(),
+                   r.allocs_per_item);
+    }
     std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -91,6 +91,11 @@ struct BenchThroughputRow {
   /// engine exposed, independent of how many cores the host actually has
   /// (the perf_merge convention for 1-vCPU CI hosts). Emitted when > 0.
   double critical_path_speedup = 0;
+  /// Heap allocations (operator new calls) per item inside the timed
+  /// region, measured via the OW_ALLOC_TRACE hook. Emitted when >= 0;
+  /// negative means the build has no tracing. The steady-state target — and
+  /// the regression-gated baseline — is exactly 0.
+  double allocs_per_item = -1;
 };
 
 /// Write rows as `{"bench": <bench>, "trace": {...<trace_desc>...},

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "src/common/alloc_trace.h"
 #include "src/controller/merge_engine.h"
 #include "src/controller/sharded_key_value_table.h"
 
@@ -77,6 +78,9 @@ struct SweepPoint {
   double wall_ns_per_record = 0;
   double critical_path_ns_per_record = 0;
   double wall_records_per_sec = 0;
+  /// Heap allocations inside the timed MergeBatch calls per record
+  /// (OW_ALLOC_TRACE builds only; -1 = no tracing). Steady-state target: 0.
+  double allocs_per_record = -1;
 };
 
 SweepPoint RunSweepPoint(const Batches& batches, std::size_t threads,
@@ -88,9 +92,11 @@ SweepPoint RunSweepPoint(const Batches& batches, std::size_t threads,
   point.threads = threads;
   double wall_ns = 0;
   double critical_ns = 0;
+  std::uint64_t allocs = 0;
   for (int round = -1; round < rounds; ++round) {  // round -1 warms up
     ShardedKeyValueTable table(1 << 17, threads);
     for (const auto& batch : batches) {
+      const alloc_trace::Scope trace_scope;
       const auto t0 = std::chrono::steady_clock::now();
       const MergeEngine::BatchTiming bt =
           engine.MergeBatch(MergeKind::kFrequency, batch, table);
@@ -100,6 +106,7 @@ SweepPoint RunSweepPoint(const Batches& batches, std::size_t threads,
                               t1 - t0)
                               .count());
         critical_ns += double(bt.Total());
+        allocs += trace_scope.news();
       }
     }
     if (round == rounds - 1 && dump_out) *dump_out = Dump(table);
@@ -108,6 +115,7 @@ SweepPoint RunSweepPoint(const Batches& batches, std::size_t threads,
   point.wall_ns_per_record = wall_ns / n;
   point.critical_path_ns_per_record = critical_ns / n;
   point.wall_records_per_sec = 1e9 / point.wall_ns_per_record;
+  if (alloc_trace::Enabled()) point.allocs_per_record = double(allocs) / n;
   return point;
 }
 
@@ -140,9 +148,13 @@ int main(int argc, char** argv) {
     const SweepPoint& p = points.back();
     std::printf(
         "  threads=%zu  wall %7.1f ns/rec (%6.2f Mrec/s)  "
-        "critical-path %7.1f ns/rec\n",
+        "critical-path %7.1f ns/rec",
         p.threads, p.wall_ns_per_record, p.wall_records_per_sec / 1e6,
         p.critical_path_ns_per_record);
+    if (p.allocs_per_record >= 0) {
+      std::printf("  %.4f allocs/rec", p.allocs_per_record);
+    }
+    std::printf("\n");
   }
   std::printf("  merged contents identical across thread counts: %s\n",
               identical ? "yes" : "NO (BUG)");
@@ -173,11 +185,14 @@ int main(int argc, char** argv) {
         "    {\"threads\": %zu, \"wall_ns_per_record\": %.1f, "
         "\"wall_records_per_sec\": %.0f, "
         "\"critical_path_ns_per_record\": %.1f, "
-        "\"speedup_wall\": %.2f, \"speedup_critical_path\": %.2f}%s\n",
+        "\"speedup_wall\": %.2f, \"speedup_critical_path\": %.2f",
         p.threads, p.wall_ns_per_record, p.wall_records_per_sec,
         p.critical_path_ns_per_record, base_wall / p.wall_ns_per_record,
-        base_crit / p.critical_path_ns_per_record,
-        i + 1 < points.size() ? "," : "");
+        base_crit / p.critical_path_ns_per_record);
+    if (p.allocs_per_record >= 0) {
+      std::fprintf(f, ", \"allocs_per_record\": %.4f", p.allocs_per_record);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

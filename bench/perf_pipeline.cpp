@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "src/common/alloc_trace.h"
 #include "src/core/data_plane.h"
 #include "src/sketch/mv_sketch.h"
 #include "src/telemetry/flow_radar.h"
@@ -43,8 +44,11 @@ Trace& TestTrace() {
 }
 
 /// One timed round: build a fresh switch + program, preload the trace, and
-/// measure draining it. Returns elapsed nanoseconds of the drain only.
-double TimedRound(const std::function<AdapterPtr()>& make_app) {
+/// measure draining it. Returns elapsed nanoseconds of the drain only;
+/// `allocs` (when tracing is compiled in) accumulates heap allocations
+/// performed inside the timed region — the steady-state target is 0.
+double TimedRound(const std::function<AdapterPtr()>& make_app,
+                  std::uint64_t* allocs = nullptr) {
   const Trace& trace = TestTrace();
   OmniWindowConfig cfg;
   cfg.signal.kind = SignalKind::kTimeout;
@@ -54,9 +58,11 @@ double TimedRound(const std::function<AdapterPtr()>& make_app) {
   sw.SetProgram(program);
   sw.SetControllerHandler([](const Packet&, Nanos) {});
   for (const Packet& p : trace.packets) sw.EnqueueFromWire(p, p.ts);
+  alloc_trace::Scope trace_scope;
   const auto t0 = std::chrono::steady_clock::now();
   sw.RunBatch(trace.Duration() + kSecond);
   const auto t1 = std::chrono::steady_clock::now();
+  if (allocs) *allocs += trace_scope.news();
   // Keep the result alive so the drain cannot be optimized away.
   volatile std::uint64_t sink = program->stats().packets_measured;
   (void)sink;
@@ -68,9 +74,10 @@ BenchThroughputRow RunWorkload(const std::string& name, double min_time_sec,
                                const std::function<AdapterPtr()>& make_app) {
   TimedRound(make_app);  // warm-up (page-in, allocator steady state)
   double total_ns = 0;
+  std::uint64_t allocs = 0;
   int rounds = 0;
   while (total_ns < min_time_sec * 1e9 || rounds < 2) {
-    total_ns += TimedRound(make_app);
+    total_ns += TimedRound(make_app, &allocs);
     ++rounds;
   }
   BenchThroughputRow row;
@@ -79,8 +86,15 @@ BenchThroughputRow RunWorkload(const std::string& name, double min_time_sec,
   row.rounds = rounds;
   row.ns_per_item = total_ns / (double(rounds) * double(row.items));
   row.items_per_sec = 1e9 / row.ns_per_item;
-  std::printf("  %-16s %8.1f ns/packet  %8.2f Mpkt/s  (%d rounds)\n",
-              name.c_str(), row.ns_per_item, row.items_per_sec / 1e6, rounds);
+  if (alloc_trace::Enabled()) {
+    row.allocs_per_item = double(allocs) / (double(rounds) * double(row.items));
+  }
+  std::printf("  %-16s %8.1f ns/packet  %8.2f Mpkt/s  (%d rounds", name.c_str(),
+              row.ns_per_item, row.items_per_sec / 1e6, rounds);
+  if (alloc_trace::Enabled()) {
+    std::printf(", %.4f allocs/packet", row.allocs_per_item);
+  }
+  std::printf(")\n");
   return row;
 }
 

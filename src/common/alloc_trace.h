@@ -1,0 +1,58 @@
+// Global allocation counting (the OW_ALLOC_TRACE build option).
+//
+// When the repository is configured with -DOW_ALLOC_TRACE=ON, this TU
+// replaces the global operator new/delete family with a counting interposer
+// that forwards to malloc/free. The zero-allocation steady-state gates
+// (tests/alloc_steady_state_test, the perf_merge / perf_pipeline
+// `allocs_per_*` bench fields, and the CI alloc-gate job) read the counters
+// around their measured regions; a count of zero proves the hot path never
+// touched the heap.
+//
+// In a default build the interposer is compiled out: Enabled() returns
+// false, the counters stay at zero, and consumers must skip their
+// assertions (GTEST_SKIP / omit the JSON field). The option is rejected in
+// combination with OW_SANITIZE — sanitizer runtimes interpose the same
+// symbols.
+//
+// TrapScope is a debugging aid for chasing a nonzero count: while one is
+// alive, the very first allocation aborts the process, so a debugger (or
+// core dump) shows the offending call stack.
+#pragma once
+
+#include <cstdint>
+
+namespace ow::alloc_trace {
+
+/// True when this build carries the counting interposer.
+bool Enabled() noexcept;
+
+/// Process-wide operator-new call count since start (0 when disabled).
+std::uint64_t NewCount() noexcept;
+/// Process-wide operator-delete call count since start (0 when disabled).
+std::uint64_t DeleteCount() noexcept;
+
+/// Counts allocations across a measured region.
+class Scope {
+ public:
+  Scope() noexcept : start_new_(NewCount()), start_delete_(DeleteCount()) {}
+  std::uint64_t news() const noexcept { return NewCount() - start_new_; }
+  std::uint64_t deletes() const noexcept {
+    return DeleteCount() - start_delete_;
+  }
+
+ private:
+  std::uint64_t start_new_;
+  std::uint64_t start_delete_;
+};
+
+/// While alive, the first operator-new call aborts (debugging aid; no-op
+/// when the interposer is compiled out).
+class TrapScope {
+ public:
+  TrapScope() noexcept;
+  ~TrapScope();
+  TrapScope(const TrapScope&) = delete;
+  TrapScope& operator=(const TrapScope&) = delete;
+};
+
+}  // namespace ow::alloc_trace

@@ -9,8 +9,8 @@
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/flowkey.h"
 #include "src/common/types.h"
 
@@ -61,8 +61,15 @@ struct OwHeader {
                                ///< this sub-window's state was damaged by an
                                ///< overrun force-finish, so the announced
                                ///< count undercounts reality
-  std::vector<FlowRecord> afrs;///< records appended during collection
+  /// Records appended during collection. Pool-backed so report batches
+  /// recycle their buffers across sub-windows (zero-alloc steady state).
+  PooledVector<FlowRecord> afrs;
 };
+
+/// Batch of flow records on the report/merge paths. Pool-backed: batches
+/// are created and retired once per sub-window, and the pool recycles
+/// their buffers so steady state never touches the heap.
+using RecordVec = PooledVector<FlowRecord>;
 
 /// No user-defined window signal present.
 inline constexpr std::uint32_t kNoIteration = 0xFFFFFFFFu;

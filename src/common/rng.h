@@ -59,6 +59,12 @@ class Rng {
     return lo + Uniform(hi - lo + 1);
   }
 
+  /// Raw generator state, for checkpoint/restore: restoring the state
+  /// resumes the stream at exactly the next draw.
+  using State = std::array<std::uint64_t, 4>;
+  const State& state() const noexcept { return state_; }
+  void set_state(const State& s) noexcept { state_ = s; }
+
  private:
   static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

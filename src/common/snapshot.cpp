@@ -1,0 +1,72 @@
+#include "src/common/snapshot.h"
+
+#include "src/common/packet.h"
+
+namespace ow {
+
+SnapshotWriter::SnapshotWriter() {
+  U32(kSnapshotMagic);
+  U32(kSnapshotVersion);
+}
+
+SnapshotReader::SnapshotReader(std::span<const std::uint8_t> bytes)
+    : data_(bytes) {
+  const std::uint32_t magic = U32();
+  if (magic != kSnapshotMagic) {
+    throw SnapshotError("bad snapshot magic");
+  }
+  const std::uint32_t version = U32();
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("snapshot version " + std::to_string(version) +
+                        " does not match build version " +
+                        std::to_string(kSnapshotVersion));
+  }
+}
+
+void SnapshotReader::Section(std::uint32_t tag) {
+  const std::uint32_t got = U32();
+  if (got != tag) {
+    throw SnapshotError("snapshot section mismatch at offset " +
+                        std::to_string(pos_ - 4) + ": expected tag " +
+                        std::to_string(tag) + ", found " +
+                        std::to_string(got));
+  }
+}
+
+void SavePacket(SnapshotWriter& w, const Packet& p) {
+  w.Section(snap::kPacket);
+  w.Pod(p.ft);
+  w.Pod(p.size_bytes);
+  w.Pod(p.ts);
+  w.Pod(p.tcp_flags);
+  w.Pod(p.seq);
+  w.Pod(p.iteration);
+  w.Bool(p.ow.present);
+  w.Pod(p.ow.subwindow_num);
+  w.Pod(p.ow.flag);
+  w.Pod(p.ow.app_id);
+  w.Pod(p.ow.injected_key);
+  w.Pod(p.ow.payload);
+  w.Bool(p.ow.degraded);
+  w.PodVec(p.ow.afrs);
+}
+
+void LoadPacket(SnapshotReader& r, Packet& p) {
+  r.Section(snap::kPacket);
+  r.Pod(p.ft);
+  r.Pod(p.size_bytes);
+  r.Pod(p.ts);
+  r.Pod(p.tcp_flags);
+  r.Pod(p.seq);
+  r.Pod(p.iteration);
+  p.ow.present = r.Bool();
+  r.Pod(p.ow.subwindow_num);
+  r.Pod(p.ow.flag);
+  r.Pod(p.ow.app_id);
+  r.Pod(p.ow.injected_key);
+  r.Pod(p.ow.payload);
+  p.ow.degraded = r.Bool();
+  r.PodVec(p.ow.afrs);
+}
+
+}  // namespace ow

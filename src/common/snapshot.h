@@ -1,0 +1,175 @@
+// Checkpoint serialization for bit-identical stop-and-resume.
+//
+// A snapshot captures the complete mutable state of a running simulation —
+// switch event lanes, register cells, tracker blooms, controller pending
+// state, RNG streams, link counters, detector baselines — at a quiescent
+// point (no worker threads running, typically a sub-window boundary), so a
+// fresh process can rebuild the same topology from config and resume the
+// run *bit-identically*: the same windows, stats and alert streams as an
+// uninterrupted run.
+//
+// Format: a little-endian byte stream of POD fields and length-prefixed
+// arrays, preceded by a magic/version header. Every Save method brackets
+// its fields with a section tag that Load verifies, so drift between a
+// Save and its Load (the classic checkpoint bug) fails loudly at the exact
+// layer that diverged instead of corrupting downstream state. Snapshots
+// are a process-restart format, not an archival one: the version is bumped
+// whenever any layer's field set changes, and loading a mismatched version
+// is an error (no migration).
+//
+// What is NOT captured: configuration (window spec, topology, seeds,
+// std::function handlers) — the restoring side rebuilds those from the
+// same config it was launched with; and obs registry counters, which are
+// process-local diagnostics excluded from the bit-identity contract.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace ow {
+
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x4F57534Eu;  // "OWSN"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+class SnapshotWriter {
+ public:
+  SnapshotWriter();
+
+  void Bytes(const void* p, std::size_t n) {
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, p, n);
+  }
+
+  template <typename T>
+  void Pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Pod() requires a trivially copyable type");
+    Bytes(&v, sizeof(T));
+  }
+
+  void U8(std::uint8_t v) { Pod(v); }
+  void U32(std::uint32_t v) { Pod(v); }
+  void U64(std::uint64_t v) { Pod(v); }
+  void I64(std::int64_t v) { Pod(v); }
+  void Size(std::size_t v) { U64(std::uint64_t(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void F64(double v) { Pod(v); }
+
+  /// Length-prefixed array of trivially copyable elements. Works for any
+  /// contiguous container (std or pooled vectors).
+  template <typename Vec>
+  void PodVec(const Vec& v) {
+    using T = typename Vec::value_type;
+    static_assert(std::is_trivially_copyable_v<T>);
+    Size(v.size());
+    if (!v.empty()) Bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Layer marker; Load verifies the same tag in the same position.
+  void Section(std::uint32_t tag) { U32(tag); }
+
+  const std::vector<std::uint8_t>& buffer() const noexcept { return buf_; }
+  std::vector<std::uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class SnapshotReader {
+ public:
+  /// Validates the magic/version header; throws SnapshotError on mismatch.
+  explicit SnapshotReader(std::span<const std::uint8_t> bytes);
+
+  void Bytes(void* p, std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw SnapshotError("snapshot truncated: need " + std::to_string(n) +
+                          " bytes at offset " + std::to_string(pos_));
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  void Pod(T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Bytes(&v, sizeof(T));
+  }
+
+  std::uint8_t U8() { return Get<std::uint8_t>(); }
+  std::uint32_t U32() { return Get<std::uint32_t>(); }
+  std::uint64_t U64() { return Get<std::uint64_t>(); }
+  std::int64_t I64() { return Get<std::int64_t>(); }
+  std::size_t Size() { return std::size_t(U64()); }
+  bool Bool() { return U8() != 0; }
+  double F64() { return Get<double>(); }
+
+  template <typename T>
+  T Get() {
+    T v;
+    Pod(v);
+    return v;
+  }
+
+  template <typename Vec>
+  void PodVec(Vec& v) {
+    using T = typename Vec::value_type;
+    static_assert(std::is_trivially_copyable_v<T>);
+    v.resize(Size());
+    if (!v.empty()) Bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Verifies a Section written by SnapshotWriter::Section.
+  void Section(std::uint32_t tag);
+
+  bool AtEnd() const noexcept { return pos_ == data_.size(); }
+  std::size_t position() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// Section tags, one per layer that checkpoints itself. Kept central so a
+// collision is impossible and the stream order is auditable in one place.
+namespace snap {
+inline constexpr std::uint32_t kClock = 0x10;
+inline constexpr std::uint32_t kRng = 0x11;
+inline constexpr std::uint32_t kLink = 0x12;
+inline constexpr std::uint32_t kLinkFaults = 0x13;
+inline constexpr std::uint32_t kSwitch = 0x14;
+inline constexpr std::uint32_t kRegisterArray = 0x15;
+inline constexpr std::uint32_t kBloom = 0x16;
+inline constexpr std::uint32_t kTracker = 0x17;
+inline constexpr std::uint32_t kSignal = 0x18;
+inline constexpr std::uint32_t kApp = 0x19;
+inline constexpr std::uint32_t kProgram = 0x1A;
+inline constexpr std::uint32_t kKvTable = 0x1B;
+inline constexpr std::uint32_t kController = 0x1C;
+inline constexpr std::uint32_t kDetector = 0x1D;
+inline constexpr std::uint32_t kNetwork = 0x1E;
+inline constexpr std::uint32_t kSession = 0x1F;
+inline constexpr std::uint32_t kPacket = 0x20;
+}  // namespace snap
+
+// ---- Packet serialization -------------------------------------------------
+// Packet is not trivially copyable (OwHeader carries the AFR vector), so it
+// serializes field-by-field. Declared here because packets appear in every
+// event-lane checkpoint.
+
+struct Packet;
+
+void SavePacket(SnapshotWriter& w, const Packet& p);
+void LoadPacket(SnapshotReader& r, Packet& p);
+
+}  // namespace ow

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/common/snapshot.h"
+
 namespace ow {
 
 KeyValueTable::KeyValueTable(std::size_t capacity) {
@@ -111,6 +113,28 @@ void KeyValueTable::ForEach(
   for (const auto& s : slots_) {
     if (s.state == KvSlot::State::kLive) fn(s);
   }
+}
+
+void KeyValueTable::Save(SnapshotWriter& w) const {
+  w.Section(snap::kKvTable);
+  w.PodVec(slots_);
+  w.Size(live_);
+  w.Size(used_);
+  w.U64(rejected_);
+}
+
+void KeyValueTable::Load(SnapshotReader& r) {
+  r.Section(snap::kKvTable);
+  const std::size_t cap = slots_.size();
+  r.PodVec(slots_);
+  if (slots_.size() != cap) {
+    throw SnapshotError("KeyValueTable: snapshot capacity " +
+                        std::to_string(slots_.size()) +
+                        " != configured capacity " + std::to_string(cap));
+  }
+  live_ = r.Size();
+  used_ = r.Size();
+  rejected_ = r.U64();
 }
 
 }  // namespace ow

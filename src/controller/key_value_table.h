@@ -14,9 +14,13 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/flowkey.h"
 
 namespace ow {
+
+class SnapshotWriter;
+class SnapshotReader;
 
 struct KvSlot {
   FlowKey key;
@@ -90,11 +94,19 @@ class KeyValueTable {
   void ForEach(const std::function<void(KvSlot&)>& fn);
   void ForEach(const std::function<void(const KvSlot&)>& fn) const;
 
+  /// Checkpoint the full slot array (slots are trivially copyable, and the
+  /// probe layout must survive verbatim so RDMA-stable offsets and probe
+  /// chains are preserved). Load verifies the capacity matches.
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
+
  private:
   static std::uint64_t HashOf(const FlowKey& key);
   std::size_t Probe(const FlowKey& key) const;
 
-  std::vector<KvSlot> slots_;
+  // Pool-backed: window-type resets (tumbling Clear + reconstruction) and
+  // QueryRange scratch tables recycle slot arrays instead of reallocating.
+  PooledVector<KvSlot> slots_;
   std::size_t mask_;
   std::size_t live_ = 0;
   std::size_t used_ = 0;  // live + tombstones

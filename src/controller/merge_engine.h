@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/types.h"
 #include "src/controller/merge.h"
 #include "src/controller/sharded_key_value_table.h"
@@ -60,8 +61,8 @@ class MergeEngine {
 
  private:
   struct ShardTask {
-    std::vector<const FlowRecord*> records;      ///< batch partition
-    std::vector<std::pair<KvSlot*, bool>> slots; ///< O2 scratch, reused
+    PooledVector<const FlowRecord*> records;      ///< batch partition
+    PooledVector<std::pair<KvSlot*, bool>> slots; ///< O2 scratch, reused
     Nanos insert_ns = 0;
     Nanos merge_ns = 0;
   };

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "src/common/snapshot.h"
+
 namespace ow {
 
 ShardedKeyValueTable::ShardedKeyValueTable(std::size_t capacity,
@@ -71,6 +73,20 @@ void ShardedKeyValueTable::ForEach(const std::function<void(KvSlot&)>& fn) {
 void ShardedKeyValueTable::ForEach(
     const std::function<void(const KvSlot&)>& fn) const {
   for (const auto& s : shards_) s.ForEach(fn);
+}
+
+void ShardedKeyValueTable::Save(SnapshotWriter& w) const {
+  w.Size(shards_.size());
+  for (const KeyValueTable& s : shards_) s.Save(w);
+}
+
+void ShardedKeyValueTable::Load(SnapshotReader& r) {
+  if (r.Size() != shards_.size()) {
+    throw SnapshotError(
+        "ShardedKeyValueTable: shard count differs between snapshot and "
+        "rebuild");
+  }
+  for (KeyValueTable& s : shards_) s.Load(r);
 }
 
 }  // namespace ow

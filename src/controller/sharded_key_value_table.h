@@ -58,6 +58,11 @@ class ShardedKeyValueTable {
   void ForEach(const std::function<void(KvSlot&)>& fn);
   void ForEach(const std::function<void(const KvSlot&)>& fn) const;
 
+  /// Checkpoint every shard. Load verifies the shard count matches (shard
+  /// routing depends on it) and throws SnapshotError otherwise.
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
+
  private:
   /// Distinct from KeyValueTable's probe seed so shard choice and in-shard
   /// probe position are uncorrelated.

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/packet.h"
+#include "src/common/snapshot.h"
 #include "src/controller/merge.h"
 #include "src/switchsim/register_array.h"
 #include "src/switchsim/resources.h"
@@ -55,7 +56,7 @@ class TelemetryAppAdapter {
   /// HashPipe). If true, the framework skips its own flowkey tracking and
   /// enumerates TrackedKeys() instead.
   virtual bool TracksOwnKeys() const { return false; }
-  virtual std::vector<FlowKey> TrackedKeys(int region) const {
+  virtual PooledVector<FlowKey> TrackedKeys(int region) const {
     (void)region;
     return {};
   }
@@ -92,6 +93,38 @@ class TelemetryAppAdapter {
   /// plain memory (the sketch wrappers) return empty. Callers driving an
   /// adapter directly (outside a Switch) must call BeginPass() themselves.
   virtual std::vector<RegisterArray*> Registers() { return {}; }
+
+  /// Checkpoint the app's measurement state. The default implementation
+  /// serializes every register array from Registers(), which covers any
+  /// register-backed app; apps on plain memory must override BOTH methods
+  /// or checkpointing fails loudly (a silent no-op here would restore an
+  /// empty app and corrupt every window after the restore point).
+  virtual void SaveState(SnapshotWriter& w) {
+    w.Section(snap::kApp);
+    std::vector<RegisterArray*> regs = Registers();
+    if (regs.empty()) {
+      throw SnapshotError("app '" + name() +
+                          "' keeps state outside register arrays and does "
+                          "not override SaveState/LoadState");
+    }
+    w.Size(regs.size());
+    for (RegisterArray* reg : regs) reg->Save(w);
+  }
+  virtual void LoadState(SnapshotReader& r) {
+    r.Section(snap::kApp);
+    std::vector<RegisterArray*> regs = Registers();
+    if (regs.empty()) {
+      throw SnapshotError("app '" + name() +
+                          "' keeps state outside register arrays and does "
+                          "not override SaveState/LoadState");
+    }
+    if (r.Size() != regs.size()) {
+      throw SnapshotError("app '" + name() +
+                          "': register count differs between snapshot and "
+                          "rebuild");
+    }
+    for (RegisterArray* reg : regs) reg->Load(r);
+  }
 };
 
 using AdapterPtr = std::shared_ptr<TelemetryAppAdapter>;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "src/common/snapshot.h"
 #include "src/core/afr_wire.h"
 
 namespace ow {
@@ -719,6 +720,167 @@ bool OmniWindowController::Flush(Nanos now) {
     ++next_to_finalize_;
   }
   return true;
+}
+
+namespace {
+
+template <typename Set>
+void SaveSet(SnapshotWriter& w, const Set& s) {
+  w.Size(s.size());
+  for (const auto& v : s) w.Pod(v);
+}
+
+template <typename Set>
+void LoadSet(SnapshotReader& r, Set& s) {
+  s.clear();
+  const std::size_t n = r.Size();
+  for (std::size_t i = 0; i < n; ++i) {
+    typename Set::value_type v;
+    r.Pod(v);
+    s.insert(s.end(), v);  // read back in sorted order: end() is the hint
+  }
+}
+
+}  // namespace
+
+void OmniWindowController::SavePending(SnapshotWriter& w,
+                                       const PendingSubWindow& p) const {
+  w.Pod(p.subwindow);
+  w.U32(p.expected_dataplane);
+  w.U32(p.expected_injected);
+  w.PodVec(p.records);
+  SaveSet(w, p.seqs_seen);
+  SaveSet(w, p.injected_keys_seen);
+  w.Bool(p.collection_started);
+  w.U32(p.retransmit_attempts);
+  w.Bool(p.rdma_done);
+  w.Bool(p.count_final);
+  w.Bool(p.rdma_drained);
+  w.U32(p.rdma_holes);
+  SaveSet(w, p.mirror_keys);
+}
+
+void OmniWindowController::LoadPending(SnapshotReader& r,
+                                       PendingSubWindow& p) const {
+  r.Pod(p.subwindow);
+  p.expected_dataplane = r.U32();
+  p.expected_injected = r.U32();
+  r.PodVec(p.records);
+  LoadSet(r, p.seqs_seen);
+  LoadSet(r, p.injected_keys_seen);
+  p.collection_started = r.Bool();
+  p.retransmit_attempts = r.U32();
+  p.rdma_done = r.Bool();
+  p.count_final = r.Bool();
+  p.rdma_drained = r.Bool();
+  p.rdma_holes = r.U32();
+  LoadSet(r, p.mirror_keys);
+}
+
+void OmniWindowController::Save(SnapshotWriter& w) const {
+  if (cfg_.rdma) {
+    throw SnapshotError(
+        "OmniWindowController: the RDMA collection path shares externally "
+        "owned NIC/MR state and is not checkpointable");
+  }
+  w.Section(snap::kController);
+  table_.Save(w);
+  w.Size(history_.size());
+  for (const auto& [sub, recs] : history_) {
+    w.Pod(sub);
+    w.PodVec(recs);
+  }
+  w.Size(pending_.size());
+  for (const auto& [sub, p] : pending_) {
+    w.Pod(sub);
+    SavePending(w, p);
+  }
+  w.Size(spilled_.size());
+  for (const auto& [sub, keys] : spilled_) {
+    w.Pod(sub);
+    w.PodVec(keys);
+  }
+  w.Size(spilled_seen_.size());
+  for (const auto& [sub, seen] : spilled_seen_) {
+    w.Pod(sub);
+    SaveSet(w, seen);
+  }
+  SaveSet(w, degraded_);
+  w.Pod(retry_rng_.state());
+  w.Pod(stall_rng_.state());
+  w.Pod(next_to_finalize_);
+  w.Pod(table_floor_);
+  w.PodVec(timings_);
+  w.U64(stats_.afrs_received);
+  w.U64(stats_.subwindows_finalized);
+  w.U64(stats_.subwindows_force_finalized);
+  w.U64(stats_.windows_emitted);
+  w.U64(stats_.spilled_keys_stored);
+  w.U64(stats_.retransmissions_requested);
+  w.U64(stats_.spike_packets);
+  w.U64(stats_.duplicate_afrs);
+  w.U64(stats_.inserts_rejected);
+  w.U64(stats_.windows_partial);
+  w.U64(stats_.merge_stalls);
+  w.U64(stats_.rdma_holes_detected);
+  w.U64(stats_.subwindows_degraded_by_switch);
+  w.PodVec(stats_.degraded_subwindows);
+}
+
+void OmniWindowController::Load(SnapshotReader& r) {
+  if (cfg_.rdma) {
+    throw SnapshotError(
+        "OmniWindowController: the RDMA collection path is not "
+        "checkpointable");
+  }
+  r.Section(snap::kController);
+  table_.Load(r);
+  history_.clear();
+  const std::size_t num_history = r.Size();
+  for (std::size_t i = 0; i < num_history; ++i) {
+    const SubWindowNum sub = r.Get<SubWindowNum>();
+    RecordVec recs;
+    r.PodVec(recs);
+    history_.emplace_back(sub, std::move(recs));
+  }
+  pending_.clear();
+  const std::size_t num_pending = r.Size();
+  for (std::size_t i = 0; i < num_pending; ++i) {
+    const SubWindowNum sub = r.Get<SubWindowNum>();
+    LoadPending(r, pending_[sub]);
+  }
+  spilled_.clear();
+  const std::size_t num_spilled = r.Size();
+  for (std::size_t i = 0; i < num_spilled; ++i) {
+    const SubWindowNum sub = r.Get<SubWindowNum>();
+    r.PodVec(spilled_[sub]);
+  }
+  spilled_seen_.clear();
+  const std::size_t num_seen = r.Size();
+  for (std::size_t i = 0; i < num_seen; ++i) {
+    const SubWindowNum sub = r.Get<SubWindowNum>();
+    LoadSet(r, spilled_seen_[sub]);
+  }
+  LoadSet(r, degraded_);
+  retry_rng_.set_state(r.Get<Rng::State>());
+  stall_rng_.set_state(r.Get<Rng::State>());
+  r.Pod(next_to_finalize_);
+  r.Pod(table_floor_);
+  r.PodVec(timings_);
+  stats_.afrs_received = r.U64();
+  stats_.subwindows_finalized = r.U64();
+  stats_.subwindows_force_finalized = r.U64();
+  stats_.windows_emitted = r.U64();
+  stats_.spilled_keys_stored = r.U64();
+  stats_.retransmissions_requested = r.U64();
+  stats_.spike_packets = r.U64();
+  stats_.duplicate_afrs = r.U64();
+  stats_.inserts_rejected = r.U64();
+  stats_.windows_partial = r.U64();
+  stats_.merge_stalls = r.U64();
+  stats_.rdma_holes_detected = r.U64();
+  stats_.subwindows_degraded_by_switch = r.U64();
+  r.PodVec(stats_.degraded_subwindows);
 }
 
 }  // namespace ow

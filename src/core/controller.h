@@ -135,8 +135,7 @@ class OmniWindowController {
   /// apps like FlowRadar migrate whole state and the controller
   /// "constructs AFRs" from it — e.g. decodes cells into per-flow records
   /// — before the normal merge). Runs once per finalized sub-window.
-  using SubWindowTransform =
-      std::function<std::vector<FlowRecord>(std::vector<FlowRecord>&&)>;
+  using SubWindowTransform = std::function<RecordVec(RecordVec&&)>;
   void SetSubWindowTransform(SubWindowTransform transform) {
     transform_ = std::move(transform);
   }
@@ -207,14 +206,23 @@ class OmniWindowController {
   };
   const Stats& stats() const noexcept { return stats_; }
 
+  /// Checkpoint the controller's complete merge/collection state: flow
+  /// table, retained history, pending sub-windows, spilled keys, degraded
+  /// marks, recovery RNG streams, timings and stats. Handlers, window spec
+  /// and the switch attachment are configuration the restoring side
+  /// rebuilds. The RDMA path is not checkpointable (throws SnapshotError
+  /// when enabled).
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
+
  private:
   struct PendingSubWindow {
     SubWindowNum subwindow = 0;
     std::uint32_t expected_dataplane = 0;  ///< from the trigger payload
     std::uint32_t expected_injected = 0;
-    std::vector<FlowRecord> records;
-    std::set<std::uint32_t> seqs_seen;
-    std::set<FlowKey> injected_keys_seen;
+    RecordVec records;
+    PooledSet<std::uint32_t> seqs_seen;
+    PooledSet<FlowKey> injected_keys_seen;
     bool collection_started = false;
     std::uint32_t retransmit_attempts = 0;
     bool rdma_done = false;
@@ -231,7 +239,7 @@ class OmniWindowController {
     /// Keys whose attrs were drained from the hot-key mirror. Chased seq
     /// retransmissions for these arrive as report packets carrying values
     /// the mirror already merged; they cover the seq without re-counting.
-    std::set<FlowKey> mirror_keys;
+    PooledSet<FlowKey> mirror_keys;
   };
 
   void StartCollection(PendingSubWindow& pending, Nanos now);
@@ -247,6 +255,8 @@ class OmniWindowController {
   void DrainRdma(PendingSubWindow& pending);
   void UpdateHotKeys(const PendingSubWindow& pending);
   SubWindowTiming& TimingFor(SubWindowNum sw);
+  void SavePending(SnapshotWriter& w, const PendingSubWindow& p) const;
+  void LoadPending(SnapshotReader& r, PendingSubWindow& p) const;
 
   ControllerConfig cfg_;
   MergeKind merge_kind_;
@@ -261,15 +271,15 @@ class OmniWindowController {
   MergeEngine merge_engine_;
   /// Finalized sub-window records retained while a window may still need
   /// them (sliding-window eviction rebuilds, O6 release).
-  std::deque<std::pair<SubWindowNum, std::vector<FlowRecord>>> history_;
-  std::map<SubWindowNum, PendingSubWindow> pending_;
+  PooledDeque<std::pair<SubWindowNum, RecordVec>> history_;
+  PooledMap<SubWindowNum, PendingSubWindow> pending_;
   /// Controller-resident (spilled) keys per sub-window awaiting injection.
-  std::map<SubWindowNum, std::vector<FlowKey>> spilled_;
-  std::map<SubWindowNum, std::set<FlowKey, std::less<FlowKey>>> spilled_seen_;
+  PooledMap<SubWindowNum, PooledVector<FlowKey>> spilled_;
+  PooledMap<SubWindowNum, PooledSet<FlowKey>> spilled_seen_;
   /// Sub-windows finalized with missing records (retry budget exhausted or
   /// unfoldable spike copies). Windows covering any of them emit with the
   /// partial flag; entries are pruned once no future window can cover them.
-  std::set<SubWindowNum> degraded_;
+  PooledSet<SubWindowNum> degraded_;
   /// Recovery-side per-feature RNG streams (same discipline as net::Link).
   Rng retry_rng_;
   Rng stall_rng_;

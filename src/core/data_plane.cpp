@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/common/snapshot.h"
 #include "src/core/afr_wire.h"
 
 namespace ow {
@@ -183,9 +184,11 @@ void OmniWindowProgram::HandleCollectionStart(const Packet& p) {
     collect_keys_.clear();
     collect_.num_keys = std::uint32_t(app_->NumResetSlices());
   } else {
-    collect_keys_ = app_->TracksOwnKeys()
-                        ? app_->TrackedKeys(collect_.region)
-                        : tracker_.Keys(collect_.region);
+    if (app_->TracksOwnKeys()) {
+      collect_keys_ = app_->TrackedKeys(collect_.region);
+    } else {
+      collect_keys_ = tracker_.Keys(collect_.region);
+    }
     collect_.num_keys = std::uint32_t(collect_keys_.size());
   }
 }
@@ -466,6 +469,76 @@ void OmniWindowProgram::ChargeResources(ResourceLedger& ledger) const {
     ledger.Charge("In-switch reset", u);
   }
   app_->ChargeResources(ledger);
+}
+
+void OmniWindowProgram::Save(SnapshotWriter& w) {
+  if (cfg_.rdma || rdma_) {
+    throw SnapshotError(
+        "OmniWindowProgram: the RDMA collection path shares externally "
+        "owned NIC/MR state and is not checkpointable");
+  }
+  w.Section(snap::kProgram);
+  signal_.Save(w);
+  tracker_.Save(w);
+  app_->SaveState(w);
+  w.Pod(current_);
+  w.Pod(collect_);
+  w.Size(pending_starts_.size());
+  for (const Packet& p : pending_starts_) SavePacket(w, p);
+  w.PodVec(collect_keys_);
+  w.Size(afr_cache_.size());
+  for (const auto& [sub, recs] : afr_cache_) {
+    w.Pod(sub);
+    w.PodVec(recs);
+  }
+  w.Size(compromised_.size());
+  for (const SubWindowNum s : compromised_) w.Pod(s);
+  w.Pod(last_writer_[0]);
+  w.Pod(last_writer_[1]);
+  w.PodVec(report_batch_);
+  w.U32(rdma_psn_);
+  w.U32(user_base_);
+  w.Pod(stats_);
+}
+
+void OmniWindowProgram::Load(SnapshotReader& r) {
+  if (cfg_.rdma || rdma_) {
+    throw SnapshotError(
+        "OmniWindowProgram: the RDMA collection path is not checkpointable");
+  }
+  r.Section(snap::kProgram);
+  signal_.Load(r);
+  tracker_.Load(r);
+  app_->LoadState(r);
+  r.Pod(current_);
+  r.Pod(collect_);
+  pending_starts_.clear();
+  const std::size_t num_starts = r.Size();
+  for (std::size_t i = 0; i < num_starts; ++i) {
+    Packet p;
+    LoadPacket(r, p);
+    pending_starts_.push_back(std::move(p));
+  }
+  r.PodVec(collect_keys_);
+  afr_cache_.clear();
+  const std::size_t num_cached = r.Size();
+  for (std::size_t i = 0; i < num_cached; ++i) {
+    const SubWindowNum sub = r.Get<SubWindowNum>();
+    RecordVec recs;
+    r.PodVec(recs);
+    afr_cache_.emplace(sub, std::move(recs));
+  }
+  compromised_.clear();
+  const std::size_t num_compromised = r.Size();
+  for (std::size_t i = 0; i < num_compromised; ++i) {
+    compromised_.insert(r.Get<SubWindowNum>());
+  }
+  r.Pod(last_writer_[0]);
+  r.Pod(last_writer_[1]);
+  r.PodVec(report_batch_);
+  rdma_psn_ = r.U32();
+  user_base_ = r.U32();
+  r.Pod(stats_);
 }
 
 }  // namespace ow

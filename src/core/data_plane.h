@@ -90,6 +90,14 @@ class OmniWindowProgram final : public SwitchProgram {
   };
   const Stats& stats() const noexcept { return stats_; }
 
+  /// Checkpoint the program's complete windowing state: signal machine,
+  /// flowkey tracker, app measurement state, the C&R state machine,
+  /// retransmission cache and stats. The RDMA collection path shares
+  /// externally owned NIC/MR state and is not checkpointable — Save and
+  /// Load throw SnapshotError when it is enabled.
+  void Save(SnapshotWriter& w);
+  void Load(SnapshotReader& r);
+
  private:
   void HandleNormal(Packet& p, Nanos now, PipelineActions& act);
   void HandleCollectionStart(const Packet& p);
@@ -127,16 +135,16 @@ class OmniWindowProgram final : public SwitchProgram {
   /// Collection-start requests received while a C&R is still in progress
   /// (several sub-windows can terminate at one packet after an idle gap);
   /// started in order as each collection completes.
-  std::deque<Packet> pending_starts_;
+  PooledDeque<Packet> pending_starts_;
   /// Snapshot of the keys being enumerated for the sub-window under C&R.
-  std::vector<FlowKey> collect_keys_;
+  PooledVector<FlowKey> collect_keys_;
   /// Retransmission cache: generated AFRs of the last few collections,
   /// keyed by sub-window and indexed by sequence number. Served to the
   /// controller when reports are lost (§8 reliability) — the state itself
   /// is reset long before a loss can be detected, and retransmissions can
   /// themselves be lost, so the cache must outlive several rounds.
   static constexpr std::size_t kRetransmitCacheDepth = 8;
-  std::map<SubWindowNum, std::vector<FlowRecord>> afr_cache_;
+  PooledMap<SubWindowNum, RecordVec> afr_cache_;
   /// Sub-windows whose measured state is knowably damaged: a late or
   /// force-finished C&R enumerated a region a newer same-parity sub-window
   /// had already written into, so its values are contaminated and the
@@ -144,12 +152,12 @@ class OmniWindowProgram final : public SwitchProgram {
   /// announcements for these carry the degraded bit so the controller can
   /// flag the covering window instead of trusting an under-count as final.
   /// Bounded like the cache.
-  std::set<SubWindowNum> compromised_;
+  PooledSet<SubWindowNum> compromised_;
   /// Newest sub-window that has written each region (detects the
   /// late-collection hazard above).
   SubWindowNum last_writer_[2] = {0, 0};
   /// Records awaiting a (batched) report clone.
-  std::vector<FlowRecord> report_batch_;
+  RecordVec report_batch_;
   /// RoCEv2 packet sequence number register (§8).
   std::uint32_t rdma_psn_ = 0;
   /// First user-defined iteration number observed (maps iterations to

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/common/snapshot.h"
+
 namespace ow {
 
 FlowkeyTracker::FlowkeyTracker(FlowkeyTrackerConfig cfg) : cfg_(cfg) {
@@ -36,6 +38,28 @@ void FlowkeyTracker::Reset(int region) {
   r.keys.clear();
   r.bloom.Reset();
   r.spilled = 0;
+}
+
+void FlowkeyTracker::Save(SnapshotWriter& w) const {
+  w.Section(snap::kTracker);
+  for (const Region& reg : regions_) {
+    w.PodVec(reg.keys);
+    reg.bloom.Save(w);
+    w.U64(reg.spilled);
+  }
+}
+
+void FlowkeyTracker::Load(SnapshotReader& r) {
+  r.Section(snap::kTracker);
+  for (Region& reg : regions_) {
+    r.PodVec(reg.keys);
+    if (reg.keys.size() > cfg_.capacity) {
+      throw SnapshotError("FlowkeyTracker: snapshot key array exceeds "
+                          "configured capacity");
+    }
+    reg.bloom.Load(r);
+    reg.spilled = r.U64();
+  }
 }
 
 ResourceUsage FlowkeyTracker::Resources() const {

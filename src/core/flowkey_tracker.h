@@ -12,11 +12,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/flowkey.h"
 #include "src/sketch/bloom.h"
 #include "src/switchsim/resources.h"
 
 namespace ow {
+
+class SnapshotWriter;
+class SnapshotReader;
 
 struct FlowkeyTrackerConfig {
   std::size_t capacity = 4'096;   ///< fk_buffer entries per region
@@ -39,7 +43,7 @@ class FlowkeyTracker {
 
   /// Keys currently stored in the region's array (enumerated by collection
   /// packets).
-  const std::vector<FlowKey>& Keys(int region) const {
+  const PooledVector<FlowKey>& Keys(int region) const {
     return regions_[CheckRegion(region)].keys;
   }
 
@@ -57,11 +61,15 @@ class FlowkeyTracker {
   /// 32-bit register arrays -> 4 stages, 4 SALUs) + the Bloom filter.
   ResourceUsage Resources() const;
 
+  /// Checkpoint both regions: key arrays, Bloom bits, spill counters.
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
+
  private:
   static int CheckRegion(int region);
 
   struct Region {
-    std::vector<FlowKey> keys;
+    PooledVector<FlowKey> keys;
     BloomFilter bloom;
     std::uint64_t spilled = 0;
     explicit Region(const FlowkeyTrackerConfig& cfg)

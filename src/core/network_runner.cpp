@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "src/common/snapshot.h"
+
 namespace ow {
 namespace {
 
@@ -88,101 +90,94 @@ NextHopFn MakeTopologyNextHop(const TopologyConfig& topo) {
   };
 }
 
-NetworkRunResult RunOmniWindowFabric(
+FabricSession::FabricSession(
     const Trace& trace,
     const std::function<AdapterPtr(std::size_t switch_index)>& make_app,
     NetworkRunConfig cfg,
-    std::function<FlowSet(TableView)> detect) {
-  cfg.base.controller.window = cfg.base.window;
-  cfg.base.data_plane.signal.subwindow_size = cfg.base.window.subwindow_size;
-  cfg.base.controller.fault_profile = cfg.base.fault.controller;
-  cfg.base.controller.fault_seed = cfg.base.fault.seed;
+    std::function<FlowSet(TableView)> detect)
+    : cfg_(std::move(cfg)),
+      detect_(std::move(detect)),
+      adj_(TopologyAdjacency(cfg_.topology)),
+      net_(cfg_.link_seed),
+      trace_duration_(trace.Duration()) {
+  cfg_.base.controller.window = cfg_.base.window;
+  cfg_.base.data_plane.signal.subwindow_size = cfg_.base.window.subwindow_size;
+  cfg_.base.controller.fault_profile = cfg_.base.fault.controller;
+  cfg_.base.controller.fault_seed = cfg_.base.fault.seed;
 
-  const std::vector<std::vector<int>> adj = TopologyAdjacency(cfg.topology);
-  const std::size_t num_switches = adj.size();
-
-  Network net(cfg.link_seed);
-  net.SetParallel(cfg.parallel);
-  std::vector<Switch*> switches;
-  std::vector<std::shared_ptr<OmniWindowProgram>> programs;
-  std::vector<std::unique_ptr<OmniWindowController>> controllers;
-  std::vector<std::unique_ptr<Link>> report_links;
-  NetworkRunResult result;
-  result.per_switch.resize(num_switches);
+  const std::size_t num_switches = adj_.size();
+  net_.SetParallel(cfg_.parallel);
+  result_.per_switch.resize(num_switches);
 
   for (std::size_t i = 0; i < num_switches; ++i) {
-    Switch* sw = net.AddSwitch(cfg.base.switch_timings);
-    OmniWindowConfig dp = cfg.base.data_plane;
+    Switch* sw = net_.AddSwitch(cfg_.base.switch_timings);
+    OmniWindowConfig dp = cfg_.base.data_plane;
     dp.first_hop = (i == 0);
     auto program = std::make_shared<OmniWindowProgram>(dp, make_app(i));
     sw->SetProgram(program);
     auto controller = std::make_unique<OmniWindowController>(
-        cfg.base.controller, program->app().merge_kind());
+        cfg_.base.controller, program->app().merge_kind());
     controller->AttachSwitch(sw);
     // Interpose the report link on the switch->controller path (AttachSwitch
     // wired a direct handler). Injections stay direct: the controller talks
     // to its own switch over the management port, reports ride the fabric.
     OmniWindowController* ctrl = controller.get();
-    report_links.push_back(std::make_unique<Link>(
-        cfg.report_link,
+    report_links_.push_back(std::make_unique<Link>(
+        cfg_.report_link,
         [ctrl](Packet p, Nanos arrival) { ctrl->OnPacket(p, arrival); },
-        cfg.report_link_seed + i));
-    Link* report = report_links.back().get();
-    if (cfg.base.fault.report_link.Any()) {
+        cfg_.report_link_seed + i));
+    Link* report = report_links_.back().get();
+    if (cfg_.base.fault.report_link.Any()) {
       // Per-link seed offset mirrors the report_link_seed + i scheme.
-      report->ArmFaults(cfg.base.fault.report_link,
-                        cfg.base.fault.seed + 0x1000 + i);
+      report->ArmFaults(cfg_.base.fault.report_link,
+                        cfg_.base.fault.seed + 0x1000 + i);
     }
     sw->SetControllerHandler(
         [report](const Packet& p, Nanos now) { report->Transmit(p, now); });
-    const bool capture = cfg.capture_counts;
-    const auto* observer = &cfg.window_observer;
-    controller->SetWindowHandler(
-        [&result, i, &detect, capture, observer](const WindowResult& w) {
-          // Streaming consumers see the window first, while the table view
-          // is live. Concurrency contract: see NetworkRunConfig.
-          if (*observer) (*observer)(i, w);
-          EmittedWindow ew;
-          ew.span = w.span;
-          ew.completed_at = w.completed_at;
-          ew.partial = w.partial;
-          if (detect) ew.detected = detect(*w.table);
-          if (capture) {
-            FlowCounts counts;
-            w.table->ForEach(
-                [&](const KvSlot& slot) { counts[slot.key] = slot.attrs[0]; });
-            result.per_switch[i].counts[w.span.first] = std::move(counts);
-          }
-          result.per_switch[i].windows.push_back(std::move(ew));
-        });
-    switches.push_back(sw);
-    programs.push_back(std::move(program));
-    controllers.push_back(std::move(controller));
+    controller->SetWindowHandler([this, i](const WindowResult& w) {
+      // Streaming consumers see the window first, while the table view
+      // is live. Concurrency contract: see NetworkRunConfig.
+      if (cfg_.window_observer) cfg_.window_observer(i, w);
+      EmittedWindow ew;
+      ew.span = w.span;
+      ew.completed_at = w.completed_at;
+      ew.partial = w.partial;
+      if (detect_) ew.detected = detect_(*w.table);
+      if (cfg_.capture_counts) {
+        FlowCounts counts;
+        w.table->ForEach(
+            [&](const KvSlot& slot) { counts[slot.key] = slot.attrs[0]; });
+        result_.per_switch[i].counts[w.span.first] = std::move(counts);
+      }
+      result_.per_switch[i].windows.push_back(std::move(ew));
+    });
+    switches_.push_back(sw);
+    programs_.push_back(std::move(program));
+    controllers_.push_back(std::move(controller));
   }
 
   // Fabric links, in (switch id, egress port) order: link index == creation
   // order, which the per-link seeds, the targeted fault arming and
   // NetworkRunResult::links all key off.
-  std::vector<Link*> links;
   for (std::size_t u = 0; u < num_switches; ++u) {
-    for (std::size_t p = 0; p < adj[u].size(); ++p) {
-      const std::size_t idx = links.size();
-      links.push_back(net.Connect(switches[u], switches[adj[u][p]], cfg.link,
-                                  cfg.link_seed + idx));
-      if (cfg.base.fault.inner_link.Any() &&
-          (cfg.fault_link_index < 0 || cfg.fault_link_index == int(idx))) {
-        links.back()->ArmFaults(cfg.base.fault.inner_link,
-                                cfg.base.fault.seed + 0x2000 + idx);
+    for (std::size_t p = 0; p < adj_[u].size(); ++p) {
+      const std::size_t idx = links_.size();
+      links_.push_back(net_.Connect(switches_[u], switches_[adj_[u][p]],
+                                    cfg_.link, cfg_.link_seed + idx));
+      if (cfg_.base.fault.inner_link.Any() &&
+          (cfg_.fault_link_index < 0 || cfg_.fault_link_index == int(idx))) {
+        links_.back()->ArmFaults(cfg_.base.fault.inner_link,
+                                 cfg_.base.fault.seed + 0x2000 + idx);
       }
     }
-    if (adj[u].size() > 1) {
+    if (adj_[u].size() > 1) {
       // Fan-out: hash-based ECMP picks the egress; ports were created in
       // adjacency order so port index == adjacency index, keeping the
       // policy and MakeTopologyNextHop bit-aligned.
-      std::vector<int> ports(adj[u].size());
+      std::vector<int> ports(adj_[u].size());
       for (std::size_t p = 0; p < ports.size(); ++p) ports[p] = int(p);
-      switches[u]->SetForwardingPolicy(
-          MakeEcmpPolicy(std::move(ports), EcmpSeedOf(cfg.topology, int(u))));
+      switches_[u]->SetForwardingPolicy(
+          MakeEcmpPolicy(std::move(ports), EcmpSeedOf(cfg_.topology, int(u))));
     }
   }
   // Egress switches of multi-path fabrics deliver to counted sinks; the
@@ -190,30 +185,74 @@ NetworkRunResult RunOmniWindowFabric(
   // pre-change runs reproduce bit for bit. Each sink counts into its own
   // cell (stable deque addresses): under a parallel drive sinks fire on the
   // worker that owns their leaf, so a shared total would race.
-  std::deque<std::uint64_t> sink_delivered;
-  if (cfg.topology.kind != TopologyKind::kLine) {
+  if (cfg_.topology.kind != TopologyKind::kLine) {
     for (std::size_t u = 0; u < num_switches; ++u) {
-      if (!adj[u].empty() || u == 0) continue;
-      sink_delivered.push_back(0);
-      std::uint64_t* cell = &sink_delivered.back();
-      net.ConnectToSink(
-          switches[u], LinkParams{.latency = kMicro, .jitter = 0},
+      if (!adj_[u].empty() || u == 0) continue;
+      sink_delivered_.push_back(0);
+      std::uint64_t* cell = &sink_delivered_.back();
+      net_.ConnectToSink(
+          switches_[u], LinkParams{.latency = kMicro, .jitter = 0},
           [cell](Packet, Nanos) { ++*cell; },
-          cfg.link_seed + 0x5000 + u);
+          cfg_.link_seed + 0x5000 + u);
     }
   }
 
   for (const Packet& p : trace.packets) {
-    switches[0]->EnqueueFromWire(p, p.ts);
+    switches_[0]->EnqueueFromWire(p, p.ts);
   }
   // End-of-trace sentinel: an all-zero five-tuple the ECMP policies flood
   // down every path, so the final sub-windows terminate on every switch.
   Packet sentinel;
-  sentinel.ts = trace.Duration() + cfg.base.window.subwindow_size;
-  switches[0]->EnqueueFromWire(sentinel, sentinel.ts);
+  sentinel.ts = trace_duration_ + cfg_.base.window.subwindow_size;
+  switches_[0]->EnqueueFromWire(sentinel, sentinel.ts);
+}
 
-  const Nanos horizon = trace.Duration() + 10 * kSecond;
-  net.RunUntilQuiescent(horizon);
+Nanos FabricSession::DriveUntil(Nanos t) { return net_.RunUntilQuiescent(t); }
+
+std::vector<std::uint8_t> FabricSession::Snapshot() {
+  SnapshotWriter w;
+  w.Section(snap::kSession);
+  net_.Save(w);
+  w.Size(report_links_.size());
+  for (const auto& link : report_links_) link->Save(w);
+  for (const auto& program : programs_) program->Save(w);
+  for (const auto& controller : controllers_) controller->Save(w);
+  w.Size(sink_delivered_.size());
+  for (const std::uint64_t v : sink_delivered_) w.U64(v);
+  return w.Take();
+}
+
+void FabricSession::Restore(std::span<const std::uint8_t> bytes) {
+  SnapshotReader r(bytes);
+  r.Section(snap::kSession);
+  net_.Load(r);
+  if (r.Size() != report_links_.size()) {
+    throw SnapshotError(
+        "FabricSession: report link count differs between snapshot and "
+        "rebuild");
+  }
+  for (const auto& link : report_links_) link->Load(r);
+  for (const auto& program : programs_) program->Load(r);
+  for (const auto& controller : controllers_) controller->Load(r);
+  if (r.Size() != sink_delivered_.size()) {
+    throw SnapshotError(
+        "FabricSession: sink count differs between snapshot and rebuild");
+  }
+  for (std::uint64_t& v : sink_delivered_) v = r.U64();
+  if (!r.AtEnd()) {
+    throw SnapshotError("FabricSession: trailing bytes in snapshot");
+  }
+  // Windows this session emitted before the restore belong to a timeline
+  // the snapshot supersedes; only post-restore windows are reported.
+  for (SwitchRun& sr : result_.per_switch) {
+    sr.windows.clear();
+    sr.counts.clear();
+  }
+}
+
+NetworkRunResult FabricSession::Finish() {
+  const Nanos horizon = trace_duration_ + 10 * kSecond;
+  net_.RunUntilQuiescent(horizon);
   // Bounded flush rounds: retransmission requests schedule switch events,
   // so drive the network between rounds.
   for (int round = 0; round < 16; ++round) {
@@ -227,46 +266,56 @@ NetworkRunResult RunOmniWindowFabric(
     // is exactly the measurement (missing packets ARE the loss). Fault-free
     // fabrics are unaffected: every switch already sits at the max.
     SubWindowNum through = 0;
-    for (const auto& program : programs) {
+    for (const auto& program : programs_) {
       through = std::max(through, program->current_subwindow());
     }
-    for (std::size_t i = 0; i < controllers.size(); ++i) {
+    for (std::size_t i = 0; i < controllers_.size(); ++i) {
       // Management-path check: the data plane's current sub-window travels
       // the reliable switch-OS channel, so a final trigger lost on the
       // report link cannot strand its sub-window.
-      controllers[i]->EnsureCollectedThrough(through, trace.Duration());
-      if (!controllers[i]->Flush(trace.Duration())) all_done = false;
+      controllers_[i]->EnsureCollectedThrough(through, trace_duration_);
+      if (!controllers_[i]->Flush(trace_duration_)) all_done = false;
     }
     if (all_done) break;
-    net.RunUntilQuiescent(horizon);
+    net_.RunUntilQuiescent(horizon);
   }
 
-  for (const std::uint64_t v : sink_delivered) result.delivered += v;
+  for (const std::uint64_t v : sink_delivered_) result_.delivered += v;
+  const std::size_t num_switches = adj_.size();
   for (std::size_t i = 0; i < num_switches; ++i) {
-    result.per_switch[i].data_plane = programs[i]->stats();
-    result.per_switch[i].controller = controllers[i]->stats();
+    result_.per_switch[i].data_plane = programs_[i]->stats();
+    result_.per_switch[i].controller = controllers_[i]->stats();
   }
   {
     std::size_t idx = 0;
     for (std::size_t u = 0; u < num_switches; ++u) {
-      for (std::size_t p = 0; p < adj[u].size(); ++p, ++idx) {
-        Link* link = links[idx];
+      for (std::size_t p = 0; p < adj_[u].size(); ++p, ++idx) {
+        Link* link = links_[idx];
         FabricLinkStats stats;
         stats.from = int(u);
-        stats.to = adj[u][p];
+        stats.to = adj_[u][p];
         stats.port = int(p);
         stats.transmitted = link->transmitted();
         stats.dropped = link->dropped();
         if (link->faults()) stats.duplicates = link->faults()->duplicates();
-        result.link_dropped += link->dropped();
-        result.links.push_back(stats);
+        result_.link_dropped += link->dropped();
+        result_.links.push_back(stats);
       }
     }
   }
-  for (const auto& link : report_links) {
-    result.report_dropped += link->dropped();
+  for (const auto& link : report_links_) {
+    result_.report_dropped += link->dropped();
   }
-  return result;
+  return std::move(result_);
+}
+
+NetworkRunResult RunOmniWindowFabric(
+    const Trace& trace,
+    const std::function<AdapterPtr(std::size_t switch_index)>& make_app,
+    NetworkRunConfig cfg,
+    std::function<FlowSet(TableView)> detect) {
+  FabricSession session(trace, make_app, std::move(cfg), std::move(detect));
+  return session.Finish();
 }
 
 NetworkRunResult RunOmniWindowLine(

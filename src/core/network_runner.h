@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/core/runner.h"
@@ -118,10 +120,85 @@ struct NetworkRunResult {
   std::vector<FabricLinkStats> links;
 };
 
+/// An interactive fabric run: RunOmniWindowFabric split into construct /
+/// drive / finish, so a caller can pause the simulation at a quiescent
+/// point, Snapshot() the complete mutable state, later rebuild an
+/// IDENTICALLY configured session (same trace, app factory and config) and
+/// Restore() into it — resuming bit-identically: the same windows, stats,
+/// link counters and alert streams as an uninterrupted run. This is the
+/// kill/restore fault class of tools/chaos_run and snapshot_restore_test.
+///
+/// Stream-vs-counter contract after a restore: cumulative counters
+/// (program/controller stats, link and sink counters, `delivered`) carry
+/// the pre-snapshot history, so Finish() reports the same totals as the
+/// uninterrupted run. The WINDOW stream does not — windows emitted before
+/// the snapshot live in the killed session's partial_result(); the
+/// restored session emits only post-restore windows, and a comparator
+/// concatenates the two streams.
+class FabricSession {
+ public:
+  /// Builds the fabric and enqueues the trace plus the end-of-trace
+  /// sentinel; nothing runs until DriveUntil/Finish.
+  FabricSession(const Trace& trace,
+                const std::function<AdapterPtr(std::size_t switch_index)>&
+                    make_app,
+                NetworkRunConfig cfg,
+                std::function<FlowSet(TableView)> detect = {});
+
+  FabricSession(const FabricSession&) = delete;
+  FabricSession& operator=(const FabricSession&) = delete;
+
+  /// Drive the fabric to a quiescent state covering every event at or
+  /// before `t`. Returns the timestamp of the last processed event.
+  Nanos DriveUntil(Nanos t);
+
+  /// Serialize the complete mutable state. Only valid at a quiescent point
+  /// (after DriveUntil returned, before Finish); throws SnapshotError when
+  /// the configuration has non-checkpointable features armed (RDMA).
+  std::vector<std::uint8_t> Snapshot();
+
+  /// Restore state captured by Snapshot() into a freshly constructed,
+  /// identically configured session. Discards this session's pre-restore
+  /// window stream; throws SnapshotError on any shape mismatch.
+  void Restore(std::span<const std::uint8_t> bytes);
+
+  /// Drain the run to completion (flush rounds, stats harvest) and return
+  /// the result. Call at most once.
+  NetworkRunResult Finish();
+
+  /// Windows and counters accumulated so far (the killed session's half of
+  /// the concatenation contract above).
+  const NetworkRunResult& partial_result() const noexcept { return result_; }
+
+  Nanos trace_duration() const noexcept { return trace_duration_; }
+  std::size_t num_switches() const noexcept { return switches_.size(); }
+  const OmniWindowProgram& program(std::size_t i) const {
+    return *programs_[i];
+  }
+  const OmniWindowController& controller(std::size_t i) const {
+    return *controllers_[i];
+  }
+
+ private:
+  NetworkRunConfig cfg_;
+  std::function<FlowSet(TableView)> detect_;
+  std::vector<std::vector<int>> adj_;
+  Network net_;
+  std::vector<Switch*> switches_;
+  std::vector<std::shared_ptr<OmniWindowProgram>> programs_;
+  std::vector<std::unique_ptr<OmniWindowController>> controllers_;
+  std::vector<std::unique_ptr<Link>> report_links_;
+  std::vector<Link*> links_;  ///< fabric links, creation order
+  /// Per-sink delivered counters (stable deque addresses; see Finish).
+  std::deque<std::uint64_t> sink_delivered_;
+  Nanos trace_duration_ = 0;
+  NetworkRunResult result_;
+};
+
 /// Replay `trace` through the fabric described by `cfg.topology`, injecting
 /// at switch 0. `make_app` builds the per-switch app (called once per
 /// switch, in id order); `detect` extracts each completed window's
-/// detections.
+/// detections. Thin wrapper over FabricSession (construct + Finish).
 NetworkRunResult RunOmniWindowFabric(
     const Trace& trace,
     const std::function<AdapterPtr(std::size_t switch_index)>& make_app,

@@ -1,5 +1,7 @@
 #include "src/core/signal.h"
 
+#include "src/common/snapshot.h"
+
 namespace ow {
 
 SignalGenerator::SignalGenerator(SignalConfig cfg) : cfg_(std::move(cfg)) {}
@@ -47,6 +49,22 @@ std::uint32_t SignalGenerator::Advance(const Packet& p, Nanos now) {
     }
   }
   return 0;
+}
+
+void SignalGenerator::Save(SnapshotWriter& w) const {
+  w.Section(snap::kSignal);
+  w.I64(epoch_start_);
+  w.U64(counter_);
+  w.I64(last_packet_);
+  w.U32(last_iteration_);
+}
+
+void SignalGenerator::Load(SnapshotReader& r) {
+  r.Section(snap::kSignal);
+  epoch_start_ = r.I64();
+  counter_ = r.U64();
+  last_packet_ = r.I64();
+  last_iteration_ = r.U32();
 }
 
 }  // namespace ow

@@ -20,6 +20,9 @@
 
 namespace ow {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 enum class SignalKind : std::uint8_t {
   kTimeout = 0,
   kCounter = 1,
@@ -45,6 +48,11 @@ class SignalGenerator {
   /// Evaluate signals for a packet arriving at local time `now`. Returns
   /// the number of sub-windows that terminate at this packet.
   std::uint32_t Advance(const Packet& p, Nanos now);
+
+  /// Checkpoint the signal state machine (config is rebuilt by the
+  /// restoring side).
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
 
   /// Hardware resource cost of the signal feature (Exp#5): one 32-bit
   /// state register plus compare/increment logic.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/snapshot.h"
 #include "src/obs/obs.h"
 
 namespace ow::detect {
@@ -95,7 +96,7 @@ EntityDetector::EntityDetector(const DetectorConfig& cfg, int switch_id)
 void EntityDetector::OnWindow(const WindowResult& w) {
   // Aggregate the (arbitrary-kind, arbitrary-order) flow table into ordered
   // per-entity totals first: scoring must not observe shard iteration order.
-  std::map<FlowKey, std::uint64_t> totals;
+  TotalsMap totals;
   w.table->ForEach([&](const KvSlot& slot) {
     const std::uint64_t v = slot.attrs[0];
     if (v == 0) return;
@@ -207,9 +208,8 @@ void EntityDetector::StepEntity(const FlowKey& key, EntityState& st,
   }
 }
 
-void EntityDetector::OnTotals(const std::map<FlowKey, std::uint64_t>& totals,
-                              SubWindowSpan span, Nanos completed_at,
-                              bool partial) {
+void EntityDetector::OnTotals(const TotalsMap& totals, SubWindowSpan span,
+                              Nanos completed_at, bool partial) {
   ++stats_.windows;
   c_windows_->Add();
   if (partial) {
@@ -330,6 +330,72 @@ EntityDetector::Stats DetectionService::TotalStats() const {
     t.tracked_peak += s.tracked_peak;
   }
   return t;
+}
+
+void ScoreModel::Save(SnapshotWriter& w) const {
+  w.F64(baseline_);
+  w.PodVec(lag_ring_);
+}
+
+void ScoreModel::Load(SnapshotReader& r) {
+  baseline_ = r.F64();
+  r.PodVec(lag_ring_);
+}
+
+void HysteresisFsm::Save(SnapshotWriter& w) const {
+  w.U8(std::uint8_t(state_));
+  w.U8(std::uint8_t(prev_));
+  w.I64(hot_streak_);
+  w.I64(cool_streak_);
+}
+
+void HysteresisFsm::Load(SnapshotReader& r) {
+  state_ = HealthState(r.U8());
+  prev_ = HealthState(r.U8());
+  hot_streak_ = int(r.I64());
+  cool_streak_ = int(r.I64());
+}
+
+void EntityDetector::Save(SnapshotWriter& w) const {
+  w.Section(snap::kDetector);
+  w.Bool(cold_);
+  w.Size(entities_.size());
+  for (const auto& [key, st] : entities_) {
+    w.Pod(key);
+    st.model.Save(w);
+    st.fsm.Save(w);
+    w.U32(st.idle_windows);
+  }
+  w.Pod(stats_);
+}
+
+void EntityDetector::Load(SnapshotReader& r) {
+  r.Section(snap::kDetector);
+  cold_ = r.Bool();
+  entities_.clear();
+  const std::size_t n = r.Size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowKey key = r.Get<FlowKey>();
+    EntityState& st = entities_[key];
+    st.model.Load(r);
+    st.fsm.Load(r);
+    st.idle_windows = r.U32();
+  }
+  r.Pod(stats_);
+}
+
+void DetectionService::Save(SnapshotWriter& w) const {
+  w.Size(detectors_.size());
+  for (const EntityDetector& d : detectors_) d.Save(w);
+}
+
+void DetectionService::Load(SnapshotReader& r) {
+  if (r.Size() != detectors_.size()) {
+    throw SnapshotError(
+        "DetectionService: switch count differs between snapshot and "
+        "rebuild");
+  }
+  for (EntityDetector& d : detectors_) d.Load(r);
 }
 
 }  // namespace ow::detect

@@ -42,6 +42,7 @@
 #include <map>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/flowkey.h"
 #include "src/common/types.h"
 #include "src/core/controller.h"
@@ -93,6 +94,9 @@ class ScoreModel {
 
   double baseline() const { return baseline_; }
 
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
+
  private:
   double baseline_ = 0.0;
   std::vector<double> lag_ring_;  // pending values, oldest first
@@ -120,6 +124,9 @@ class HysteresisFsm {
   bool quiet() const {
     return state_ == HealthState::kHealthy && hot_streak_ == 0;
   }
+
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
 
  private:
   HealthState state_ = HealthState::kHealthy;
@@ -162,6 +169,10 @@ struct DetectorConfig {
   bool track_dst = true;  ///< aggregate per destination ip
 };
 
+/// Per-window entity totals, pool-backed so every window's aggregation
+/// recycles the previous window's nodes (zero-alloc steady state).
+using TotalsMap = PooledMap<FlowKey, std::uint64_t>;
+
 /// Streaming detector for ONE switch's window stream.
 class EntityDetector {
  public:
@@ -173,8 +184,8 @@ class EntityDetector {
   /// Core step on pre-aggregated totals; exposed so unit tests can drive
   /// the model without building controller tables. `totals` must be keyed
   /// by kSrcIp/kDstIp entity keys.
-  void OnTotals(const std::map<FlowKey, std::uint64_t>& totals,
-                SubWindowSpan span, Nanos completed_at, bool partial);
+  void OnTotals(const TotalsMap& totals, SubWindowSpan span,
+                Nanos completed_at, bool partial);
 
   const std::vector<Alert>& alerts() const { return alerts_; }
   std::size_t tracked() const { return entities_.size(); }
@@ -191,6 +202,13 @@ class EntityDetector {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Checkpoint the tracked-entity models and stats. The alert stream is
+  /// NOT captured — alerts already emitted belong to their consumer; a
+  /// restored detector emits only post-restore transitions, and the
+  /// restore-side comparator concatenates the two streams.
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
+
  private:
   struct EntityState {
     ScoreModel model;
@@ -206,8 +224,9 @@ class EntityDetector {
   int switch_id_ = 0;
   bool cold_ = true;  ///< next window is the first ever seen
   // Ordered so every pass over the tracked set is deterministic regardless
-  // of how keys hash.
-  std::map<FlowKey, EntityState> entities_;
+  // of how keys hash. Pool-backed: admission-capped churn (evict one,
+  // admit one) recycles map nodes.
+  PooledMap<FlowKey, EntityState> entities_;
   std::vector<Alert> alerts_;
   Stats stats_;
 
@@ -244,6 +263,11 @@ class DetectionService {
   std::size_t num_switches() const { return detectors_.size(); }
   std::size_t tracked_total() const;
   EntityDetector::Stats TotalStats() const;
+
+  /// Checkpoint every per-switch detector (alert streams excluded; see
+  /// EntityDetector::Save). Load verifies the switch count matches.
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
 
  private:
   std::deque<EntityDetector> detectors_;  // stable addresses, no copies

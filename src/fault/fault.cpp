@@ -1,5 +1,7 @@
 #include "src/fault/fault.h"
 
+#include "src/common/snapshot.h"
+
 namespace ow::fault {
 namespace {
 
@@ -108,6 +110,26 @@ LinkFaultInjector::Decision LinkFaultInjector::Decide(Nanos now) {
     obs_duplicates_->Add(1);
   }
   return d;
+}
+
+void LinkFaultInjector::Save(SnapshotWriter& w) const {
+  w.Section(snap::kLinkFaults);
+  w.Pod(drop_rng_.state());
+  w.Pod(dup_rng_.state());
+  w.Pod(reorder_rng_.state());
+  w.U64(drops_);
+  w.U64(duplicates_);
+  w.U64(reorders_);
+}
+
+void LinkFaultInjector::Load(SnapshotReader& r) {
+  r.Section(snap::kLinkFaults);
+  drop_rng_.set_state(r.Get<Rng::State>());
+  dup_rng_.set_state(r.Get<Rng::State>());
+  reorder_rng_.set_state(r.Get<Rng::State>());
+  drops_ = r.U64();
+  duplicates_ = r.U64();
+  reorders_ = r.U64();
 }
 
 SwitchOsFaultInjector::SwitchOsFaultInjector(SwitchOsFaultProfile profile,

@@ -26,6 +26,11 @@
 #include "src/fault/retry.h"
 #include "src/obs/obs.h"
 
+namespace ow {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace ow
+
 namespace ow::fault {
 
 /// Optional time window scaling a profile's rates: while `now` is inside
@@ -132,6 +137,11 @@ class LinkFaultInjector {
   std::uint64_t drops() const noexcept { return drops_; }
   std::uint64_t duplicates() const noexcept { return duplicates_; }
   std::uint64_t reorders() const noexcept { return reorders_; }
+
+  /// Checkpoint the mutable schedule position (RNG streams + counters);
+  /// the profile itself is configuration and is rebuilt by the caller.
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
 
  private:
   LinkFaultProfile profile_;

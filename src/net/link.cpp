@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/snapshot.h"
+
 namespace ow {
 
 void Link::Transmit(Packet p, Nanos now) {
@@ -42,6 +44,34 @@ void Link::Transmit(Packet p, Nanos now) {
     deliver_(std::move(copy), now + delay + fd.dup_gap);
   }
   deliver_(std::move(p), now + delay);
+}
+
+void Link::Save(SnapshotWriter& w) const {
+  w.Section(snap::kLink);
+  w.Pod(loss_rng_.state());
+  w.Pod(jitter_rng_.state());
+  w.Pod(spike_rng_.state());
+  w.U64(transmitted_);
+  w.U64(dropped_);
+  w.U64(spiked_);
+  w.Bool(faults_ != nullptr);
+  if (faults_) faults_->Save(w);
+}
+
+void Link::Load(SnapshotReader& r) {
+  r.Section(snap::kLink);
+  loss_rng_.set_state(r.Get<Rng::State>());
+  jitter_rng_.set_state(r.Get<Rng::State>());
+  spike_rng_.set_state(r.Get<Rng::State>());
+  transmitted_ = r.U64();
+  dropped_ = r.U64();
+  spiked_ = r.U64();
+  const bool armed = r.Bool();
+  if (armed != (faults_ != nullptr)) {
+    throw SnapshotError(
+        "Link::Load: fault arming differs between snapshot and rebuild");
+  }
+  if (faults_) faults_->Load(r);
 }
 
 }  // namespace ow

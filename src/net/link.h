@@ -21,6 +21,9 @@
 
 namespace ow {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 struct LinkParams {
   Nanos latency = 2 * kMicro;       ///< base one-way propagation + switching
   Nanos jitter = 500;               ///< uniform extra delay in [0, jitter)
@@ -64,6 +67,13 @@ class Link {
   std::uint64_t transmitted() const noexcept { return transmitted_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
   std::uint64_t spiked() const noexcept { return spiked_; }
+
+  /// Checkpoint the link's schedule position: RNG streams, stat counters,
+  /// and (when armed) the fault injector's streams. Params/deliver/profile
+  /// are configuration the restoring side rebuilds; Load verifies the
+  /// armed/unarmed shape matches and throws SnapshotError otherwise.
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
 
  private:
   LinkParams params_;

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/snapshot.h"
 #include "src/obs/obs.h"
 
 namespace ow {
@@ -402,6 +403,34 @@ Switch::ForwardingPolicy MakeEcmpPolicy(std::vector<int> ports,
     const std::uint64_t h = p.Key(FlowKeyKind::kFiveTuple).Hash(seed);
     return ports[h % ports.size()];
   };
+}
+
+void Network::Save(SnapshotWriter& w) const {
+  w.Section(snap::kNetwork);
+  w.I64(clock_.Now());
+  w.Size(nodes_.size());
+  w.Size(links_.size());
+  w.Size(endpoints_.size());
+  for (const auto& link : links_) link->Save(w);
+  for (const auto& ep : endpoints_) w.U64(ep->tx);
+  for (const auto& node : nodes_) node->sw->Save(w);
+}
+
+void Network::Load(SnapshotReader& r) {
+  r.Section(snap::kNetwork);
+  clock_.AdvanceTo(r.I64());
+  if (r.Size() != nodes_.size() || r.Size() != links_.size() ||
+      r.Size() != endpoints_.size()) {
+    throw SnapshotError(
+        "Network: topology shape differs between snapshot and rebuild");
+  }
+  for (const auto& link : links_) link->Load(r);
+  for (const auto& ep : endpoints_) ep->tx = r.U64();
+  for (const auto& node : nodes_) node->sw->Load(r);
+  // Restored lanes hold work the activity listener never saw; put every
+  // switch on the sequential engine's scan list (the parallel engine
+  // sweeps all shards regardless).
+  for (std::size_t i = 0; i < nodes_.size(); ++i) MarkActive(i);
 }
 
 }  // namespace ow

@@ -126,6 +126,16 @@ class Network {
 
   SimClock& clock() noexcept { return clock_; }
 
+  /// Checkpoint the network's runtime state at a quiescent point (no
+  /// RunUntilQuiescent in progress): global clock, link schedule positions,
+  /// per-endpoint tx counters and every switch's event lanes. Topology,
+  /// handlers and seeds are configuration; the restoring side rebuilds the
+  /// identical topology (same construction order) before calling Load,
+  /// which verifies the shape and marks every switch active so the
+  /// sequential engine rescans restored work.
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
+
  private:
   /// One cross-shard wire packet in flight.
   struct WireMsg {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/common/snapshot.h"
+
 namespace ow {
 
 BloomFilter::BloomFilter(std::size_t bits, std::size_t k, std::uint64_t seed)
@@ -45,6 +47,22 @@ bool BloomFilter::TestAndSet(const FlowKey& key) {
 
 void BloomFilter::Reset() {
   std::fill(words_.begin(), words_.end(), 0);
+}
+
+void BloomFilter::Save(SnapshotWriter& w) const {
+  w.Section(snap::kBloom);
+  w.PodVec(words_);
+}
+
+void BloomFilter::Load(SnapshotReader& r) {
+  r.Section(snap::kBloom);
+  const std::size_t words = words_.size();
+  r.PodVec(words_);
+  if (words_.size() != words) {
+    throw SnapshotError("BloomFilter: snapshot has " +
+                        std::to_string(words_.size() * 64) +
+                        " bits, filter has " + std::to_string(bits_));
+  }
 }
 
 double BloomFilter::ExpectedFpp(std::size_t n) const {

@@ -13,6 +13,9 @@
 
 namespace ow {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 class BloomFilter {
  public:
   /// `bits` cells, `k` hash functions. `bits` is rounded up to a multiple
@@ -36,6 +39,12 @@ class BloomFilter {
 
   /// Expected false-positive rate after `n` insertions.
   double ExpectedFpp(std::size_t n) const;
+
+  /// Checkpoint the bit words (geometry/hash seeds are configuration).
+  /// Load verifies the word count matches and throws SnapshotError
+  /// otherwise.
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
 
  private:
   std::size_t BitIndex(std::size_t i, const FlowKey& key) const;

@@ -80,8 +80,8 @@ void ElasticSketch::Reset() {
   std::fill(light_.begin(), light_.end(), 0);
 }
 
-std::vector<FlowKey> ElasticSketch::Candidates() const {
-  std::unordered_set<FlowKey, FlowKeyHasher> seen;
+PooledVector<FlowKey> ElasticSketch::Candidates() const {
+  PooledUnorderedSet<FlowKey, FlowKeyHasher> seen;
   for (const Bucket& b : heavy_) {
     if (b.occupied) seen.insert(b.key);
   }

@@ -37,7 +37,7 @@ class ElasticSketch final : public InvertibleSketch {
   std::uint64_t Estimate(const FlowKey& key) const override;
   void Reset() override;
 
-  std::vector<FlowKey> Candidates() const override;
+  PooledVector<FlowKey> Candidates() const override;
 
   std::size_t MemoryBytes() const override {
     return heavy_.size() * kHeavyBucketBytes + light_.size() * 2;

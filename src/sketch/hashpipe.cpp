@@ -75,8 +75,8 @@ void HashPipe::Reset() {
   }
 }
 
-std::vector<FlowKey> HashPipe::Candidates() const {
-  std::unordered_set<FlowKey, FlowKeyHasher> seen;
+PooledVector<FlowKey> HashPipe::Candidates() const {
+  PooledUnorderedSet<FlowKey, FlowKeyHasher> seen;
   for (const auto& table : tables_) {
     for (const Slot& s : table) {
       if (s.occupied) seen.insert(s.key);

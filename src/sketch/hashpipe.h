@@ -29,7 +29,7 @@ class HashPipe final : public InvertibleSketch {
   std::uint64_t Estimate(const FlowKey& key) const override;
   void Reset() override;
 
-  std::vector<FlowKey> Candidates() const override;
+  PooledVector<FlowKey> Candidates() const override;
 
   std::size_t MemoryBytes() const override {
     return tables_.size() * slots_ * kSlotBytes;

@@ -61,8 +61,8 @@ void MvSketch::Reset() {
   }
 }
 
-std::vector<FlowKey> MvSketch::Candidates() const {
-  std::unordered_set<FlowKey, FlowKeyHasher> seen;
+PooledVector<FlowKey> MvSketch::Candidates() const {
+  PooledUnorderedSet<FlowKey, FlowKeyHasher> seen;
   for (const auto& row : rows_) {
     for (const Bucket& b : row) {
       if (b.total > 0) seen.insert(b.candidate);

@@ -28,7 +28,7 @@ class MvSketch final : public InvertibleSketch {
   std::uint64_t Estimate(const FlowKey& key) const override;
   void Reset() override;
 
-  std::vector<FlowKey> Candidates() const override;
+  PooledVector<FlowKey> Candidates() const override;
 
   std::size_t MemoryBytes() const override {
     return rows_.size() * width_ * kBucketBytes;

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/flowkey.h"
 
 namespace ow {
@@ -58,7 +59,9 @@ class FrequencySketch {
 class InvertibleSketch : public FrequencySketch {
  public:
   /// Distinct candidate heavy keys currently stored in the structure.
-  virtual std::vector<FlowKey> Candidates() const = 0;
+  /// Pool-backed: enumerated once per sub-window termination, so the
+  /// buffer must recycle for the zero-alloc steady state.
+  virtual PooledVector<FlowKey> Candidates() const = 0;
 };
 
 /// Per-key spread (distinct destination) estimation for super-spreader
@@ -80,7 +83,7 @@ class SpreadEstimator {
 
   /// Candidate spreader keys tracked in the data plane (empty if the
   /// structure is not invertible).
-  virtual std::vector<FlowKey> Candidates() const { return {}; }
+  virtual PooledVector<FlowKey> Candidates() const { return {}; }
 
   /// 256-bit distinct signature for `key`, derived from the structure's
   /// state (AFR payload for distinction statistics). All-zero if the

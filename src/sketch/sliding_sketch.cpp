@@ -169,8 +169,8 @@ std::uint64_t SlidingMvSketch::Estimate(const FlowKey& key, Nanos now) {
   return best == UINT64_MAX ? 0 : best;
 }
 
-std::vector<FlowKey> SlidingMvSketch::Candidates() const {
-  std::unordered_set<FlowKey, FlowKeyHasher> seen;
+PooledVector<FlowKey> SlidingMvSketch::Candidates() const {
+  PooledUnorderedSet<FlowKey, FlowKeyHasher> seen;
   for (const auto& row : rows_) {
     for (const Cell& c : row) {
       if (c.prev.total > 0) seen.insert(c.prev.candidate);

@@ -116,7 +116,7 @@ class SlidingMvSketch {
 
   void Update(const FlowKey& key, std::uint64_t inc, Nanos now);
   std::uint64_t Estimate(const FlowKey& key, Nanos now);
-  std::vector<FlowKey> Candidates() const;
+  PooledVector<FlowKey> Candidates() const;
   void Reset();
 
   std::size_t MemoryBytes() const {

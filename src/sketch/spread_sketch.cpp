@@ -149,8 +149,8 @@ void SpreadSketch::Reset() {
   }
 }
 
-std::vector<FlowKey> SpreadSketch::Candidates() const {
-  std::unordered_set<FlowKey, FlowKeyHasher> seen;
+PooledVector<FlowKey> SpreadSketch::Candidates() const {
+  PooledUnorderedSet<FlowKey, FlowKeyHasher> seen;
   for (const auto& row : rows_) {
     for (const Bucket& b : row) {
       if (b.level >= 0) seen.insert(b.candidate);

@@ -58,7 +58,7 @@ class SpreadSketch final : public SpreadEstimator {
   double EstimateSpread(const FlowKey& key) const override;
   void Reset() override;
 
-  std::vector<FlowKey> Candidates() const override;
+  PooledVector<FlowKey> Candidates() const override;
 
   /// AFR signature: the min-estimate bucket's MRB folded to 4x64 bits.
   SpreadSignature Signature(const FlowKey& key) const override;

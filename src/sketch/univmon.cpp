@@ -70,8 +70,8 @@ void UnivMon::Reset() {
   for (auto& h : heaps_) h.clear();
 }
 
-std::vector<FlowKey> UnivMon::Candidates() const {
-  std::unordered_set<FlowKey, FlowKeyHasher> seen;
+PooledVector<FlowKey> UnivMon::Candidates() const {
+  PooledUnorderedSet<FlowKey, FlowKeyHasher> seen;
   for (const auto& heap : heaps_) {
     for (const auto& [key, count] : heap) seen.insert(key);
   }

@@ -36,7 +36,7 @@ class UnivMon final : public InvertibleSketch {
   void Reset() override;
 
   /// Union of the per-level heavy-hitter heaps.
-  std::vector<FlowKey> Candidates() const override;
+  PooledVector<FlowKey> Candidates() const override;
 
   /// Estimate the G-sum Σ g(count_f) over all flows (the universal
   /// recursion). g must be non-negative.

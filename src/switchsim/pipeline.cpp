@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/common/snapshot.h"
+
 namespace ow {
 
 Switch::Switch(int id, SwitchTimings timings)
@@ -105,7 +107,7 @@ Switch::Event Switch::FifoPop() noexcept {
 void Switch::GrowFifo() {
   // Ring indexing masks with size-1, so capacity must stay a power of two.
   const std::size_t new_cap = std::max<std::size_t>(64, fifo_.size() * 2);
-  std::vector<Event> bigger(new_cap);
+  PooledVector<Event> bigger(new_cap);
   const std::size_t mask = fifo_.empty() ? 0 : fifo_.size() - 1;
   for (std::size_t i = 0; i < fifo_size_; ++i) {
     bigger[i] = std::move(fifo_[(fifo_head_ + i) & mask]);
@@ -240,6 +242,84 @@ void Switch::RunUntil(Nanos t) { RunBatch(t); }
 
 Nanos Switch::RunUntilIdle(Nanos max_time) {
   return RunBatch(max_time) == 0 ? -1 : last_dispatched_;
+}
+
+namespace {
+
+void SaveEvent(SnapshotWriter& w, Nanos time, std::uint64_t seq,
+               PacketSource source, const Packet& packet) {
+  w.I64(time);
+  w.U64(seq);
+  w.U8(std::uint8_t(source));
+  SavePacket(w, packet);
+}
+
+}  // namespace
+
+void Switch::Save(SnapshotWriter& w) const {
+  w.Section(snap::kSwitch);
+  // FIFO lane, serialized from the head in dispatch order.
+  w.Size(fifo_size_);
+  for (std::size_t i = 0; i < fifo_size_; ++i) {
+    const Event& ev = fifo_[(fifo_head_ + i) & (fifo_.size() - 1)];
+    SaveEvent(w, ev.time, ev.seq, ev.source, ev.packet);
+  }
+  // Heap lane in layout order: the array is a valid binary heap, so
+  // restoring it verbatim reproduces the exact pop sequence.
+  w.Size(heap_.size());
+  for (const Event& ev : heap_) {
+    SaveEvent(w, ev.time, ev.seq, ev.source, ev.packet);
+  }
+  w.Size(staged_.size());
+  for (const StagedArrival& a : staged_) {
+    w.I64(a.time);
+    w.U32(a.ingress);
+    w.U64(a.tx);
+    SavePacket(w, a.packet);
+  }
+  w.I64(staged_min_);
+  w.U64(staged_seq_);
+  w.U64(next_seq_);
+  w.I64(last_dispatched_);
+  w.U64(total_passes_);
+  w.U64(recirc_passes_);
+  w.U64(pass_epoch_);
+}
+
+void Switch::Load(SnapshotReader& r) {
+  r.Section(snap::kSwitch);
+  const auto load_event = [&r](Event& ev) {
+    ev.time = r.I64();
+    ev.seq = r.U64();
+    ev.source = PacketSource(r.U8());
+    LoadPacket(r, ev.packet);
+  };
+  const std::size_t nfifo = r.Size();
+  std::size_t cap = 64;
+  while (cap < nfifo) cap *= 2;
+  fifo_.clear();
+  fifo_.resize(cap);
+  fifo_head_ = 0;
+  fifo_size_ = nfifo;
+  for (std::size_t i = 0; i < nfifo; ++i) load_event(fifo_[i]);
+  heap_.clear();
+  heap_.resize(r.Size());
+  for (Event& ev : heap_) load_event(ev);
+  staged_.clear();
+  staged_.resize(r.Size());
+  for (StagedArrival& a : staged_) {
+    a.time = r.I64();
+    a.ingress = r.U32();
+    a.tx = r.U64();
+    LoadPacket(r, a.packet);
+  }
+  staged_min_ = r.I64();
+  staged_seq_ = r.U64();
+  next_seq_ = r.U64();
+  last_dispatched_ = r.I64();
+  total_passes_ = r.U64();
+  recirc_passes_ = r.U64();
+  pass_epoch_ = r.U64();
 }
 
 Nanos Switch::NextEventTime() const {

@@ -234,6 +234,14 @@ class Switch {
   std::uint64_t total_passes() const noexcept { return total_passes_; }
   std::uint64_t recirc_passes() const noexcept { return recirc_passes_; }
 
+  /// Checkpoint the event lanes (FIFO, heap, staged buffer) and the seq /
+  /// pass counters. Program state, port handlers and the forwarding policy
+  /// are configuration the restoring side rebuilds before calling Load.
+  /// The FIFO ring is renormalized to head 0 and the heap restored in
+  /// layout order, so dispatch order is preserved exactly.
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
+
  private:
   struct Event {
     Nanos time;
@@ -304,13 +312,13 @@ class Switch {
   ForwardingPolicy policy_;
   PacketHandler to_controller_;
 
-  std::vector<Event> fifo_;
+  PooledVector<Event> fifo_;
   std::size_t fifo_head_ = 0;
   std::size_t fifo_size_ = 0;
-  std::vector<Event> heap_;
+  PooledVector<Event> heap_;
   bool fifo_enabled_ = true;
 
-  std::vector<StagedArrival> staged_;
+  PooledVector<StagedArrival> staged_;
   Nanos staged_min_ = -1;
   std::uint64_t staged_seq_ = 0;
   std::function<void()> on_activity_;

@@ -1,5 +1,7 @@
 #include "src/switchsim/register_array.h"
 
+#include "src/common/snapshot.h"
+
 namespace ow {
 
 RegisterArray::RegisterArray(std::string name, std::size_t entries,
@@ -28,6 +30,22 @@ std::uint64_t RegisterArray::ControlRead(std::size_t index) const {
     throw std::out_of_range("RegisterArray " + name_ + ": control read OOB");
   }
   return cells_[index];
+}
+
+void RegisterArray::Save(SnapshotWriter& w) const {
+  w.Section(snap::kRegisterArray);
+  w.PodVec(cells_);
+}
+
+void RegisterArray::Load(SnapshotReader& r) {
+  r.Section(snap::kRegisterArray);
+  const std::size_t entries = cells_.size();
+  r.PodVec(cells_);
+  if (cells_.size() != entries) {
+    throw SnapshotError("RegisterArray " + name_ + ": snapshot has " +
+                        std::to_string(cells_.size()) + " cells, array has " +
+                        std::to_string(entries));
+  }
 }
 
 void RegisterArray::ControlWrite(std::size_t index, std::uint64_t value) {

@@ -25,6 +25,9 @@
 
 namespace ow {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 class RegisterArray {
  public:
   /// `entries` cells of `entry_bytes` each (values stored widened to 64-bit;
@@ -72,6 +75,12 @@ class RegisterArray {
   /// but the SwitchOsDriver charges its latency model for it.
   std::uint64_t ControlRead(std::size_t index) const;
   void ControlWrite(std::size_t index, std::uint64_t value);
+
+  /// Checkpoint the cell contents (shape/name/bindings are configuration).
+  /// Load verifies the entry count matches and throws SnapshotError on a
+  /// shape mismatch.
+  void Save(SnapshotWriter& w) const;
+  void Load(SnapshotReader& r);
 
   std::size_t size() const noexcept { return cells_.size(); }
   std::size_t entry_bytes() const noexcept { return entry_bytes_; }

@@ -22,4 +22,28 @@ void ExactCountApp::ResetSlice(int region, std::size_t) {
   counts_[std::size_t(region)].clear();
 }
 
+void ExactCountApp::SaveState(SnapshotWriter& w) {
+  w.Section(snap::kApp);
+  for (const FlowCounts& counts : counts_) {
+    w.Size(counts.size());
+    for (const auto& [key, count] : counts) {
+      w.Pod(key);
+      w.U64(count);
+    }
+  }
+}
+
+void ExactCountApp::LoadState(SnapshotReader& r) {
+  r.Section(snap::kApp);
+  for (FlowCounts& counts : counts_) {
+    counts.clear();
+    const std::size_t n = r.Size();
+    counts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlowKey key = r.Get<FlowKey>();
+      counts[key] = r.U64();
+    }
+  }
+}
+
 }  // namespace ow

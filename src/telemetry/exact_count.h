@@ -36,6 +36,11 @@ class ExactCountApp final : public TelemetryAppAdapter {
   /// The whole map clears in one pass: a single logical slice.
   std::size_t NumResetSlices() const override { return 1; }
 
+  /// Exact maps live outside register arrays, so checkpointing serializes
+  /// them entry-by-entry (order-independent: lookups never iterate).
+  void SaveState(SnapshotWriter& w) override;
+  void LoadState(SnapshotReader& r) override;
+
  private:
   FlowKeyKind key_kind_;
   std::array<FlowCounts, 2> counts_;

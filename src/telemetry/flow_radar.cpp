@@ -123,8 +123,7 @@ void FlowRadarApp::ChargeResources(ResourceLedger& ledger) const {
   ledger.Charge("App:flow_radar", u);
 }
 
-std::vector<FlowRecord> FlowRadarApp::Decode(
-    const std::vector<FlowRecord>& cells, bool& clean) const {
+RecordVec FlowRadarApp::Decode(const RecordVec& cells, bool& clean) const {
   struct Cell {
     std::uint64_t lo = 0, hi = 0, flows = 0, packets = 0;
   };
@@ -141,7 +140,7 @@ std::vector<FlowRecord> FlowRadarApp::Decode(
     c.packets = rec.attrs[3];
   }
 
-  std::vector<FlowRecord> flows;
+  RecordVec flows;
   // Peel pure cells (FlowCount == 1). SingleDecode from the paper.
   bool progress = true;
   while (progress) {
@@ -186,11 +185,10 @@ std::vector<FlowRecord> FlowRadarApp::Decode(
   return flows;
 }
 
-std::function<std::vector<FlowRecord>(std::vector<FlowRecord>&&)>
-FlowRadarApp::MakeTransform() const {
-  return [this](std::vector<FlowRecord>&& cells) {
+std::function<RecordVec(RecordVec&&)> FlowRadarApp::MakeTransform() const {
+  return [this](RecordVec&& cells) {
     bool clean = false;
-    std::vector<FlowRecord> flows = Decode(cells, clean);
+    RecordVec flows = Decode(cells, clean);
     if (!cells.empty()) {
       // Preserve sub-window attribution for window assembly.
       for (FlowRecord& f : flows) f.subwindow = cells.front().subwindow;

@@ -58,12 +58,10 @@ class FlowRadarApp final : public TelemetryAppAdapter {
   /// Controller-side decode of one sub-window's migrated cell records into
   /// per-flow AFRs (packet counts). `clean` reports full decode (false
   /// when the structure was overloaded and residue remains).
-  std::vector<FlowRecord> Decode(const std::vector<FlowRecord>& cells,
-                                 bool& clean) const;
+  RecordVec Decode(const RecordVec& cells, bool& clean) const;
 
   /// Convenience: a SubWindowTransform bound to this app's geometry.
-  std::function<std::vector<FlowRecord>(std::vector<FlowRecord>&&)>
-  MakeTransform() const;
+  std::function<RecordVec(RecordVec&&)> MakeTransform() const;
 
   std::size_t groups() const noexcept { return groups_; }
   std::size_t cells_per_group() const noexcept { return cells_; }

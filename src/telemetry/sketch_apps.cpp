@@ -48,10 +48,10 @@ std::size_t FrequencySketchApp::NumResetSlices() const {
       1, sketches_[0]->MemoryBytes() / (8 * sketches_[0]->NumSalus()));
 }
 
-std::vector<FlowKey> FrequencySketchApp::TrackedKeys(int region) const {
+PooledVector<FlowKey> FrequencySketchApp::TrackedKeys(int region) const {
   return invertible_[std::size_t(region)]
              ? invertible_[std::size_t(region)]->Candidates()
-             : std::vector<FlowKey>{};
+             : PooledVector<FlowKey>{};
 }
 
 void FrequencySketchApp::ChargeResources(ResourceLedger& ledger) const {
@@ -113,7 +113,7 @@ std::size_t SpreadSketchApp::NumResetSlices() const {
       1, estimators_[0]->MemoryBytes() / (8 * estimators_[0]->NumSalus()));
 }
 
-std::vector<FlowKey> SpreadSketchApp::TrackedKeys(int region) const {
+PooledVector<FlowKey> SpreadSketchApp::TrackedKeys(int region) const {
   return estimators_[std::size_t(region)]->Candidates();
 }
 

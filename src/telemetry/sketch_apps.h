@@ -51,7 +51,7 @@ class FrequencySketchApp final : public TelemetryAppAdapter {
   std::size_t NumResetSlices() const override;
 
   bool TracksOwnKeys() const override { return invertible_[0] != nullptr; }
-  std::vector<FlowKey> TrackedKeys(int region) const override;
+  PooledVector<FlowKey> TrackedKeys(int region) const override;
 
   void ChargeResources(ResourceLedger& ledger) const override;
 
@@ -91,7 +91,7 @@ class SpreadSketchApp final : public TelemetryAppAdapter {
   std::size_t NumResetSlices() const override;
 
   bool TracksOwnKeys() const override { return tracks_keys_; }
-  std::vector<FlowKey> TrackedKeys(int region) const override;
+  PooledVector<FlowKey> TrackedKeys(int region) const override;
 
   void ChargeResources(ResourceLedger& ledger) const override;
 

@@ -1,0 +1,184 @@
+// Arena discipline: epoch-reuse reentrancy, explicit exhaustion, pool
+// recycling, pooled-container steady state, and the alloc-trace hook.
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/alloc_trace.h"
+#include "src/common/arena.h"
+#include "src/common/snapshot.h"
+
+namespace ow {
+namespace {
+
+TEST(MemoryArenaTest, BumpAllocatesDistinctAlignedBlocks) {
+  MemoryArena arena;
+  void* a = arena.Allocate(24);
+  void* b = arena.Allocate(100, 64);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_GE(arena.used_bytes(), 124u);
+}
+
+TEST(MemoryArenaTest, EpochResetReusesTheSameMemory) {
+  MemoryArena arena;
+  void* first = arena.Allocate(64);
+  std::memset(first, 0xAB, 64);
+  const std::size_t reserved = arena.reserved_bytes();
+
+  arena.Reset();
+  EXPECT_EQ(arena.epoch(), 1u);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+
+  // The next epoch's first allocation lands on the identical bytes and the
+  // arena grows no further: epoch reuse is heap-silent.
+  void* second = arena.Allocate(64);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+}
+
+TEST(MemoryArenaTest, EpochReuseIsReentrantAcrossManyEpochs) {
+  MemoryArena arena(MemoryArena::Options{.chunk_bytes = 4096});
+  std::vector<void*> epoch0;
+  for (int i = 0; i < 64; ++i) epoch0.push_back(arena.Allocate(96));
+  const std::size_t reserved = arena.reserved_bytes();
+  for (int e = 0; e < 10; ++e) {
+    arena.Reset();
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(arena.Allocate(96), epoch0[std::size_t(i)])
+          << "epoch " << e << " allocation " << i;
+    }
+    EXPECT_EQ(arena.reserved_bytes(), reserved) << "epoch " << e;
+  }
+}
+
+TEST(MemoryArenaTest, OversizedRequestGetsDedicatedChunk) {
+  MemoryArena arena(MemoryArena::Options{.chunk_bytes = 1024});
+  void* big = arena.Allocate(1 << 16);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5A, 1 << 16);  // the whole block must be writable
+  EXPECT_GE(arena.reserved_bytes(), std::size_t(1) << 16);
+}
+
+TEST(MemoryArenaTest, ExhaustionIsAnExplicitError) {
+  MemoryArena arena(
+      MemoryArena::Options{.chunk_bytes = 1024, .max_bytes = 2048});
+  EXPECT_NE(arena.Allocate(512), nullptr);
+  EXPECT_NE(arena.Allocate(900), nullptr);  // second chunk
+  try {
+    arena.Allocate(4096);  // would need a third, over budget
+    FAIL() << "expected ArenaExhausted";
+  } catch (const ArenaExhausted& e) {
+    EXPECT_EQ(e.budget(), 2048u);
+    EXPECT_NE(std::string(e.what()).find("exceeds budget"),
+              std::string::npos);
+  }
+  // The arena stays usable after a rejected request.
+  EXPECT_NE(arena.Allocate(64), nullptr);
+}
+
+TEST(ArenaPoolTest, RecyclesBlocksBySizeClass) {
+  ArenaPool pool;
+  void* a = pool.Allocate(100);  // class 128
+  pool.Deallocate(a, 100);
+  void* b = pool.Allocate(128);  // same class: must recycle the block
+#ifndef OW_POOL_PASSTHROUGH
+  EXPECT_EQ(a, b);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+#endif
+  pool.Deallocate(b, 128);
+}
+
+TEST(ArenaPoolTest, PooledVectorChurnIsHeapSilentAfterWarmup) {
+#ifdef OW_POOL_PASSTHROUGH
+  GTEST_SKIP() << "pool passthrough build (sanitizers)";
+#else
+  ArenaPool& pool = GlobalPool();
+  auto churn = [] {
+    PooledVector<std::uint64_t> v;
+    for (int i = 0; i < 1000; ++i) v.push_back(std::uint64_t(i));
+    PooledMap<int, int> m;
+    for (int i = 0; i < 100; ++i) m[i] = i;
+  };
+  churn();  // warm-up: learns every size class this pattern needs
+  const auto before = pool.stats();
+  churn();
+  churn();
+  const auto after = pool.stats();
+  // Identical churn after warm-up never bumps the arena again.
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(after.reserved_bytes, before.reserved_bytes);
+#endif
+}
+
+TEST(AllocTraceTest, ScopeCountsWhenEnabled) {
+  if (!alloc_trace::Enabled()) {
+    GTEST_SKIP() << "build without OW_ALLOC_TRACE";
+  }
+  alloc_trace::Scope scope;
+  auto* p = new int(42);
+  EXPECT_GE(scope.news(), 1u);
+  delete p;
+  EXPECT_GE(scope.deletes(), 1u);
+}
+
+TEST(AllocTraceTest, DisabledBuildReportsZero) {
+  if (alloc_trace::Enabled()) {
+    GTEST_SKIP() << "build with OW_ALLOC_TRACE";
+  }
+  alloc_trace::Scope scope;
+  auto* p = new int(7);
+  delete p;
+  EXPECT_EQ(scope.news(), 0u);
+  EXPECT_EQ(scope.deletes(), 0u);
+}
+
+TEST(SnapshotTest, RoundTripsPodsAndVectors) {
+  SnapshotWriter w;
+  w.Section(snap::kSession);
+  w.U64(0xDEADBEEFCAFEBABEull);
+  w.Bool(true);
+  w.F64(3.5);
+  std::vector<std::uint32_t> xs = {1, 2, 3, 5, 8};
+  w.PodVec(xs);
+
+  const auto bytes = w.Take();
+  SnapshotReader r({bytes.data(), bytes.size()});
+  r.Section(snap::kSession);
+  EXPECT_EQ(r.U64(), 0xDEADBEEFCAFEBABEull);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_EQ(r.F64(), 3.5);
+  std::vector<std::uint32_t> ys;
+  r.PodVec(ys);
+  EXPECT_EQ(xs, ys);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SnapshotTest, SectionMismatchAndTruncationThrow) {
+  SnapshotWriter w;
+  w.Section(snap::kClock);
+  w.U32(7);
+  const auto bytes = w.Take();
+
+  SnapshotReader r({bytes.data(), bytes.size()});
+  EXPECT_THROW(r.Section(snap::kController), SnapshotError);
+
+  SnapshotReader r2({bytes.data(), bytes.size()});
+  r2.Section(snap::kClock);
+  EXPECT_EQ(r2.U32(), 7u);
+  EXPECT_THROW(r2.U64(), SnapshotError);
+
+  std::vector<std::uint8_t> garbage(16, 0x00);
+  EXPECT_THROW(SnapshotReader({garbage.data(), garbage.size()}),
+               SnapshotError);
+}
+
+}  // namespace
+}  // namespace ow

@@ -161,7 +161,7 @@ DetectorConfig SmallCfg() {
   return cfg;
 }
 
-void Feed(EntityDetector& d, const std::map<FlowKey, std::uint64_t>& totals,
+void Feed(EntityDetector& d, const detect::TotalsMap& totals,
           SubWindowNum window_index) {
   const SubWindowSpan span{window_index, SubWindowNum(window_index + 4)};
   d.OnTotals(totals, span, Nanos(window_index + 5) * 100 * kMilli, false);
@@ -170,7 +170,7 @@ void Feed(EntityDetector& d, const std::map<FlowKey, std::uint64_t>& totals,
 TEST(EntityDetector, ColdWindowSeedsWithoutAlerting) {
   EntityDetector d(SmallCfg(), 0);
   // A huge steady entity present from the start must never alert.
-  const std::map<FlowKey, std::uint64_t> steady{{Src(1), 5000}, {Dst(2), 900}};
+  const detect::TotalsMap steady{{Src(1), 5000}, {Dst(2), 900}};
   for (SubWindowNum w = 0; w < 20; ++w) Feed(d, steady, w);
   EXPECT_TRUE(d.alerts().empty());
   EXPECT_EQ(d.tracked(), 2u);
@@ -178,7 +178,7 @@ TEST(EntityDetector, ColdWindowSeedsWithoutAlerting) {
 
 TEST(EntityDetector, DetectsSpikeAboveSeededBaselineAfterDwell) {
   EntityDetector d(SmallCfg(), 7);
-  std::map<FlowKey, std::uint64_t> totals{{Src(1), 100}, {Dst(2), 50}};
+  detect::TotalsMap totals{{Src(1), 100}, {Dst(2), 50}};
   Feed(d, totals, 0);  // cold: seeds 100 / 50
   Feed(d, totals, 1);
   Feed(d, totals, 2);
@@ -214,7 +214,7 @@ TEST(EntityDetector, DetectsSpikeAboveSeededBaselineAfterDwell) {
 
 TEST(EntityDetector, FreshEntityAboveFloorTimesEnterAlertsQuickly) {
   EntityDetector d(SmallCfg(), 0);
-  std::map<FlowKey, std::uint64_t> totals{{Src(1), 100}};
+  detect::TotalsMap totals{{Src(1), 100}};
   Feed(d, totals, 0);  // cold
   totals[Dst(9)] = 90;  // fresh entity, score 90/20 = 4.5
   Feed(d, totals, 1);
@@ -227,7 +227,7 @@ TEST(EntityDetector, TopKBoundHoldsAndKeepsTheLargest) {
   DetectorConfig cfg = SmallCfg();
   cfg.max_entities = 4;
   EntityDetector d(cfg, 0);
-  std::map<FlowKey, std::uint64_t> totals;
+  detect::TotalsMap totals;
   for (std::uint32_t i = 1; i <= 6; ++i) totals[Src(i)] = 100 * i;
   Feed(d, totals, 0);
   EXPECT_EQ(d.tracked(), 4u);
@@ -272,7 +272,7 @@ TEST(EntityDetector, IdleQuietEntitiesAreEvicted) {
   DetectorConfig cfg = SmallCfg();
   cfg.idle_evict_windows = 3;
   EntityDetector d(cfg, 0);
-  std::map<FlowKey, std::uint64_t> totals{{Src(1), 100}, {Src(2), 100}};
+  detect::TotalsMap totals{{Src(1), 100}, {Src(2), 100}};
   Feed(d, totals, 0);
   EXPECT_EQ(d.tracked(), 2u);
   totals.erase(Src(2));
@@ -444,7 +444,7 @@ TEST(DetectEndToEnd, AlertStreamBitIdenticalAcrossEngineThreads) {
 TEST(DetectObs, CountersTrackWindowsAndTransitions) {
   obs::Global().Reset();
   EntityDetector d(SmallCfg(), 0);
-  std::map<FlowKey, std::uint64_t> totals{{Src(1), 100}};
+  detect::TotalsMap totals{{Src(1), 100}};
   Feed(d, totals, 0);
   totals[Src(1)] = 600;
   for (SubWindowNum w = 1; w < 4; ++w) Feed(d, totals, w);

@@ -32,7 +32,7 @@ TEST(FlowRadar, DecodeRecoversExactFlowsAndCounts) {
     }
   }
   // Migrate all slices, then decode.
-  std::vector<FlowRecord> cells;
+  RecordVec cells;
   for (std::size_t s = 0; s < app.NumResetSlices(); ++s) {
     cells.push_back(app.MigrateSlice(0, s, 0));
   }
@@ -53,7 +53,7 @@ TEST(FlowRadar, OverloadReportedAsUnclean) {
     for (RegisterArray* r : app.Registers()) r->BeginPass();
     app.Update(Pkt(f, 0), 0);
   }
-  std::vector<FlowRecord> cells;
+  RecordVec cells;
   for (std::size_t s = 0; s < app.NumResetSlices(); ++s) {
     cells.push_back(app.MigrateSlice(0, s, 0));
   }
@@ -70,7 +70,7 @@ TEST(FlowRadar, RegionsIndependentAndResettable) {
   app.Update(Pkt(2, 0), 1);
 
   auto decode_region = [&](int region) {
-    std::vector<FlowRecord> cells;
+    RecordVec cells;
     for (std::size_t s = 0; s < app.NumResetSlices(); ++s) {
       cells.push_back(app.MigrateSlice(region, s, 0));
     }

@@ -10,7 +10,8 @@
 // baseline, proving armed-but-idle fault plumbing perturbs nothing.
 //
 //   chaos_run [--seeds=3] [--intensities=0,0.05,0.15,0.3]
-//             [--kinds=loss,reorder,rpc-timeout,rdma-fail,fabric-loss]
+//             [--kinds=loss,reorder,rpc-timeout,rdma-fail,fabric-loss,
+//                      kill-restore]
 //             [--out=chaos_report.json]
 //
 // The fabric-loss cell is special: it drops packets INSIDE a 2x2 leaf-spine
@@ -24,6 +25,20 @@
 // tables and link ground truth against the sequential run — loss
 // localization must not depend on how many workers drove the fabric.
 //
+// The kill-restore cell exercises the checkpoint machinery as a fault:
+// drive the faulted leaf-spine fabric to a pseudo-random sub-window
+// boundary, Snapshot() the complete state, rebuild a fresh identically
+// configured session, Restore() and finish. The bar is the STRONGEST in
+// the harness: the spliced run (pre-kill windows + post-restore windows)
+// must be bit-identical to the uninterrupted run of the same cell —
+// windows, detections, partial flags, count tables, link ground truth and
+// delivery totals — at every intensity, including with fabric loss armed
+// across the kill point, and again when the restored session is driven by
+// the parallel engine. A kill/restore is not allowed to perturb anything,
+// ever (snapshot_restore_test proves the unit version; this sweeps seeds
+// x intensities end to end). It is a harness-level cell, not a
+// fault::ChaosKind — the injected "fault" is the process death itself.
+//
 // Writes a JSON report (one row per cell) and exits non-zero on any
 // unflagged divergence. CI runs this under ASan (the `chaos` job).
 #include <cstdio>
@@ -36,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/core/network_runner.h"
 #include "src/core/runner.h"
 #include "src/fault/fault.h"
@@ -55,6 +71,9 @@ struct Options {
       fault::ChaosKind::kLoss, fault::ChaosKind::kReorder,
       fault::ChaosKind::kRpcTimeout, fault::ChaosKind::kRdmaFail,
       fault::ChaosKind::kFabricLoss};
+  /// Harness-level cell (not a fault::ChaosKind): kill the run at a
+  /// sub-window boundary, restore from the snapshot, demand bit-identity.
+  bool kill_restore = true;
   std::string out = "chaos_report.json";
 };
 
@@ -89,8 +108,11 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       }
     } else if (const char* v = value("--kinds=")) {
       opt.kinds.clear();
+      opt.kill_restore = false;
       for (const std::string& p : SplitCsv(v)) {
-        if (p == "loss") {
+        if (p == "kill-restore") {
+          opt.kill_restore = true;
+        } else if (p == "loss") {
           opt.kinds.push_back(fault::ChaosKind::kLoss);
         } else if (p == "reorder") {
           opt.kinds.push_back(fault::ChaosKind::kReorder);
@@ -112,7 +134,8 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       return false;
     }
   }
-  return opt.seeds > 0 && !opt.intensities.empty() && !opt.kinds.empty();
+  return opt.seeds > 0 && !opt.intensities.empty() &&
+         (!opt.kinds.empty() || opt.kill_restore);
 }
 
 QueryDef CountDef() {
@@ -299,10 +322,8 @@ struct FabricSnap {
   NetworkRunResult net;
 };
 
-FabricSnap SnapFabric(const Trace& trace, const fault::FaultPlan& plan,
-                      std::uint64_t seed, int armed_link,
-                      std::size_t threads = 0) {
-  obs::Global().Reset();
+NetworkRunConfig FabricCfg(const fault::FaultPlan& plan, std::uint64_t seed,
+                           int armed_link, std::size_t threads) {
   NetworkRunConfig cfg;
   cfg.base = RunConfig::Make(Spec());
   cfg.base.fault = plan;
@@ -313,17 +334,67 @@ FabricSnap SnapFabric(const Trace& trace, const fault::FaultPlan& plan,
   cfg.report_link_seed = 777 + seed;
   cfg.link_seed = 555 + seed;
   cfg.parallel.threads = threads;
+  return cfg;
+}
 
-  FabricSnap out;
-  out.net = RunOmniWindowFabric(
-      trace,
-      [](std::size_t) { return std::make_shared<ExactCountApp>(); },
-      cfg, [](TableView table) { return FabricDetect(table); });
+void Flatten(FabricSnap& out) {
   for (const auto& sw : out.net.per_switch) {
     for (const auto& w : sw.windows) {
       out.snap.windows.push_back({w.span, w.detected, w.partial});
     }
   }
+}
+
+FabricSnap SnapFabric(const Trace& trace, const fault::FaultPlan& plan,
+                      std::uint64_t seed, int armed_link,
+                      std::size_t threads = 0) {
+  obs::Global().Reset();
+  FabricSnap out;
+  out.net = RunOmniWindowFabric(
+      trace,
+      [](std::size_t) { return std::make_shared<ExactCountApp>(); },
+      FabricCfg(plan, seed, armed_link, threads),
+      [](TableView table) { return FabricDetect(table); });
+  Flatten(out);
+  return out;
+}
+
+/// The kill-restore cell: drive the same faulted cell to `kill_t` (a
+/// sub-window boundary), Snapshot(), rebuild a fresh identically
+/// configured session, Restore(), finish it, and splice the killed
+/// session's pre-kill window stream back in front (FabricSession's
+/// stream-vs-counter contract). The caller compares the splice against the
+/// uninterrupted run with CompareEngines — full bit-identity, the
+/// strongest bar in this harness.
+FabricSnap SnapFabricKillRestore(const Trace& trace,
+                                 const fault::FaultPlan& plan,
+                                 std::uint64_t seed, int armed_link,
+                                 Nanos kill_t, std::size_t threads = 0) {
+  obs::Global().Reset();
+  const NetworkRunConfig cfg = FabricCfg(plan, seed, armed_link, threads);
+  const auto make_app = [](std::size_t) {
+    return std::make_shared<ExactCountApp>();
+  };
+  const auto detect = [](TableView table) { return FabricDetect(table); };
+
+  FabricSession killed(trace, make_app, cfg, detect);
+  killed.DriveUntil(kill_t);
+  const std::vector<std::uint8_t> bytes = killed.Snapshot();
+  const NetworkRunResult pre = killed.partial_result();
+
+  FabricSession restored(trace, make_app, cfg, detect);
+  restored.Restore(bytes);
+
+  FabricSnap out;
+  out.net = restored.Finish();
+  for (std::size_t i = 0; i < out.net.per_switch.size(); ++i) {
+    auto& dst = out.net.per_switch[i];
+    const auto& src = pre.per_switch[i];
+    dst.windows.insert(dst.windows.begin(), src.windows.begin(),
+                       src.windows.end());
+    dst.counts.insert(src.counts.begin(), src.counts.end());
+  }
+  Flatten(out);
   return out;
 }
 
@@ -582,7 +653,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: chaos_run [--seeds=N] [--intensities=a,b,...]\n"
                  "                 [--kinds=loss,reorder,rpc-timeout,"
-                 "rdma-fail,fabric-loss] [--out=FILE]\n");
+                 "rdma-fail,fabric-loss,kill-restore] [--out=FILE]\n");
     return 2;
   }
 
@@ -664,6 +735,66 @@ int main(int argc, char** argv) {
             cell.kind.c_str(), static_cast<unsigned long long>(cell.seed),
             cell.intensity, cell.windows_total, cell.windows_exact,
             cell.windows_flagged, cell.divergent_unflagged,
+            static_cast<unsigned long long>(cell.injected_faults));
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  // Kill-restore sweep: the fault is process death at a sub-window
+  // boundary. Piggybacks on the fabric-loss plan so kills land both on a
+  // clean fabric (intensity 0, armed-but-idle) and mid-recovery with real
+  // loss in flight; the kill point rotates pseudo-randomly per cell.
+  if (opt.kill_restore) {
+    for (int s = 0; s < opt.seeds; ++s) {
+      const std::uint64_t seed = 0xC0A5'0000u + std::uint64_t(s) * 7919;
+      const int armed = int(s % 4);
+      Rng kill_rng(seed ^ 0x5EEDD1Eull);
+      for (const double intensity : opt.intensities) {
+        CellResult cell;
+        cell.kind = "kill-restore";
+        cell.seed = seed;
+        cell.intensity = intensity;
+        cell.zero_must_match = true;  // bit-identity at EVERY intensity
+
+        const fault::FaultPlan plan =
+            fault::MakeChaosPlan(fault::ChaosKind::kFabricLoss, intensity,
+                                 seed);
+        // A sub-window boundary in [100 ms, 850 ms] of the 1 s trace
+        // (50 ms sub-windows): early enough that real collection work is
+        // still queued, late enough that windows already completed.
+        const Nanos kill_t = Nanos(2 + kill_rng.Uniform(16)) * (50 * kMilli);
+
+        const FabricSnap ref = SnapFabric(line_trace, plan, s, armed);
+        const FabricSnap got =
+            SnapFabricKillRestore(line_trace, plan, s, armed, kill_t);
+        cell.injected_faults = SumFaultCounters();
+        cell.divergent_unflagged += CompareEngines(ref, got);
+        // The restored session must also resume bit-identically under the
+        // parallel engine: a snapshot is engine-neutral state.
+        const FabricSnap par = SnapFabricKillRestore(line_trace, plan, s,
+                                                     armed, kill_t,
+                                                     /*threads=*/4);
+        cell.parallel_mismatch = CompareEngines(ref, par);
+        cell.divergent_unflagged += cell.parallel_mismatch;
+
+        cell.windows_total = got.snap.windows.size();
+        for (const auto& w : got.snap.windows) {
+          if (w.partial) {
+            ++cell.windows_flagged;  // matched a flagged reference window
+          } else {
+            ++cell.windows_exact;
+          }
+        }
+        if (cell.divergent_unflagged > 0) ok = false;
+        std::printf(
+            "%-11s seed=%llu intensity=%.2f kill=%lldms windows=%zu "
+            "exact=%zu flagged=%zu divergent=%zu par-mismatch=%zu "
+            "faults=%llu\n",
+            cell.kind.c_str(), static_cast<unsigned long long>(cell.seed),
+            cell.intensity, static_cast<long long>(kill_t / kMilli),
+            cell.windows_total, cell.windows_exact, cell.windows_flagged,
+            cell.divergent_unflagged, cell.parallel_mismatch,
             static_cast<unsigned long long>(cell.injected_faults));
         cells.push_back(std::move(cell));
       }

@@ -3,9 +3,21 @@
 
 Compares a freshly produced bench JSON (BENCH_pipeline.json /
 BENCH_merge.json schema family: top-level "results" list of row objects)
-against the committed baseline in bench/results/. Only latency-style
-metrics are gated: any row field whose name contains "ns_per" (lower is
-better). Throughput fields ride along informationally.
+against the committed baseline in bench/results/. Two metric families are
+gated, both lower-is-better:
+
+  * latency: any row field whose name contains "ns_per", gated
+    relatively (--warn-pct / --fail-pct).
+  * allocation counts: any row field whose name contains "allocs_per"
+    (emitted by OW_ALLOC_TRACE builds), gated with a zero-aware absolute
+    floor on top of the relative thresholds — a baseline of 0.0000
+    allocs/record means the steady state is allocation-free, and ANY
+    fresh allocation fails regardless of percentages. Rows missing
+    allocs fields are skipped (normal builds don't emit them) unless
+    --require-allocs is set, which the CI alloc-gate job uses so a
+    silently untraced build cannot pass.
+
+Throughput fields ride along informationally.
 
 Exit codes: 0 ok (warnings allowed), 1 regression beyond the fail
 threshold or malformed/missing input. A row present in the baseline but
@@ -15,7 +27,7 @@ must not pass the gate.
 Usage:
   tools/check_bench_regression.py --fresh BENCH_pipeline.json \
       --baseline bench/results/BENCH_pipeline.json \
-      [--warn-pct 10] [--fail-pct 25]
+      [--warn-pct 10] [--fail-pct 25] [--require-allocs]
 """
 
 import argparse
@@ -64,7 +76,19 @@ def main():
     ap.add_argument("--baseline", required=True, help="committed baseline JSON")
     ap.add_argument("--warn-pct", type=float, default=10.0)
     ap.add_argument("--fail-pct", type=float, default=25.0)
+    ap.add_argument("--require-allocs", action="store_true",
+                    help="fail when a baseline allocs_per field is missing "
+                         "from the fresh row (alloc-gate CI job)")
+    ap.add_argument("--metrics", default="latency,allocs",
+                    help="comma list of metric families to gate: latency "
+                         "(ns_per) and/or allocs (allocs_per). The alloc-gate "
+                         "job passes --metrics=allocs so a traced build on a "
+                         "noisy runner is not double-gated on wall time.")
     args = ap.parse_args()
+    families = set(args.metrics.split(","))
+    unknown = families - {"latency", "allocs"}
+    if unknown:
+        sys.exit(f"error: unknown --metrics families: {sorted(unknown)}")
 
     fresh = load_rows(args.fresh)
     baseline = load_rows(args.baseline)
@@ -77,14 +101,46 @@ def main():
             failures += 1
             continue
         for field, base_val in base_row.items():
-            if "ns_per" not in field:
+            is_allocs = "allocs_per" in field
+            is_latency = "ns_per" in field and not is_allocs
+            if is_latency and "latency" not in families:
+                continue
+            if is_allocs and "allocs" not in families:
+                continue
+            if not (is_latency or is_allocs):
                 continue
             fresh_val = fresh_row.get(field)
             if not isinstance(fresh_val, (int, float)):
+                if is_allocs and not args.require_allocs:
+                    # Normal (untraced) builds legitimately omit alloc
+                    # counts; only the alloc-gate job demands them.
+                    print(f"skip [{fmt_key(key)}] {field}: not emitted "
+                          f"(untraced build)")
+                    continue
                 print(f"FAIL [{fmt_key(key)}] {field}: missing from fresh row")
                 failures += 1
                 continue
-            if not isinstance(base_val, (int, float)) or base_val <= 0:
+            if not isinstance(base_val, (int, float)):
+                continue
+            if is_allocs:
+                # Zero-aware absolute floor: a 0-alloc baseline tolerates
+                # rounding noise only; nonzero baselines also get the
+                # relative thresholds.
+                fail_at = base_val + max(0.01, base_val * args.fail_pct / 100)
+                warn_at = base_val + max(0.005, base_val * args.warn_pct / 100)
+                compared += 1
+                line = (f"[{fmt_key(key)}] {field}: baseline {base_val:.4f} "
+                        f"fresh {fresh_val:.4f}")
+                if fresh_val > fail_at:
+                    print("FAIL " + line)
+                    failures += 1
+                elif fresh_val > warn_at:
+                    print("WARN " + line)
+                    warnings += 1
+                else:
+                    print("  ok " + line)
+                continue
+            if base_val <= 0:
                 continue
             delta_pct = 100.0 * (fresh_val - base_val) / base_val
             compared += 1
@@ -100,7 +156,8 @@ def main():
                 print("  ok " + line)
 
     if compared == 0:
-        sys.exit("error: no ns_per metrics compared — schema mismatch?")
+        sys.exit("error: no ns_per/allocs_per metrics compared — "
+                 "schema mismatch?")
     print(f"compared {compared} metrics: {failures} fail, {warnings} warn "
           f"(warn >{args.warn_pct:g}%, fail >{args.fail_pct:g}%)")
     return 1 if failures else 0
