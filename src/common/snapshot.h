@@ -39,7 +39,7 @@ class SnapshotError : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x4F57534Eu;  // "OWSN"
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 class SnapshotWriter {
  public:
@@ -160,7 +160,27 @@ inline constexpr std::uint32_t kDetector = 0x1D;
 inline constexpr std::uint32_t kNetwork = 0x1E;
 inline constexpr std::uint32_t kSession = 0x1F;
 inline constexpr std::uint32_t kPacket = 0x20;
+/// Controller-plane-only stream (FabricSession::SnapshotControllers): the
+/// standby failover checkpoint, a strict subset of kSession.
+inline constexpr std::uint32_t kControllerPlane = 0x21;
 }  // namespace snap
+
+/// Shape guard for Load paths: `expected` is what the rebuilt object owns,
+/// `found` what the stream claims. Throws a SnapshotError naming the
+/// section, the quantity and both values, so a config drift (wrong
+/// topology, fault arming, shard count) is diagnosable from the message
+/// alone instead of only from the layer name.
+inline void CheckShape(std::uint32_t section_tag, const char* layer,
+                       const char* what, std::uint64_t expected,
+                       std::uint64_t found) {
+  if (expected == found) return;
+  char tag[16];
+  std::snprintf(tag, sizeof(tag), "0x%X", section_tag);
+  throw SnapshotError(std::string(layer) + " [section " + tag + "]: " + what +
+                      " differs between snapshot and rebuild: expected " +
+                      std::to_string(expected) + ", found " +
+                      std::to_string(found));
+}
 
 // ---- Packet serialization -------------------------------------------------
 // Packet is not trivially copyable (OwHeader carries the AFR vector), so it

@@ -81,11 +81,8 @@ void ShardedKeyValueTable::Save(SnapshotWriter& w) const {
 }
 
 void ShardedKeyValueTable::Load(SnapshotReader& r) {
-  if (r.Size() != shards_.size()) {
-    throw SnapshotError(
-        "ShardedKeyValueTable: shard count differs between snapshot and "
-        "rebuild");
-  }
+  CheckShape(snap::kKvTable, "ShardedKeyValueTable", "shard count",
+             shards_.size(), r.Size());
   for (KeyValueTable& s : shards_) s.Load(r);
 }
 

@@ -118,11 +118,8 @@ class TelemetryAppAdapter {
                           "' keeps state outside register arrays and does "
                           "not override SaveState/LoadState");
     }
-    if (r.Size() != regs.size()) {
-      throw SnapshotError("app '" + name() +
-                          "': register count differs between snapshot and "
-                          "rebuild");
-    }
+    CheckShape(snap::kApp, ("app '" + name() + "'").c_str(), "register count",
+               regs.size(), r.Size());
     for (RegisterArray* reg : regs) reg->Load(r);
   }
 };

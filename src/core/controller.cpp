@@ -118,6 +118,7 @@ void OmniWindowController::OnPacket(const Packet& p, Nanos arrival) {
       // no-op requests.
       for (auto& [old_sw, old_pending] : pending_) {
         if (old_sw + 1 < sw && old_pending.collection_started &&
+            !old_pending.lost &&
             old_pending.retransmit_attempts < cfg_.retry.max_attempts &&
             !IsComplete(old_pending)) {
           RequestRetransmissions(old_pending, arrival);
@@ -298,6 +299,7 @@ void OmniWindowController::StartCollection(PendingSubWindow& pending,
 }
 
 bool OmniWindowController::IsComplete(const PendingSubWindow& p) const {
+  if (p.lost) return false;
   if (!p.collection_started) return false;
   if (cfg_.rdma) {
     if (!p.rdma_done) return false;
@@ -325,8 +327,12 @@ bool OmniWindowController::IsComplete(const PendingSubWindow& p) const {
 void OmniWindowController::MaybeFinalize(Nanos now) {
   while (true) {
     auto it = pending_.find(next_to_finalize_);
-    if (it == pending_.end() || !IsComplete(it->second)) return;
-    FinalizeSubWindow(it->second, now, /*complete=*/true);
+    if (it == pending_.end()) return;
+    // A takeover-lost sub-window can never complete; retire it immediately
+    // as degraded so the sub-windows behind it are not blocked.
+    const bool complete = !it->second.lost && IsComplete(it->second);
+    if (!complete && !it->second.lost) return;
+    FinalizeSubWindow(it->second, now, complete);
     spilled_.erase(next_to_finalize_);
     spilled_seen_.erase(next_to_finalize_);
     pending_.erase(it);
@@ -693,18 +699,79 @@ void OmniWindowController::UpdateHotKeys(const PendingSubWindow& pending) {
   }
 }
 
-bool OmniWindowController::Flush(Nanos now) {
-  obs::ScopedSpan span(obs::Global(), "controller.flush");
+bool OmniWindowController::ChaseIncomplete(Nanos now) {
   bool asked = false;
   for (auto& [sw, pending] : pending_) {
-    if (pending.collection_started &&
+    if (pending.collection_started && !pending.lost &&
         pending.retransmit_attempts < cfg_.retry.max_attempts &&
         !IsComplete(pending)) {
       RequestRetransmissions(pending, now);
       asked = true;
     }
   }
-  if (asked) return false;
+  return asked;
+}
+
+OmniWindowController::TakeoverPlan OmniWindowController::BeginTakeover(
+    SubWindowNum through, Nanos now,
+    const std::function<OmniWindowProgram::CollectRecoverability(
+        SubWindowNum)>& classify) {
+  obs::ScopedSpan span(obs::Global(), "controller.begin_takeover");
+  using Rec = OmniWindowProgram::CollectRecoverability;
+  TakeoverPlan plan;
+  for (SubWindowNum sw = next_to_finalize_; sw < through; ++sw) {
+    PendingSubWindow& pending = pending_[sw];
+    pending.subwindow = sw;
+    // A pending the snapshot already fully collected needs nothing from the
+    // switch (it was merely blocked behind an earlier sub-window); asking
+    // again — or worse, marking it lost on a cache miss — would be wrong.
+    if (IsComplete(pending)) continue;
+    // The snapshot's retry spend belongs to the dead primary; the standby
+    // chases with a fresh budget.
+    pending.retransmit_attempts = 0;
+    switch (classify(sw)) {
+      case Rec::kIntact:
+        // The switch never started this sub-window's C&R — its region state
+        // is intact; collect it through the normal path.
+        StartCollection(pending, now);
+        ++plan.requeried;
+        break;
+      case Rec::kActive:
+      case Rec::kCached: {
+        // C&R is running/queued (reports will keep arriving at this
+        // controller — the wiring is live, only the state was stale) or has
+        // finished with its records in the retransmission cache. Either
+        // way, do NOT re-trigger: probe and chase. Injected-key records are
+        // not cached, so any the snapshot had not yet seen are gone once
+        // the collection is past its inject phase; lower the expectation
+        // and flag rather than stall on an unanswerable re-inject.
+        pending.collection_started = true;
+        if (pending.expected_injected >
+            std::uint32_t(pending.injected_keys_seen.size())) {
+          pending.expected_injected =
+              std::uint32_t(pending.injected_keys_seen.size());
+          MarkDegraded(sw);
+        }
+        RequestRetransmissions(pending, now);
+        ++plan.requeried;
+        break;
+      }
+      case Rec::kLost:
+        // Started, finished, and evicted from the cache before the standby
+        // could ask: unrecoverable. Flag instead of losing silently.
+        pending.lost = true;
+        MarkDegraded(sw);
+        ++plan.lost;
+        break;
+    }
+  }
+  MaybeFinalize(now);
+  return plan;
+}
+
+bool OmniWindowController::Flush(Nanos now) {
+  obs::ScopedSpan span(obs::Global(), "controller.flush");
+  if (ChaseIncomplete(now)) return false;
   // Finalize whatever remains, in order. Sub-windows that are complete but
   // were blocked behind an incomplete earlier one count as clean finalizes;
   // only the ones still missing records are "forced".
@@ -758,6 +825,7 @@ void OmniWindowController::SavePending(SnapshotWriter& w,
   w.Bool(p.rdma_drained);
   w.U32(p.rdma_holes);
   SaveSet(w, p.mirror_keys);
+  w.Bool(p.lost);
 }
 
 void OmniWindowController::LoadPending(SnapshotReader& r,
@@ -775,6 +843,7 @@ void OmniWindowController::LoadPending(SnapshotReader& r,
   p.rdma_drained = r.Bool();
   p.rdma_holes = r.U32();
   LoadSet(r, p.mirror_keys);
+  p.lost = r.Bool();
 }
 
 void OmniWindowController::Save(SnapshotWriter& w) const {

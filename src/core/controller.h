@@ -156,6 +156,34 @@ class OmniWindowController {
   /// Also invoked internally on every trigger (Lamport-style gap recovery).
   void EnsureCollectedThrough(SubWindowNum through, Nanos now);
 
+  /// One recovery round: re-request retransmissions for every incomplete
+  /// sub-window that still has retry budget. Returns true if anything was
+  /// asked (drive the fabric, then check again). This is the ask phase of
+  /// Flush, exposed so a takeover can chase without force-finalizing.
+  bool ChaseIncomplete(Nanos now);
+
+  /// Standby takeover (docs/failover.md). Called after Load() of a STALE
+  /// controller-plane checkpoint against a live switch: classifies every
+  /// sub-window in [next_to_finalize(), through) via `classify` (backed by
+  /// the switch's management path, OmniWindowProgram::QueryRecoverability)
+  /// and either lets the in-flight collection keep delivering, chases the
+  /// retransmission cache, starts a fresh collection, or — when the switch
+  /// has evicted the records — marks the sub-window lost so its covering
+  /// windows emit flagged instead of stalling forever. Windows are
+  /// exact-or-flagged across a takeover, never silently dropped.
+  struct TakeoverPlan {
+    std::size_t requeried = 0;  ///< sub-windows re-requested from the switch
+    std::size_t lost = 0;       ///< sub-windows unrecoverable (flagged)
+  };
+  TakeoverPlan BeginTakeover(
+      SubWindowNum through, Nanos now,
+      const std::function<OmniWindowProgram::CollectRecoverability(
+          SubWindowNum)>& classify);
+
+  /// Next sub-window awaiting in-order finalization (recovery progress
+  /// marker: a takeover has caught up once this passes the kill point).
+  SubWindowNum next_to_finalize() const noexcept { return next_to_finalize_; }
+
   const std::vector<SubWindowTiming>& timings() const { return timings_; }
   const ShardedKeyValueTable& table() const { return table_; }
   TableView view() const { return TableView(table_); }
@@ -240,6 +268,11 @@ class OmniWindowController {
     /// retransmissions for these arrive as report packets carrying values
     /// the mirror already merged; they cover the seq without re-counting.
     PooledSet<FlowKey> mirror_keys;
+    /// Takeover verdict: the switch evicted this sub-window's records from
+    /// its retransmission cache before the standby could re-request them.
+    /// Never complete; MaybeFinalize retires it immediately as degraded
+    /// (flagged) so later sub-windows are not blocked behind it.
+    bool lost = false;
   };
 
   void StartCollection(PendingSubWindow& pending, Nanos now);

@@ -148,6 +148,14 @@ void OmniWindowProgram::TerminateSubWindow(Nanos now, PipelineActions& act) {
 }
 
 void OmniWindowProgram::HandleCollectionStart(const Packet& p) {
+  // Idempotent triggers: a sub-window whose C&R already ran must not run a
+  // second one — the region was reset at enumeration end, so a re-run would
+  // enumerate nothing and (same-parity hazard below) falsely mark newer
+  // sub-windows compromised. Duplicates arise from dup-injecting report
+  // links and from a standby controller re-triggering while the dead
+  // primary's trigger return is still in flight (takeover); losses on the
+  // re-announce path are already served by the retransmission cache.
+  if (p.ow.subwindow_num < collect_started_through_) return;
   if (collect_.active) {
     // A C&R is already running (multiple sub-windows terminated together);
     // queue this start until the active one completes.
@@ -158,6 +166,7 @@ void OmniWindowProgram::HandleCollectionStart(const Packet& p) {
   collect_ = CollectState{};
   collect_.active = true;
   collect_.subwindow = sw;
+  if (sw + 1 > collect_started_through_) collect_started_through_ = sw + 1;
   collect_.region = int(sw % 2);
   collect_.injected_remaining = p.ow.payload;
   // Late-collection hazard: if a newer same-parity sub-window has already
@@ -385,6 +394,19 @@ void OmniWindowProgram::HandleReset(Packet& p, PipelineActions& act) {
   act.recirculate.push_back(p);
 }
 
+OmniWindowProgram::CollectRecoverability
+OmniWindowProgram::QueryRecoverability(SubWindowNum sw) const {
+  if (collect_.active && collect_.subwindow == sw) {
+    return CollectRecoverability::kActive;
+  }
+  for (const Packet& p : pending_starts_) {
+    if (p.ow.subwindow_num == sw) return CollectRecoverability::kActive;
+  }
+  if (afr_cache_.contains(sw)) return CollectRecoverability::kCached;
+  if (sw >= collect_started_through_) return CollectRecoverability::kIntact;
+  return CollectRecoverability::kLost;
+}
+
 void OmniWindowProgram::ForceFinishCollection() {
   if (!collect_.resetting) {
     // Aborting mid-enumeration loses data twice over: this sub-window's
@@ -495,6 +517,7 @@ void OmniWindowProgram::Save(SnapshotWriter& w) {
   for (const SubWindowNum s : compromised_) w.Pod(s);
   w.Pod(last_writer_[0]);
   w.Pod(last_writer_[1]);
+  w.Pod(collect_started_through_);
   w.PodVec(report_batch_);
   w.U32(rdma_psn_);
   w.U32(user_base_);
@@ -535,6 +558,7 @@ void OmniWindowProgram::Load(SnapshotReader& r) {
   }
   r.Pod(last_writer_[0]);
   r.Pod(last_writer_[1]);
+  r.Pod(collect_started_through_);
   r.PodVec(report_batch_);
   rdma_psn_ = r.U32();
   user_base_ = r.U32();

@@ -77,6 +77,17 @@ class OmniWindowProgram final : public SwitchProgram {
   TelemetryAppAdapter& app() noexcept { return *app_; }
   const FlowkeyTracker& tracker() const noexcept { return tracker_; }
 
+  /// What a takeover controller can still learn about sub-window `sw` from
+  /// this switch (management-plane query used by FabricSession::FailOver —
+  /// not part of the P4 program).
+  enum class CollectRecoverability {
+    kActive,  ///< C&R running or queued: reports will (still) arrive
+    kCached,  ///< C&R finished; records live in the retransmission cache
+    kIntact,  ///< C&R never started: region state intact, collect normally
+    kLost,    ///< started and evicted from the cache: unrecoverable
+  };
+  CollectRecoverability QueryRecoverability(SubWindowNum sw) const;
+
   struct Stats {
     std::uint64_t packets_measured = 0;
     std::uint64_t terminations = 0;
@@ -156,6 +167,11 @@ class OmniWindowProgram final : public SwitchProgram {
   /// Newest sub-window that has written each region (detects the
   /// late-collection hazard above).
   SubWindowNum last_writer_[2] = {0, 0};
+  /// Exclusive upper bound of sub-windows whose C&R has started (i.e. the
+  /// region was enumerated and reset). Below this bound a sub-window's
+  /// in-region state is gone: it is recoverable only through the
+  /// retransmission cache. QueryRecoverability keys off this.
+  SubWindowNum collect_started_through_ = 0;
   /// Records awaiting a (batched) report clone.
   RecordVec report_batch_;
   /// RoCEv2 packet sequence number register (§8).

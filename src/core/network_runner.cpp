@@ -147,7 +147,11 @@ FabricSession::FabricSession(
         FlowCounts counts;
         w.table->ForEach(
             [&](const KvSlot& slot) { counts[slot.key] = slot.attrs[0]; });
-        result_.per_switch[i].counts[w.span.first] = std::move(counts);
+        // try_emplace: a normal run emits each span once; a takeover
+        // re-emits spans the dead primary already delivered (at-least-once),
+        // and the primary's exact copy must win the dedupe.
+        result_.per_switch[i].counts.try_emplace(w.span.first,
+                                                 std::move(counts));
       }
       result_.per_switch[i].windows.push_back(std::move(ew));
     });
@@ -223,21 +227,21 @@ std::vector<std::uint8_t> FabricSession::Snapshot() {
 }
 
 void FabricSession::Restore(std::span<const std::uint8_t> bytes) {
+  if (finished_) {
+    throw std::logic_error(
+        "FabricSession::Restore: session already finished — restore into a "
+        "freshly constructed session instead");
+  }
   SnapshotReader r(bytes);
   r.Section(snap::kSession);
   net_.Load(r);
-  if (r.Size() != report_links_.size()) {
-    throw SnapshotError(
-        "FabricSession: report link count differs between snapshot and "
-        "rebuild");
-  }
+  CheckShape(snap::kSession, "FabricSession", "report link count",
+             report_links_.size(), r.Size());
   for (const auto& link : report_links_) link->Load(r);
   for (const auto& program : programs_) program->Load(r);
   for (const auto& controller : controllers_) controller->Load(r);
-  if (r.Size() != sink_delivered_.size()) {
-    throw SnapshotError(
-        "FabricSession: sink count differs between snapshot and rebuild");
-  }
+  CheckShape(snap::kSession, "FabricSession", "sink count",
+             sink_delivered_.size(), r.Size());
   for (std::uint64_t& v : sink_delivered_) v = r.U64();
   if (!r.AtEnd()) {
     throw SnapshotError("FabricSession: trailing bytes in snapshot");
@@ -250,7 +254,59 @@ void FabricSession::Restore(std::span<const std::uint8_t> bytes) {
   }
 }
 
+std::vector<std::uint8_t> FabricSession::SnapshotControllers() const {
+  SnapshotWriter w;
+  w.Section(snap::kControllerPlane);
+  w.Size(controllers_.size());
+  for (const auto& controller : controllers_) controller->Save(w);
+  return w.Take();
+}
+
+FabricSession::TakeoverStats FabricSession::FailOver(
+    std::span<const std::uint8_t> controller_bytes, Nanos now) {
+  if (finished_) {
+    throw std::logic_error(
+        "FabricSession::FailOver: session already finished");
+  }
+  SnapshotReader r(controller_bytes);
+  r.Section(snap::kControllerPlane);
+  CheckShape(snap::kControllerPlane, "FabricSession", "controller count",
+             controllers_.size(), r.Size());
+  for (const auto& controller : controllers_) controller->Load(r);
+  if (!r.AtEnd()) {
+    throw SnapshotError(
+        "FabricSession: trailing bytes in controller-plane snapshot");
+  }
+  TakeoverStats stats;
+  takeover_targets_.assign(controllers_.size(), 0);
+  for (std::size_t i = 0; i < controllers_.size(); ++i) {
+    const OmniWindowProgram& prog = *programs_[i];
+    const SubWindowNum through = prog.current_subwindow();
+    takeover_targets_[i] = through;
+    const auto plan = controllers_[i]->BeginTakeover(
+        through, now,
+        [&prog](SubWindowNum sw) { return prog.QueryRecoverability(sw); });
+    stats.subwindows_requeried += plan.requeried;
+    stats.subwindows_lost += plan.lost;
+  }
+  return stats;
+}
+
+bool FabricSession::TakeoverCaughtUp() const {
+  if (takeover_targets_.empty()) return false;
+  for (std::size_t i = 0; i < controllers_.size(); ++i) {
+    if (controllers_[i]->next_to_finalize() < takeover_targets_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
 NetworkRunResult FabricSession::Finish() {
+  if (finished_) {
+    throw std::logic_error("FabricSession::Finish: called twice");
+  }
+  finished_ = true;
   const Nanos horizon = trace_duration_ + 10 * kSecond;
   net_.RunUntilQuiescent(horizon);
   // Bounded flush rounds: retransmission requests schedule switch events,

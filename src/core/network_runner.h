@@ -159,11 +159,42 @@ class FabricSession {
 
   /// Restore state captured by Snapshot() into a freshly constructed,
   /// identically configured session. Discards this session's pre-restore
-  /// window stream; throws SnapshotError on any shape mismatch.
+  /// window stream; throws SnapshotError on any shape mismatch and
+  /// std::logic_error once Finish() has run (the drained session's state is
+  /// gone; restoring into it would corrupt rather than resume).
   void Restore(std::span<const std::uint8_t> bytes);
 
+  /// Serialize ONLY the controller plane (flow tables, pending sub-windows,
+  /// recovery RNGs) — the standby failover checkpoint. Orders of magnitude
+  /// smaller than Snapshot() and ingestible by a StandbyController every
+  /// few boundaries; see docs/failover.md.
+  std::vector<std::uint8_t> SnapshotControllers() const;
+
+  /// Standby takeover against the LIVE fabric: replace the controllers'
+  /// state with a (stale) SnapshotControllers() checkpoint taken `staleness`
+  /// boundaries ago, then re-request everything the checkpoint predates
+  /// from the switches (OmniWindowController::BeginTakeover — active
+  /// collections keep delivering, finished ones answer from the
+  /// retransmission cache, evicted ones are flagged lost). Unlike
+  /// Restore(), switch/link/network state is untouched and the window
+  /// stream accumulated so far is kept: post-takeover emissions append to
+  /// it, and spans the dead primary already delivered re-emit (at-least-
+  /// once — dedupe by span, keeping the first copy). Call at a quiescent
+  /// point; keep driving afterwards so the re-requests are answered.
+  struct TakeoverStats {
+    std::size_t subwindows_requeried = 0;
+    std::size_t subwindows_lost = 0;
+  };
+  TakeoverStats FailOver(std::span<const std::uint8_t> controller_bytes,
+                         Nanos now);
+
+  /// True once every controller's in-order finalization point has reached
+  /// the sub-window the fabric was at when FailOver ran — i.e. the standby
+  /// has re-collected (or flagged) everything the kill put in flight.
+  bool TakeoverCaughtUp() const;
+
   /// Drain the run to completion (flush rounds, stats harvest) and return
-  /// the result. Call at most once.
+  /// the result. Call at most once; throws std::logic_error on reuse.
   NetworkRunResult Finish();
 
   /// Windows and counters accumulated so far (the killed session's half of
@@ -193,6 +224,9 @@ class FabricSession {
   std::deque<std::uint64_t> sink_delivered_;
   Nanos trace_duration_ = 0;
   NetworkRunResult result_;
+  /// Per-switch catch-up targets recorded by FailOver (empty = no takeover).
+  std::vector<SubWindowNum> takeover_targets_;
+  bool finished_ = false;
 };
 
 /// Replay `trace` through the fabric described by `cfg.topology`, injecting

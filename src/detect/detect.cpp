@@ -390,11 +390,8 @@ void DetectionService::Save(SnapshotWriter& w) const {
 }
 
 void DetectionService::Load(SnapshotReader& r) {
-  if (r.Size() != detectors_.size()) {
-    throw SnapshotError(
-        "DetectionService: switch count differs between snapshot and "
-        "rebuild");
-  }
+  CheckShape(snap::kDetector, "DetectionService", "switch count",
+             detectors_.size(), r.Size());
   for (EntityDetector& d : detectors_) d.Load(r);
 }
 

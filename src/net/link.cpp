@@ -67,10 +67,8 @@ void Link::Load(SnapshotReader& r) {
   dropped_ = r.U64();
   spiked_ = r.U64();
   const bool armed = r.Bool();
-  if (armed != (faults_ != nullptr)) {
-    throw SnapshotError(
-        "Link::Load: fault arming differs between snapshot and rebuild");
-  }
+  CheckShape(snap::kLink, "Link", "fault arming (0=unarmed, 1=armed)",
+             faults_ != nullptr ? 1 : 0, armed ? 1 : 0);
   if (faults_) faults_->Load(r);
 }
 

@@ -419,11 +419,13 @@ void Network::Save(SnapshotWriter& w) const {
 void Network::Load(SnapshotReader& r) {
   r.Section(snap::kNetwork);
   clock_.AdvanceTo(r.I64());
-  if (r.Size() != nodes_.size() || r.Size() != links_.size() ||
-      r.Size() != endpoints_.size()) {
-    throw SnapshotError(
-        "Network: topology shape differs between snapshot and rebuild");
-  }
+  const std::size_t nodes = r.Size();
+  const std::size_t links = r.Size();
+  const std::size_t endpoints = r.Size();
+  CheckShape(snap::kNetwork, "Network", "node count", nodes_.size(), nodes);
+  CheckShape(snap::kNetwork, "Network", "link count", links_.size(), links);
+  CheckShape(snap::kNetwork, "Network", "endpoint count", endpoints_.size(),
+             endpoints);
   for (const auto& link : links_) link->Load(r);
   for (const auto& ep : endpoints_) ep->tx = r.U64();
   for (const auto& node : nodes_) node->sw->Load(r);

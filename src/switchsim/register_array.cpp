@@ -39,13 +39,10 @@ void RegisterArray::Save(SnapshotWriter& w) const {
 
 void RegisterArray::Load(SnapshotReader& r) {
   r.Section(snap::kRegisterArray);
-  const std::size_t entries = cells_.size();
-  r.PodVec(cells_);
-  if (cells_.size() != entries) {
-    throw SnapshotError("RegisterArray " + name_ + ": snapshot has " +
-                        std::to_string(cells_.size()) + " cells, array has " +
-                        std::to_string(entries));
-  }
+  const std::size_t found = r.Size();
+  CheckShape(snap::kRegisterArray, ("RegisterArray " + name_).c_str(),
+             "cell count", cells_.size(), found);
+  if (found != 0) r.Bytes(cells_.data(), found * sizeof(cells_[0]));
 }
 
 void RegisterArray::ControlWrite(std::size_t index, std::uint64_t value) {

@@ -11,7 +11,7 @@
 //
 //   chaos_run [--seeds=3] [--intensities=0,0.05,0.15,0.3]
 //             [--kinds=loss,reorder,rpc-timeout,rdma-fail,fabric-loss,
-//                      kill-restore]
+//                      kill-restore,failover]
 //             [--out=chaos_report.json]
 //
 // The fabric-loss cell is special: it drops packets INSIDE a 2x2 leaf-spine
@@ -39,6 +39,17 @@
 // x intensities end to end). It is a harness-level cell, not a
 // fault::ChaosKind — the injected "fault" is the process death itself.
 //
+// The failover cell kills only the CONTROLLER PLANE: a standby that
+// ingested controller-plane checkpoints every boundary (cadence 1) takes
+// over against the live switches (FabricSession::FailOver) at a
+// pseudo-random sub-window boundary and re-requests what its checkpoint
+// predates. Swept across merge_threads {1,4} x fabric threads {0,4} and
+// every intensity of the fabric-loss plan, the bar is the takeover
+// contract: no reference window may go absent or silently divergent, and
+// at intensity 0 the spliced stream must be fully exact (cadence 1 keeps
+// the staleness inside the switch retransmission cache — zero windows
+// lost). See docs/failover.md.
+//
 // Writes a JSON report (one row per cell) and exits non-zero on any
 // unflagged divergence. CI runs this under ASan (the `chaos` job).
 #include <cstdio>
@@ -54,6 +65,7 @@
 #include "src/common/rng.h"
 #include "src/core/network_runner.h"
 #include "src/core/runner.h"
+#include "src/failover/failover.h"
 #include "src/fault/fault.h"
 #include "src/obs/obs.h"
 #include "src/switchsim/switch_os.h"
@@ -74,6 +86,10 @@ struct Options {
   /// Harness-level cell (not a fault::ChaosKind): kill the run at a
   /// sub-window boundary, restore from the snapshot, demand bit-identity.
   bool kill_restore = true;
+  /// Harness-level cell: kill the controller plane, take over from a
+  /// standby's cadence-1 checkpoint against the live switches, demand
+  /// exact-or-flagged with zero loss.
+  bool failover = true;
   std::string out = "chaos_report.json";
 };
 
@@ -109,9 +125,12 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
     } else if (const char* v = value("--kinds=")) {
       opt.kinds.clear();
       opt.kill_restore = false;
+      opt.failover = false;
       for (const std::string& p : SplitCsv(v)) {
         if (p == "kill-restore") {
           opt.kill_restore = true;
+        } else if (p == "failover") {
+          opt.failover = true;
         } else if (p == "loss") {
           opt.kinds.push_back(fault::ChaosKind::kLoss);
         } else if (p == "reorder") {
@@ -135,7 +154,7 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
     }
   }
   return opt.seeds > 0 && !opt.intensities.empty() &&
-         (!opt.kinds.empty() || opt.kill_restore);
+         (!opt.kinds.empty() || opt.kill_restore || opt.failover);
 }
 
 QueryDef CountDef() {
@@ -201,6 +220,20 @@ WindowSpec Spec() {
   spec.window_size = 100 * kMilli;
   spec.slide = spec.window_size;
   spec.subwindow_size = 50 * kMilli;
+  return spec;
+}
+
+/// The failover cell uses SLIDING windows wider (10 sub-windows) than the
+/// switch retransmission cache (depth 8): every not-yet-delivered window
+/// spans many sub-windows, so a takeover that mishandled re-collection
+/// would surface as divergence instead of hiding behind already-delivered
+/// tumbling windows.
+WindowSpec FailoverSpec() {
+  WindowSpec spec;
+  spec.type = WindowType::kSliding;
+  spec.window_size = 500 * kMilli;
+  spec.subwindow_size = 50 * kMilli;
+  spec.slide = 50 * kMilli;
   return spec;
 }
 
@@ -795,6 +828,86 @@ int main(int argc, char** argv) {
             cell.intensity, static_cast<long long>(kill_t / kMilli),
             cell.windows_total, cell.windows_exact, cell.windows_flagged,
             cell.divergent_unflagged, cell.parallel_mismatch,
+            static_cast<unsigned long long>(cell.injected_faults));
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  // Failover sweep: the fault is CONTROLLER-PLANE death at a pseudo-random
+  // sub-window boundary. A standby that checkpointed the controller plane
+  // at every boundary (cadence 1) takes over against the live switches and
+  // re-requests the in-flight sub-windows; with the staleness inside the
+  // switch retransmission cache the spliced stream must be fully EXACT
+  // against the uninterrupted run — at every intensity of the fabric-loss
+  // plan (inner-link drops hit reference and takeover runs identically;
+  // the report path is clean), and under every engine combination.
+  if (opt.failover) {
+    const auto make_app = [](std::size_t) {
+      return std::make_shared<ExactCountApp>();
+    };
+    const auto detect = [](TableView table) { return FabricDetect(table); };
+    for (int s = 0; s < opt.seeds; ++s) {
+      const std::uint64_t seed = 0xC0A5'0000u + std::uint64_t(s) * 7919;
+      const int armed = int(s % 4);
+      Rng kill_rng(seed ^ 0xFA110ull);
+      for (const double intensity : opt.intensities) {
+        obs::Global().Reset();
+        CellResult cell;
+        cell.kind = "failover";
+        cell.seed = seed;
+        cell.intensity = intensity;
+        cell.zero_must_match = true;  // exact at EVERY intensity, see above
+        const fault::FaultPlan plan = fault::MakeChaosPlan(
+            fault::ChaosKind::kFabricLoss, intensity, seed);
+        // A boundary in [300 ms, 850 ms] of the 1 s trace (50 ms
+        // sub-windows): sliding windows are already completing and enough
+        // trace remains for the takeover to catch up in-band.
+        const std::size_t kill = 6 + std::size_t(kill_rng.Uniform(12));
+
+        for (const std::size_t merge : {std::size_t{1}, std::size_t{4}}) {
+          for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+            NetworkRunConfig cfg;
+            cfg.base = RunConfig::Make(FailoverSpec());
+            cfg.base.fault = plan;
+            cfg.base.controller.kv_capacity = 1 << 14;
+            cfg.base.controller.merge_threads = merge;
+            cfg.topology = FabricTopology();
+            cfg.capture_counts = true;
+            cfg.fault_link_index = armed;
+            cfg.report_link_seed = 777 + std::uint64_t(s);
+            cfg.link_seed = 555 + std::uint64_t(s);
+            cfg.parallel.threads = threads;
+
+            const NetworkRunResult ref =
+                RunOmniWindowFabric(line_trace, make_app, cfg, detect);
+            failover::FailoverConfig fcfg;
+            fcfg.snapshot_cadence = 1;
+            fcfg.kill_boundary = std::int64_t(kill);
+            const failover::FailoverRunResult run = failover::RunWithFailover(
+                line_trace, make_app, cfg, fcfg, detect);
+
+            const failover::WindowComparison cmp =
+                failover::CompareWindows(ref, run.spliced);
+            cell.windows_total += cmp.windows_total;
+            cell.windows_exact += cmp.exact;
+            cell.windows_flagged += cmp.flagged;
+            // The takeover contract: nothing absent, nothing silently
+            // divergent — and at cadence 1 nothing even flagged.
+            cell.divergent_unflagged += cmp.lost + cmp.divergent_unflagged +
+                                        cmp.flagged +
+                                        run.report.subwindows_lost;
+            if (!run.report.caught_up) ++cell.divergent_unflagged;
+          }
+        }
+        cell.injected_faults = SumFaultCounters();
+        if (cell.divergent_unflagged > 0) ok = false;
+        std::printf(
+            "%-11s seed=%llu intensity=%.2f kill=%zums windows=%zu "
+            "exact=%zu flagged=%zu divergent=%zu faults=%llu\n",
+            cell.kind.c_str(), static_cast<unsigned long long>(cell.seed),
+            cell.intensity, kill * 50, cell.windows_total, cell.windows_exact,
+            cell.windows_flagged, cell.divergent_unflagged,
             static_cast<unsigned long long>(cell.injected_faults));
         cells.push_back(std::move(cell));
       }
