@@ -1,12 +1,210 @@
 #include "src/common/snapshot.h"
 
+#include <array>
+#include <cstdio>
+#include <fstream>
+
 #include "src/common/packet.h"
 
 namespace ow {
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string HexTag(std::uint32_t tag) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%X", tag);
+  return buf;
+}
+
+/// Fixed trailer of the durable file form:
+///   u64 payload_len | u64 index_len | u32 payload_crc | u32 file_magic
+constexpr std::size_t kFooterBytes = 24;
+/// Index entry: u32 tag | u64 offset | u32 crc of [offset, next_offset).
+constexpr std::size_t kIndexEntryBytes = 16;
+
+std::uint64_t ReadU64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::uint32_t ReadU32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
 
 SnapshotWriter::SnapshotWriter() {
   U32(kSnapshotMagic);
   U32(kSnapshotVersion);
+}
+
+void SnapshotWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw SnapshotError("cannot open snapshot file for writing: " + path);
+  }
+  // Per-section CRC index: entry i covers [offset_i, offset_{i+1}), the
+  // last entry running to the end of the payload. The 8-byte magic/version
+  // header before the first section is covered by the whole-payload CRC.
+  std::vector<std::uint8_t> index;
+  index.reserve(4 + sections_.size() * kIndexEntryBytes + 4);
+  auto put = [&index](const void* p, std::size_t n) {
+    const std::size_t old = index.size();
+    index.resize(old + n);
+    std::memcpy(index.data() + old, p, n);
+  };
+  const std::uint32_t count = std::uint32_t(sections_.size());
+  put(&count, 4);
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const std::uint64_t end =
+        i + 1 < sections_.size() ? sections_[i + 1].offset : buf_.size();
+    const std::uint32_t crc =
+        Crc32(buf_.data() + sections_[i].offset, end - sections_[i].offset);
+    put(&sections_[i].tag, 4);
+    put(&sections_[i].offset, 8);
+    put(&crc, 4);
+  }
+  const std::uint32_t index_crc = Crc32(index.data(), index.size());
+  put(&index_crc, 4);
+
+  const std::uint64_t payload_len = buf_.size();
+  const std::uint64_t index_len = index.size();
+  const std::uint32_t payload_crc = Crc32(buf_.data(), buf_.size());
+  out.write(reinterpret_cast<const char*>(buf_.data()),
+            std::streamsize(buf_.size()));
+  out.write(reinterpret_cast<const char*>(index.data()),
+            std::streamsize(index.size()));
+  out.write(reinterpret_cast<const char*>(&payload_len), 8);
+  out.write(reinterpret_cast<const char*>(&index_len), 8);
+  out.write(reinterpret_cast<const char*>(&payload_crc), 4);
+  out.write(reinterpret_cast<const char*>(&kSnapshotFileMagic), 4);
+  out.flush();
+  if (!out) {
+    throw SnapshotError("short write to snapshot file: " + path);
+  }
+}
+
+std::vector<std::uint8_t> ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw SnapshotError("cannot open snapshot file: " + path);
+  }
+  const std::streamoff size_off = in.tellg();
+  const std::uint64_t file_size = std::uint64_t(size_off);
+  if (file_size < kFooterBytes) {
+    throw SnapshotError("snapshot file truncated: " + path + " is " +
+                        std::to_string(file_size) + " bytes, smaller than the " +
+                        std::to_string(kFooterBytes) + "-byte footer");
+  }
+  std::vector<std::uint8_t> file(file_size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(file.data()), std::streamsize(file_size));
+  if (!in) {
+    throw SnapshotError("short read from snapshot file: " + path);
+  }
+
+  const std::uint8_t* footer = file.data() + file_size - kFooterBytes;
+  const std::uint64_t payload_len = ReadU64(footer);
+  const std::uint64_t index_len = ReadU64(footer + 8);
+  const std::uint32_t payload_crc = ReadU32(footer + 16);
+  const std::uint32_t magic = ReadU32(footer + 20);
+  if (magic != kSnapshotFileMagic) {
+    throw SnapshotError("bad snapshot file magic at offset " +
+                        std::to_string(file_size - 4) + ": expected " +
+                        HexTag(kSnapshotFileMagic) + ", found " +
+                        HexTag(magic) + " (" + path + ")");
+  }
+  if (payload_len + index_len + kFooterBytes != file_size ||
+      payload_len > file_size || index_len > file_size) {
+    throw SnapshotError(
+        "snapshot file truncated: footer claims payload " +
+        std::to_string(payload_len) + " + index " + std::to_string(index_len) +
+        " + footer " + std::to_string(kFooterBytes) + " bytes but " + path +
+        " holds " + std::to_string(file_size));
+  }
+
+  // Validate the section index up front — even when the payload CRC holds.
+  // A checkpoint with a corrupt index is a corrupt checkpoint: letting it
+  // load would mean the next corruption in it goes un-localized.
+  const std::uint8_t* index = file.data() + payload_len;
+  bool index_ok = false;
+  std::uint32_t count = 0;
+  if (index_len >= 8) {
+    const std::uint32_t index_crc = ReadU32(index + index_len - 4);
+    count = ReadU32(index);
+    index_ok = Crc32(index, index_len - 4) == index_crc &&
+               4 + std::uint64_t(count) * kIndexEntryBytes + 4 == index_len;
+  }
+
+  const std::uint32_t got_crc = Crc32(file.data(), payload_len);
+  if (got_crc != payload_crc) {
+    // Localize the corruption with the per-section index, if it survived.
+    {
+      if (index_ok) {
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint8_t* e = index + 4 + i * kIndexEntryBytes;
+          const std::uint32_t tag = ReadU32(e);
+          const std::uint64_t off = ReadU64(e + 4);
+          const std::uint32_t want = ReadU32(e + 12);
+          const std::uint64_t end =
+              i + 1 < count ? ReadU64(e + kIndexEntryBytes + 4) : payload_len;
+          if (off > payload_len || end > payload_len || off > end) break;
+          const std::uint32_t got = Crc32(file.data() + off, end - off);
+          if (got != want) {
+            throw SnapshotError(
+                "snapshot CRC mismatch in section " + HexTag(tag) +
+                " at file offsets [" + std::to_string(off) + ", " +
+                std::to_string(end) + "): expected " + HexTag(want) +
+                ", found " + HexTag(got) + " (" + path + ")");
+          }
+        }
+        // Every section checks out, so the bad byte sits in the 8-byte
+        // magic/version header before the first section.
+        throw SnapshotError(
+            "snapshot CRC mismatch in the file header at offsets [0, 8) of " +
+            path + ": expected payload CRC " + HexTag(payload_crc) +
+            ", found " + HexTag(got_crc));
+      }
+    }
+    throw SnapshotError("snapshot CRC mismatch over [0, " +
+                        std::to_string(payload_len) + ") of " + path +
+                        ": expected " + HexTag(payload_crc) + ", found " +
+                        HexTag(got_crc) + " (section index also corrupt)");
+  }
+  if (!index_ok) {
+    throw SnapshotError(
+        "snapshot section index corrupt at file offsets [" +
+        std::to_string(payload_len) + ", " +
+        std::to_string(payload_len + index_len) + ") of " + path +
+        " (payload CRC intact)");
+  }
+
+  file.resize(payload_len);
+  return file;
 }
 
 SnapshotReader::SnapshotReader(std::span<const std::uint8_t> bytes)
@@ -23,6 +221,11 @@ SnapshotReader::SnapshotReader(std::span<const std::uint8_t> bytes)
   }
 }
 
+std::string SnapshotReader::SectionSuffix() const {
+  if (section_ == 0) return "";
+  return " in section " + HexTag(section_);
+}
+
 void SnapshotReader::Section(std::uint32_t tag) {
   const std::uint32_t got = U32();
   if (got != tag) {
@@ -31,6 +234,165 @@ void SnapshotReader::Section(std::uint32_t tag) {
                         std::to_string(tag) + ", found " +
                         std::to_string(got));
   }
+  section_ = tag;
+}
+
+// ---- Delta checkpoints ----------------------------------------------------
+// Layout: u32 magic | u32 base_crc | u32 result_crc | u64 base_len |
+// u64 result_len | u64 range_count | range_count x (u64 offset, u64 len,
+// bytes). Ranges are ascending and non-overlapping; bytes outside every
+// range are copied from the base.
+
+std::vector<std::uint8_t> EncodeSnapshotDelta(
+    std::span<const std::uint8_t> base, std::span<const std::uint8_t> next) {
+  // Merge difference runs separated by fewer equal bytes than a range
+  // header costs — a 16-byte gap is cheaper to resend than to re-frame.
+  constexpr std::size_t kMergeGap = 16;
+  struct Range {
+    std::size_t off, len;
+  };
+  std::vector<Range> ranges;
+  const std::size_t common = std::min(base.size(), next.size());
+  std::size_t i = 0;
+  while (i < common) {
+    if (base[i] == next[i]) {
+      ++i;
+      continue;
+    }
+    // `end` is one past the last differing byte of the current run.
+    std::size_t end = i + 1;
+    std::size_t j = i + 1;
+    std::size_t equal_run = 0;
+    while (j < common && equal_run <= kMergeGap) {
+      if (base[j] != next[j]) {
+        end = j + 1;
+        equal_run = 0;
+      } else {
+        ++equal_run;
+      }
+      ++j;
+    }
+    ranges.push_back({i, end - i});
+    i = j;
+  }
+  if (next.size() > common) {
+    // Tail the base does not cover; merge with a touching final range.
+    if (!ranges.empty() &&
+        ranges.back().off + ranges.back().len == common) {
+      ranges.back().len += next.size() - common;
+    } else {
+      ranges.push_back({common, next.size() - common});
+    }
+  }
+
+  std::vector<std::uint8_t> out;
+  auto put = [&out](const void* p, std::size_t n) {
+    const std::size_t old = out.size();
+    out.resize(old + n);
+    std::memcpy(out.data() + old, p, n);
+  };
+  const std::uint32_t base_crc = Crc32(base.data(), base.size());
+  const std::uint32_t result_crc = Crc32(next.data(), next.size());
+  const std::uint64_t base_len = base.size();
+  const std::uint64_t result_len = next.size();
+  const std::uint64_t count = ranges.size();
+  put(&kSnapshotDeltaMagic, 4);
+  put(&base_crc, 4);
+  put(&result_crc, 4);
+  put(&base_len, 8);
+  put(&result_len, 8);
+  put(&count, 8);
+  for (const Range& r : ranges) {
+    const std::uint64_t off = r.off, len = r.len;
+    put(&off, 8);
+    put(&len, 8);
+    put(next.data() + r.off, r.len);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ApplySnapshotDelta(
+    std::span<const std::uint8_t> base, std::span<const std::uint8_t> delta) {
+  std::size_t pos = 0;
+  auto need = [&](std::size_t n, const char* what) {
+    if (n > delta.size() - pos) {
+      throw SnapshotError("snapshot delta truncated: need " +
+                          std::to_string(n) + " bytes for " + what +
+                          " at offset " + std::to_string(pos) + ", have " +
+                          std::to_string(delta.size() - pos));
+    }
+  };
+  auto get_u32 = [&](const char* what) {
+    need(4, what);
+    const std::uint32_t v = ReadU32(delta.data() + pos);
+    pos += 4;
+    return v;
+  };
+  auto get_u64 = [&](const char* what) {
+    need(8, what);
+    const std::uint64_t v = ReadU64(delta.data() + pos);
+    pos += 8;
+    return v;
+  };
+
+  const std::uint32_t magic = get_u32("magic");
+  if (magic != kSnapshotDeltaMagic) {
+    throw SnapshotError("bad snapshot delta magic: expected " +
+                        HexTag(kSnapshotDeltaMagic) + ", found " +
+                        HexTag(magic));
+  }
+  const std::uint32_t base_crc = get_u32("base crc");
+  const std::uint32_t result_crc = get_u32("result crc");
+  const std::uint64_t base_len = get_u64("base length");
+  const std::uint64_t result_len = get_u64("result length");
+  if (base_len != base.size() ||
+      base_crc != Crc32(base.data(), base.size())) {
+    throw SnapshotError(
+        "snapshot delta applied to the wrong base: delta expects " +
+        std::to_string(base_len) + " bytes with CRC " + HexTag(base_crc) +
+        ", base holds " + std::to_string(base.size()) + " with CRC " +
+        HexTag(Crc32(base.data(), base.size())));
+  }
+  // result_len is untrusted, but bounded: a delta can only extend the base
+  // by bytes it actually carries.
+  if (result_len > base.size() + delta.size()) {
+    throw SnapshotError("snapshot delta forged result length " +
+                        std::to_string(result_len) + " from a " +
+                        std::to_string(base.size()) + "-byte base and " +
+                        std::to_string(delta.size()) + "-byte delta");
+  }
+
+  std::vector<std::uint8_t> out(base.begin(),
+                                base.begin() + std::min<std::size_t>(
+                                                   base.size(), result_len));
+  out.resize(result_len, 0);
+  const std::uint64_t count = get_u64("range count");
+  std::uint64_t prev_end = 0;
+  for (std::uint64_t r = 0; r < count; ++r) {
+    const std::uint64_t off = get_u64("range offset");
+    const std::uint64_t len = get_u64("range length");
+    if (off < prev_end || len > result_len || off > result_len - len) {
+      throw SnapshotError("snapshot delta range [" + std::to_string(off) +
+                          ", +" + std::to_string(len) +
+                          ") is out of order or exceeds the " +
+                          std::to_string(result_len) + "-byte result");
+    }
+    need(std::size_t(len), "range bytes");
+    std::memcpy(out.data() + off, delta.data() + pos, std::size_t(len));
+    pos += std::size_t(len);
+    prev_end = off + len;
+  }
+  if (pos != delta.size()) {
+    throw SnapshotError("snapshot delta has " +
+                        std::to_string(delta.size() - pos) +
+                        " trailing bytes after the last range");
+  }
+  const std::uint32_t got = Crc32(out.data(), out.size());
+  if (got != result_crc) {
+    throw SnapshotError("snapshot delta result CRC mismatch: expected " +
+                        HexTag(result_crc) + ", found " + HexTag(got));
+  }
+  return out;
 }
 
 void SavePacket(SnapshotWriter& w, const Packet& p) {

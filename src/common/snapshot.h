@@ -17,6 +17,17 @@
 // whenever any layer's field set changes, and loading a mismatched version
 // is an error (no migration).
 //
+// Trust model: the byte stream is UNTRUSTED — it may come from a truncated
+// or bit-flipped checkpoint file. Every length prefix is validated against
+// the remaining stream bytes BEFORE any allocation, so a forged huge count
+// fails with SnapshotError instead of OOM-ing the restoring process.
+//
+// Durable form: SnapshotWriter::WriteFile appends a per-section CRC index
+// and a CRC32 footer, and ReadSnapshotFile verifies both before handing
+// the payload back — a bad byte anywhere in the file is reported with its
+// ABSOLUTE file offset and the section tag it falls in (see
+// docs/snapshot_format.md for the exact layout).
+//
 // What is NOT captured: configuration (window spec, topology, seeds,
 // std::function handlers) — the restoring side rebuilds those from the
 // same config it was launched with; and obs registry counters, which are
@@ -39,7 +50,17 @@ class SnapshotError : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x4F57534Eu;  // "OWSN"
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// v3: KeyValueTable gained the occupancy-aware (dense/sparse) encoding.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
+
+/// Footer magic of the durable file form ("OWSF").
+inline constexpr std::uint32_t kSnapshotFileMagic = 0x4F575346u;
+/// Header magic of a controller-plane delta checkpoint ("OWDL").
+inline constexpr std::uint32_t kSnapshotDeltaMagic = 0x4F57444Cu;
+
+/// CRC-32 (IEEE 802.3, reflected). `seed` chains incremental computation:
+/// pass the previous return value to continue over a second buffer.
+std::uint32_t Crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
 
 class SnapshotWriter {
  public:
@@ -76,14 +97,30 @@ class SnapshotWriter {
     if (!v.empty()) Bytes(v.data(), v.size() * sizeof(T));
   }
 
-  /// Layer marker; Load verifies the same tag in the same position.
-  void Section(std::uint32_t tag) { U32(tag); }
+  /// Layer marker; Load verifies the same tag in the same position. The
+  /// (tag, offset) pair is also recorded for WriteFile's per-section CRC
+  /// index, which is what lets a corrupt durable checkpoint name the
+  /// section a bad byte falls in.
+  void Section(std::uint32_t tag) {
+    sections_.push_back({tag, std::uint64_t(buf_.size())});
+    U32(tag);
+  }
+
+  /// Write the buffer as a durable checkpoint file: payload, per-section
+  /// CRC index, CRC32 footer (docs/snapshot_format.md). Throws
+  /// SnapshotError on I/O failure.
+  void WriteFile(const std::string& path) const;
 
   const std::vector<std::uint8_t>& buffer() const noexcept { return buf_; }
   std::vector<std::uint8_t> Take() { return std::move(buf_); }
 
  private:
+  struct SectionMark {
+    std::uint32_t tag;
+    std::uint64_t offset;
+  };
   std::vector<std::uint8_t> buf_;
+  std::vector<SectionMark> sections_;
 };
 
 class SnapshotReader {
@@ -92,9 +129,11 @@ class SnapshotReader {
   explicit SnapshotReader(std::span<const std::uint8_t> bytes);
 
   void Bytes(void* p, std::size_t n) {
-    if (pos_ + n > data_.size()) {
-      throw SnapshotError("snapshot truncated: need " + std::to_string(n) +
-                          " bytes at offset " + std::to_string(pos_));
+    if (n > data_.size() - pos_) {
+      throw SnapshotError("snapshot truncated" + SectionSuffix() +
+                          ": need " + std::to_string(n) +
+                          " bytes at offset " + std::to_string(pos_) +
+                          ", have " + std::to_string(data_.size() - pos_));
     }
     std::memcpy(p, data_.data() + pos_, n);
     pos_ += n;
@@ -121,12 +160,30 @@ class SnapshotReader {
     return v;
   }
 
+  /// Read an element count whose elements occupy at least `min_elem_bytes`
+  /// of stream each, validated against the remaining bytes BEFORE the
+  /// caller sizes any container — the guard every untrusted length prefix
+  /// must pass so a forged count fails loudly instead of OOM-ing.
+  std::size_t Count(std::size_t min_elem_bytes) {
+    const std::uint64_t n = U64();
+    const std::size_t elem = min_elem_bytes ? min_elem_bytes : 1;
+    if (n > remaining() / elem) {
+      throw SnapshotError(
+          "snapshot truncated" + SectionSuffix() + ": count " +
+          std::to_string(n) + " x " + std::to_string(elem) +
+          "-byte elements at offset " + std::to_string(pos_ - 8) +
+          " exceeds the " + std::to_string(remaining()) + " bytes left");
+    }
+    return std::size_t(n);
+  }
+
   template <typename Vec>
   void PodVec(Vec& v) {
     using T = typename Vec::value_type;
     static_assert(std::is_trivially_copyable_v<T>);
-    v.resize(Size());
-    if (!v.empty()) Bytes(v.data(), v.size() * sizeof(T));
+    const std::size_t n = Count(sizeof(T));
+    v.resize(n);
+    if (n != 0) Bytes(v.data(), n * sizeof(T));
   }
 
   /// Verifies a Section written by SnapshotWriter::Section.
@@ -134,11 +191,42 @@ class SnapshotReader {
 
   bool AtEnd() const noexcept { return pos_ == data_.size(); }
   std::size_t position() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  /// Tag of the most recently verified Section (0 before the first) —
+  /// error context for truncation diagnostics.
+  std::uint32_t current_section() const noexcept { return section_; }
 
  private:
+  std::string SectionSuffix() const;
+
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+  std::uint32_t section_ = 0;
 };
+
+/// Verify and strip the durable-file framing (per-section CRC index +
+/// CRC32 footer) of a file written by SnapshotWriter::WriteFile, returning
+/// the payload ready for SnapshotReader. Throws SnapshotError naming the
+/// absolute file offset range and section tag of the first corrupt byte
+/// region on CRC mismatch, and the offending offsets on truncation.
+std::vector<std::uint8_t> ReadSnapshotFile(const std::string& path);
+
+// ---- Delta checkpoints ----------------------------------------------------
+// Byte-range delta between two snapshots of the SAME layer set (a standby
+// controller's consecutive cadence points). The delta carries the CRC of
+// the base it was computed against and of the result it must reconstruct,
+// so applying a delta to the wrong base — or applying a corrupted delta —
+// throws instead of silently rebuilding garbage. Like the main stream, the
+// delta buffer is untrusted: every offset/length is bounds-checked.
+
+/// Encode `next` as a delta against `base`. Deterministic.
+std::vector<std::uint8_t> EncodeSnapshotDelta(
+    std::span<const std::uint8_t> base, std::span<const std::uint8_t> next);
+
+/// Reconstruct the snapshot a delta encodes, verifying base and result
+/// CRCs. Throws SnapshotError on any mismatch, truncation or forged range.
+std::vector<std::uint8_t> ApplySnapshotDelta(
+    std::span<const std::uint8_t> base, std::span<const std::uint8_t> delta);
 
 // Section tags, one per layer that checkpoints itself. Kept central so a
 // collision is impossible and the stream order is auditable in one place.

@@ -115,9 +115,24 @@ void KeyValueTable::ForEach(
   }
 }
 
-void KeyValueTable::Save(SnapshotWriter& w) const {
+void KeyValueTable::Save(SnapshotWriter& w, KvSnapshotMode mode) const {
+  if (mode == KvSnapshotMode::kAuto) {
+    mode = used_ < SparseSaveThreshold(slots_.size()) ? KvSnapshotMode::kSparse
+                                                      : KvSnapshotMode::kDense;
+  }
   w.Section(snap::kKvTable);
-  w.PodVec(slots_);
+  w.U8(mode == KvSnapshotMode::kSparse ? 1 : 0);
+  w.Size(slots_.size());
+  if (mode == KvSnapshotMode::kSparse) {
+    w.Size(used_);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].state == KvSlot::State::kEmpty) continue;
+      w.U64(i);
+      w.Pod(slots_[i]);
+    }
+  } else {
+    w.Bytes(slots_.data(), slots_.size() * sizeof(KvSlot));
+  }
   w.Size(live_);
   w.Size(used_);
   w.U64(rejected_);
@@ -126,15 +141,66 @@ void KeyValueTable::Save(SnapshotWriter& w) const {
 void KeyValueTable::Load(SnapshotReader& r) {
   r.Section(snap::kKvTable);
   const std::size_t cap = slots_.size();
-  r.PodVec(slots_);
-  if (slots_.size() != cap) {
-    throw SnapshotError("KeyValueTable: snapshot capacity " +
-                        std::to_string(slots_.size()) +
-                        " != configured capacity " + std::to_string(cap));
+  const std::uint8_t mode = r.U8();
+  if (mode > 1) {
+    throw SnapshotError("KeyValueTable: unknown encoding mode " +
+                        std::to_string(mode));
   }
-  live_ = r.Size();
-  used_ = r.Size();
-  rejected_ = r.U64();
+  // Everything below validates against scratch state; this table is only
+  // touched once the whole section (counts included) has checked out, so a
+  // caller that catches the throw keeps a usable, unchanged table.
+  CheckShape(snap::kKvTable, "KeyValueTable", "capacity", cap, r.Size());
+  std::vector<KvSlot> scratch(cap);
+  if (mode == 1) {
+    const std::size_t occupied = r.Count(8 + sizeof(KvSlot));
+    if (occupied > cap) {
+      throw SnapshotError("KeyValueTable: " + std::to_string(occupied) +
+                          " sparse slots exceed capacity " +
+                          std::to_string(cap));
+    }
+    std::uint64_t prev = 0;
+    for (std::size_t n = 0; n < occupied; ++n) {
+      const std::uint64_t idx = r.U64();
+      if (idx >= cap || (n > 0 && idx <= prev)) {
+        throw SnapshotError("KeyValueTable: sparse slot index " +
+                            std::to_string(idx) + " out of order or beyond "
+                            "capacity " + std::to_string(cap));
+      }
+      r.Pod(scratch[idx]);
+      prev = idx;
+    }
+  } else {
+    r.Bytes(scratch.data(), cap * sizeof(KvSlot));
+  }
+  const std::size_t live = r.Size();
+  const std::size_t used = r.Size();
+  const std::uint64_t rejected = r.U64();
+  // Verify the stream's tallies against the array it described: a corrupt
+  // state byte or dropped sparse entry surfaces here, not as a probe-chain
+  // heisenbug three windows later.
+  std::size_t rebuilt_live = 0, rebuilt_used = 0;
+  for (const KvSlot& s : scratch) {
+    // Compare as raw bytes: the state came off an untrusted stream and may
+    // hold a value no enumerator names.
+    const std::uint8_t st = static_cast<std::uint8_t>(s.state);
+    if (st == static_cast<std::uint8_t>(KvSlot::State::kLive)) {
+      ++rebuilt_live;
+      ++rebuilt_used;
+    } else if (st == static_cast<std::uint8_t>(KvSlot::State::kTombstone)) {
+      ++rebuilt_used;
+    } else if (st != static_cast<std::uint8_t>(KvSlot::State::kEmpty)) {
+      throw SnapshotError("KeyValueTable: invalid slot state " +
+                          std::to_string(unsigned(st)));
+    }
+  }
+  CheckShape(snap::kKvTable, "KeyValueTable", "live slots", rebuilt_live,
+             live);
+  CheckShape(snap::kKvTable, "KeyValueTable", "occupied slots", rebuilt_used,
+             used);
+  std::memcpy(slots_.data(), scratch.data(), cap * sizeof(KvSlot));
+  live_ = live;
+  used_ = used;
+  rejected_ = rejected;
 }
 
 }  // namespace ow

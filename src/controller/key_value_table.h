@@ -22,6 +22,13 @@ namespace ow {
 class SnapshotWriter;
 class SnapshotReader;
 
+/// Encoding of a KeyValueTable checkpoint. kAuto picks sparse (index, slot)
+/// pairs when fewer than half the slots are in use and the verbatim dense
+/// array otherwise; the forced modes exist for byte-cost measurement
+/// (bench/exp14_lifetime's sparse-vs-dense headline) and round-trip tests.
+/// Both encodings reload to the identical slot array.
+enum class KvSnapshotMode : std::uint8_t { kAuto, kDense, kSparse };
+
 struct KvSlot {
   FlowKey key;
   std::array<std::uint64_t, 4> attrs{};
@@ -94,11 +101,24 @@ class KeyValueTable {
   void ForEach(const std::function<void(KvSlot&)>& fn);
   void ForEach(const std::function<void(const KvSlot&)>& fn) const;
 
-  /// Checkpoint the full slot array (slots are trivially copyable, and the
-  /// probe layout must survive verbatim so RDMA-stable offsets and probe
-  /// chains are preserved). Load verifies the capacity matches.
-  void Save(SnapshotWriter& w) const;
+  /// Checkpoint the slot array (slots are trivially copyable, and the probe
+  /// layout must survive verbatim so RDMA-stable offsets and probe chains
+  /// are preserved). Sparse tables emit only their occupied (live +
+  /// tombstone) slots as (index, slot) pairs — checkpoint cost scales with
+  /// state, not provisioned capacity. Load validates the claimed capacity
+  /// and every untrusted count BEFORE touching this table, reconstructs the
+  /// full array, verifies the rebuilt live/used tallies against the
+  /// stream's, and leaves the table UNCHANGED if it throws.
+  void Save(SnapshotWriter& w,
+            KvSnapshotMode mode = KvSnapshotMode::kAuto) const;
   void Load(SnapshotReader& r);
+
+  /// Occupied-slot count below which kAuto saves sparse. With ~64-byte
+  /// slots an (index, slot) pair costs ~1.12 slots, so sparse stays
+  /// smaller well past half occupancy; half keeps a comfortable margin.
+  static std::size_t SparseSaveThreshold(std::size_t capacity) {
+    return capacity / 2;
+  }
 
  private:
   static std::uint64_t HashOf(const FlowKey& key);

@@ -75,9 +75,9 @@ void ShardedKeyValueTable::ForEach(
   for (const auto& s : shards_) s.ForEach(fn);
 }
 
-void ShardedKeyValueTable::Save(SnapshotWriter& w) const {
+void ShardedKeyValueTable::Save(SnapshotWriter& w, KvSnapshotMode mode) const {
   w.Size(shards_.size());
-  for (const KeyValueTable& s : shards_) s.Save(w);
+  for (const KeyValueTable& s : shards_) s.Save(w, mode);
 }
 
 void ShardedKeyValueTable::Load(SnapshotReader& r) {

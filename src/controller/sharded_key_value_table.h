@@ -58,9 +58,11 @@ class ShardedKeyValueTable {
   void ForEach(const std::function<void(KvSlot&)>& fn);
   void ForEach(const std::function<void(const KvSlot&)>& fn) const;
 
-  /// Checkpoint every shard. Load verifies the shard count matches (shard
-  /// routing depends on it) and throws SnapshotError otherwise.
-  void Save(SnapshotWriter& w) const;
+  /// Checkpoint every shard (`mode` selects the per-shard encoding — see
+  /// KvSnapshotMode). Load verifies the shard count matches (shard routing
+  /// depends on it) and throws SnapshotError otherwise.
+  void Save(SnapshotWriter& w,
+            KvSnapshotMode mode = KvSnapshotMode::kAuto) const;
   void Load(SnapshotReader& r);
 
  private:

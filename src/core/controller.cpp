@@ -800,7 +800,7 @@ void SaveSet(SnapshotWriter& w, const Set& s) {
 template <typename Set>
 void LoadSet(SnapshotReader& r, Set& s) {
   s.clear();
-  const std::size_t n = r.Size();
+  const std::size_t n = r.Count(sizeof(typename Set::value_type));
   for (std::size_t i = 0; i < n; ++i) {
     typename Set::value_type v;
     r.Pod(v);
@@ -846,14 +846,14 @@ void OmniWindowController::LoadPending(SnapshotReader& r,
   p.lost = r.Bool();
 }
 
-void OmniWindowController::Save(SnapshotWriter& w) const {
+void OmniWindowController::Save(SnapshotWriter& w, KvSnapshotMode mode) const {
   if (cfg_.rdma) {
     throw SnapshotError(
         "OmniWindowController: the RDMA collection path shares externally "
         "owned NIC/MR state and is not checkpointable");
   }
   w.Section(snap::kController);
-  table_.Save(w);
+  table_.Save(w, mode);
   w.Size(history_.size());
   for (const auto& [sub, recs] : history_) {
     w.Pod(sub);
@@ -905,7 +905,10 @@ void OmniWindowController::Load(SnapshotReader& r) {
   r.Section(snap::kController);
   table_.Load(r);
   history_.clear();
-  const std::size_t num_history = r.Size();
+  // Map/list entry counts come off the untrusted stream; bound each by the
+  // smallest possible serialized entry (key + length prefix) so a forged
+  // count throws instead of ballooning allocations.
+  const std::size_t num_history = r.Count(sizeof(SubWindowNum) + 8);
   for (std::size_t i = 0; i < num_history; ++i) {
     const SubWindowNum sub = r.Get<SubWindowNum>();
     RecordVec recs;
@@ -913,19 +916,19 @@ void OmniWindowController::Load(SnapshotReader& r) {
     history_.emplace_back(sub, std::move(recs));
   }
   pending_.clear();
-  const std::size_t num_pending = r.Size();
+  const std::size_t num_pending = r.Count(sizeof(SubWindowNum) + 8);
   for (std::size_t i = 0; i < num_pending; ++i) {
     const SubWindowNum sub = r.Get<SubWindowNum>();
     LoadPending(r, pending_[sub]);
   }
   spilled_.clear();
-  const std::size_t num_spilled = r.Size();
+  const std::size_t num_spilled = r.Count(sizeof(SubWindowNum) + 8);
   for (std::size_t i = 0; i < num_spilled; ++i) {
     const SubWindowNum sub = r.Get<SubWindowNum>();
     r.PodVec(spilled_[sub]);
   }
   spilled_seen_.clear();
-  const std::size_t num_seen = r.Size();
+  const std::size_t num_seen = r.Count(sizeof(SubWindowNum) + 8);
   for (std::size_t i = 0; i < num_seen; ++i) {
     const SubWindowNum sub = r.Get<SubWindowNum>();
     LoadSet(r, spilled_seen_[sub]);

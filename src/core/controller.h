@@ -239,8 +239,11 @@ class OmniWindowController {
   /// marks, recovery RNG streams, timings and stats. Handlers, window spec
   /// and the switch attachment are configuration the restoring side
   /// rebuilds. The RDMA path is not checkpointable (throws SnapshotError
-  /// when enabled).
-  void Save(SnapshotWriter& w) const;
+  /// when enabled). `mode` selects the flow-table encoding (KvSnapshotMode):
+  /// kAuto emits sparse (index, slot) pairs when the table is mostly empty,
+  /// so checkpoint bytes scale with live state rather than capacity.
+  void Save(SnapshotWriter& w,
+            KvSnapshotMode mode = KvSnapshotMode::kAuto) const;
   void Load(SnapshotReader& r);
 
  private:

@@ -213,17 +213,29 @@ FabricSession::FabricSession(
 
 Nanos FabricSession::DriveUntil(Nanos t) { return net_.RunUntilQuiescent(t); }
 
-std::vector<std::uint8_t> FabricSession::Snapshot() {
-  SnapshotWriter w;
+void FabricSession::BuildSnapshot(SnapshotWriter& w,
+                                  KvSnapshotMode mode) const {
   w.Section(snap::kSession);
   net_.Save(w);
   w.Size(report_links_.size());
   for (const auto& link : report_links_) link->Save(w);
   for (const auto& program : programs_) program->Save(w);
-  for (const auto& controller : controllers_) controller->Save(w);
+  for (const auto& controller : controllers_) controller->Save(w, mode);
   w.Size(sink_delivered_.size());
   for (const std::uint64_t v : sink_delivered_) w.U64(v);
+}
+
+std::vector<std::uint8_t> FabricSession::Snapshot(KvSnapshotMode mode) {
+  SnapshotWriter w;
+  BuildSnapshot(w, mode);
   return w.Take();
+}
+
+void FabricSession::SnapshotToFile(const std::string& path,
+                                   KvSnapshotMode mode) {
+  SnapshotWriter w;
+  BuildSnapshot(w, mode);
+  w.WriteFile(path);
 }
 
 void FabricSession::Restore(std::span<const std::uint8_t> bytes) {
@@ -241,7 +253,7 @@ void FabricSession::Restore(std::span<const std::uint8_t> bytes) {
   for (const auto& program : programs_) program->Load(r);
   for (const auto& controller : controllers_) controller->Load(r);
   CheckShape(snap::kSession, "FabricSession", "sink count",
-             sink_delivered_.size(), r.Size());
+             sink_delivered_.size(), r.Count(8));
   for (std::uint64_t& v : sink_delivered_) v = r.U64();
   if (!r.AtEnd()) {
     throw SnapshotError("FabricSession: trailing bytes in snapshot");
@@ -254,11 +266,17 @@ void FabricSession::Restore(std::span<const std::uint8_t> bytes) {
   }
 }
 
-std::vector<std::uint8_t> FabricSession::SnapshotControllers() const {
+void FabricSession::RestoreFromFile(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = ReadSnapshotFile(path);
+  Restore(bytes);
+}
+
+std::vector<std::uint8_t> FabricSession::SnapshotControllers(
+    KvSnapshotMode mode) const {
   SnapshotWriter w;
   w.Section(snap::kControllerPlane);
   w.Size(controllers_.size());
-  for (const auto& controller : controllers_) controller->Save(w);
+  for (const auto& controller : controllers_) controller->Save(w, mode);
   return w.Take();
 }
 

@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/core/runner.h"
@@ -155,7 +156,17 @@ class FabricSession {
   /// Serialize the complete mutable state. Only valid at a quiescent point
   /// (after DriveUntil returned, before Finish); throws SnapshotError when
   /// the configuration has non-checkpointable features armed (RDMA).
-  std::vector<std::uint8_t> Snapshot();
+  /// `mode` selects the flow-table encoding (KvSnapshotMode::kAuto emits
+  /// sparse tables as (index, slot) pairs; kDense forces the verbatim
+  /// array, the byte-cost baseline exp14 measures against).
+  std::vector<std::uint8_t> Snapshot(
+      KvSnapshotMode mode = KvSnapshotMode::kAuto);
+
+  /// Snapshot() straight into a durable checkpoint file (per-section CRC
+  /// index + CRC32 footer; docs/snapshot_format.md). Throws SnapshotError
+  /// on I/O failure.
+  void SnapshotToFile(const std::string& path,
+                      KvSnapshotMode mode = KvSnapshotMode::kAuto);
 
   /// Restore state captured by Snapshot() into a freshly constructed,
   /// identically configured session. Discards this session's pre-restore
@@ -164,11 +175,17 @@ class FabricSession {
   /// gone; restoring into it would corrupt rather than resume).
   void Restore(std::span<const std::uint8_t> bytes);
 
+  /// Restore from a file written by SnapshotToFile, verifying its CRC
+  /// framing first — a truncated or bit-flipped checkpoint throws
+  /// SnapshotError naming the corrupt section and absolute file offsets.
+  void RestoreFromFile(const std::string& path);
+
   /// Serialize ONLY the controller plane (flow tables, pending sub-windows,
   /// recovery RNGs) — the standby failover checkpoint. Orders of magnitude
   /// smaller than Snapshot() and ingestible by a StandbyController every
   /// few boundaries; see docs/failover.md.
-  std::vector<std::uint8_t> SnapshotControllers() const;
+  std::vector<std::uint8_t> SnapshotControllers(
+      KvSnapshotMode mode = KvSnapshotMode::kAuto) const;
 
   /// Standby takeover against the LIVE fabric: replace the controllers'
   /// state with a (stale) SnapshotControllers() checkpoint taken `staleness`
@@ -202,6 +219,12 @@ class FabricSession {
   const NetworkRunResult& partial_result() const noexcept { return result_; }
 
   Nanos trace_duration() const noexcept { return trace_duration_; }
+
+ private:
+  /// Shared body of Snapshot/SnapshotToFile: serialize into `w`.
+  void BuildSnapshot(SnapshotWriter& w, KvSnapshotMode mode) const;
+
+ public:
   std::size_t num_switches() const noexcept { return switches_.size(); }
   const OmniWindowProgram& program(std::size_t i) const {
     return *programs_[i];

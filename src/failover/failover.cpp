@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/common/rng.h"
+#include "src/common/snapshot.h"
 
 namespace ow::failover {
 namespace {
@@ -45,7 +46,24 @@ void StandbyController::ObserveBoundary(const FabricSession& primary,
                                         std::size_t boundary) {
   const std::size_t cadence = std::max<std::size_t>(1, cfg_.snapshot_cadence);
   if (boundary % cadence != 0) return;
-  bytes_ = primary.SnapshotControllers();
+  std::vector<std::uint8_t> full = primary.SnapshotControllers();
+  const std::size_t interval = std::max<std::size_t>(1, cfg_.keyframe_interval);
+  const bool keyframe =
+      !cfg_.delta_checkpoints || bytes_.empty() || taken_ % interval == 0;
+  if (keyframe) {
+    wire_bytes_ += full.size();
+    ++keyframes_;
+    bytes_ = std::move(full);
+  } else {
+    // What crosses the wire is the delta; the standby reconstructs the full
+    // checkpoint by applying it to the previous one. Both ends are
+    // CRC-verified, so a delta against the wrong base (a lost predecessor)
+    // throws here instead of arming a garbage takeover.
+    const std::vector<std::uint8_t> delta = EncodeSnapshotDelta(bytes_, full);
+    wire_bytes_ += delta.size();
+    ++deltas_;
+    bytes_ = ApplySnapshotDelta(bytes_, delta);
+  }
   boundary_ = boundary;
   ++taken_;
 }
@@ -90,6 +108,9 @@ FailoverRunResult RunWithFailover(
   rep.staleness_boundaries = kill - standby.snapshot_boundary();
   rep.snapshots_taken = standby.snapshots_taken();
   rep.snapshot_bytes = standby.snapshot().size();
+  rep.wire_bytes = standby.wire_bytes_total();
+  rep.keyframes_sent = standby.keyframes_sent();
+  rep.deltas_sent = standby.deltas_sent();
 
   // Takeover: the standby restores its stale checkpoint into the live
   // fabric and plans the re-requests.

@@ -40,6 +40,17 @@ struct FailoverConfig {
   /// Post-kill drive granularity for takeover-latency resolution; 0 =
   /// subwindow_size / 8.
   Nanos catchup_step = 0;
+  /// Ship checkpoints as byte-range deltas against the previous cadence
+  /// point instead of full snapshots. The standby reconstructs each full
+  /// checkpoint by applying the delta to its previous one (CRC-verified at
+  /// both ends — a delta applied to the wrong base throws rather than
+  /// rebuilding garbage), so what it holds for takeover is always a full
+  /// snapshot; only the shipped bytes shrink.
+  bool delta_checkpoints = false;
+  /// With delta_checkpoints: every keyframe_interval-th checkpoint is a
+  /// full keyframe, so a lost or corrupt delta strands the standby for at
+  /// most one interval instead of forever.
+  std::size_t keyframe_interval = 8;
 };
 
 /// Ingests controller-plane snapshots at the configured cadence and holds
@@ -59,11 +70,21 @@ class StandbyController {
   std::size_t snapshot_boundary() const noexcept { return boundary_; }
   std::size_t snapshots_taken() const noexcept { return taken_; }
 
+  /// Bytes actually shipped primary -> standby: full keyframes plus
+  /// deltas. Without delta_checkpoints this equals the sum of full
+  /// snapshot sizes.
+  std::size_t wire_bytes_total() const noexcept { return wire_bytes_; }
+  std::size_t keyframes_sent() const noexcept { return keyframes_; }
+  std::size_t deltas_sent() const noexcept { return deltas_; }
+
  private:
   FailoverConfig cfg_;
-  std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint8_t> bytes_;  ///< latest FULL snapshot (post-apply)
   std::size_t boundary_ = 0;
   std::size_t taken_ = 0;
+  std::size_t wire_bytes_ = 0;
+  std::size_t keyframes_ = 0;
+  std::size_t deltas_ = 0;
 };
 
 struct FailoverReport {
@@ -73,6 +94,11 @@ struct FailoverReport {
   std::size_t staleness_boundaries = 0;
   std::size_t snapshots_taken = 0;
   std::size_t snapshot_bytes = 0;
+  /// Bytes shipped primary -> standby over the whole run (keyframes +
+  /// deltas); the bandwidth the cadence actually costs.
+  std::size_t wire_bytes = 0;
+  std::size_t keyframes_sent = 0;
+  std::size_t deltas_sent = 0;
   std::size_t subwindows_requeried = 0;
   std::size_t subwindows_lost = 0;
   bool caught_up = false;

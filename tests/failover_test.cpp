@@ -200,6 +200,70 @@ TEST(Failover, CadenceSpliceBitIdenticalAcrossCheckpointCadences) {
   }
 }
 
+// --- delta checkpoints ------------------------------------------------------
+
+TEST(Failover, DeltaChainReconstructsKeyframeSnapshotsExactly) {
+  // Two standbys watch the same primary at the same cadence, one shipping
+  // full snapshots and one shipping deltas (with sparse keyframes). The
+  // delta standby reconstructs each checkpoint by applying the delta to its
+  // previous one — so at EVERY boundary the two must hold byte-identical
+  // snapshots, while the delta side ships fewer wire bytes.
+  const Trace trace = MakeTrace(9308, 600 * kMilli);
+  FabricSession session(trace, MakeCountApp, TumblingFabricConfig());
+  const Nanos sub = 50 * kMilli;
+
+  FailoverConfig full_cfg;
+  full_cfg.snapshot_cadence = 1;
+  FailoverConfig delta_cfg = full_cfg;
+  delta_cfg.delta_checkpoints = true;
+  delta_cfg.keyframe_interval = 4;
+  StandbyController full_standby(full_cfg);
+  StandbyController delta_standby(delta_cfg);
+
+  for (std::size_t k = 0; k < 12; ++k) {
+    if (k > 0) session.DriveUntil(Nanos(k) * sub);
+    full_standby.ObserveBoundary(session, k);
+    delta_standby.ObserveBoundary(session, k);
+    ASSERT_EQ(full_standby.snapshot(), delta_standby.snapshot())
+        << "delta chain diverged from full snapshots at boundary " << k;
+  }
+  EXPECT_EQ(delta_standby.snapshots_taken(), 12u);
+  // Boundaries 0, 4, 8 are keyframes (interval 4); the rest ship deltas.
+  EXPECT_EQ(delta_standby.keyframes_sent(), 3u);
+  EXPECT_EQ(delta_standby.deltas_sent(), 9u);
+  EXPECT_EQ(full_standby.keyframes_sent(), 12u);
+  EXPECT_EQ(full_standby.deltas_sent(), 0u);
+  EXPECT_LT(delta_standby.wire_bytes_total(),
+            full_standby.wire_bytes_total())
+      << "delta checkpoints must ship fewer bytes than full snapshots";
+}
+
+TEST(Failover, DeltaCheckpointsTakeOverIdenticallyToFullOnes) {
+  // End to end: a failover run with delta checkpoints must produce the
+  // exact spliced stream the full-snapshot run does — deltas change the
+  // wire format, never what the standby restores.
+  const Trace trace = MakeTrace(9309, 800 * kMilli);
+  const NetworkRunConfig cfg = SlidingFabricConfig();
+  FailoverConfig fcfg;
+  fcfg.snapshot_cadence = 1;
+  fcfg.kill_boundary = 10;
+  const FailoverRunResult full = RunWithFailover(trace, MakeCountApp, cfg, fcfg);
+
+  FailoverConfig dcfg = fcfg;
+  dcfg.delta_checkpoints = true;
+  dcfg.keyframe_interval = 8;
+  const FailoverRunResult delta =
+      RunWithFailover(trace, MakeCountApp, cfg, dcfg);
+
+  EXPECT_EQ(FingerprintOf(full.spliced), FingerprintOf(delta.spliced));
+  EXPECT_EQ(full.report.kill_boundary, delta.report.kill_boundary);
+  EXPECT_EQ(full.report.subwindows_lost, delta.report.subwindows_lost);
+  EXPECT_GT(delta.report.deltas_sent, 0u);
+  EXPECT_EQ(full.report.deltas_sent, 0u);
+  EXPECT_LT(delta.report.wire_bytes, full.report.wire_bytes);
+  EXPECT_EQ(full.report.keyframes_sent, full.report.snapshots_taken);
+}
+
 // --- standby takeover against the live fabric ------------------------------
 
 TEST(Failover, ZeroLossAtCadenceOneAcrossEngineMatrix) {

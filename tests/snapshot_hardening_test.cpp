@@ -1,0 +1,515 @@
+// Untrusted-snapshot hardening (the decode side of docs/snapshot_format.md).
+//
+// A checkpoint read back from disk may be truncated, bit-flipped or forged;
+// the decoding contract is that every such stream fails with SnapshotError
+// BEFORE it can OOM the process or mutate the object being restored. Pinned
+// here: forged length prefixes bounded by the remaining stream,
+// KeyValueTable::Load's strong exception guarantee (throw => table unchanged
+// and still usable), dense<->sparse encoding equivalence across the
+// occupancy range, the durable-file framing (every bit flip and truncation
+// of a WriteFile checkpoint is caught, with the error naming the section and
+// absolute file offsets), and the delta-checkpoint encode/apply pair.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/snapshot.h"
+#include "src/controller/key_value_table.h"
+
+namespace ow {
+namespace {
+
+FlowKey Key(std::uint32_t id) {
+  return FlowKey(FlowKeyKind::kSrcIp, FiveTuple{.src_ip = id});
+}
+
+/// Fill `table` with `n` live keys (deterministic contents), then tombstone
+/// every fourth one so round-trips cover all three slot states.
+void Fill(KeyValueTable& table, std::uint32_t n, bool with_tombstones) {
+  bool created = false;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    KvSlot& s = table.FindOrInsert(Key(i), created);
+    s.attrs[0] = 100 + i;
+    s.attrs[1] = i * 7;
+    s.num_attrs = 2;
+    s.last_subwindow = i;
+  }
+  if (with_tombstones) {
+    for (std::uint32_t i = 4; i <= n; i += 4) table.Erase(Key(i));
+  }
+}
+
+std::vector<std::uint8_t> SaveBytes(const KeyValueTable& table,
+                                    KvSnapshotMode mode) {
+  SnapshotWriter w;
+  table.Save(w, mode);
+  return w.Take();
+}
+
+bool BackingEqual(const KeyValueTable& a, const KeyValueTable& b) {
+  return a.capacity() == b.capacity() &&
+         std::memcmp(const_cast<KeyValueTable&>(a).data(),
+                     const_cast<KeyValueTable&>(b).data(),
+                     a.backing_bytes()) == 0;
+}
+
+void LoadInto(KeyValueTable& table, const std::vector<std::uint8_t>& bytes) {
+  SnapshotReader r(bytes);
+  table.Load(r);
+}
+
+/// The stream offset of the first KV payload byte after the writer header
+/// (magic+version = 8), section tag (4), mode byte (1) and capacity (8).
+constexpr std::size_t kKvHeaderBytes = 8 + 4 + 1 + 8;
+/// Offset of the encoding-mode byte itself.
+constexpr std::size_t kKvModeByteOffset = 8 + 4;
+
+// --- forged length prefixes -------------------------------------------------
+
+TEST(SnapshotHardening, ForgedHugeCountFailsBeforeAllocation) {
+  SnapshotWriter w;
+  w.Size(std::size_t{1} << 60);  // a PodVec length prefix with no payload
+  const std::vector<std::uint8_t> bytes = w.Take();
+
+  SnapshotReader r(bytes);
+  std::vector<std::uint64_t> v;
+  try {
+    r.PodVec(v);
+    FAIL() << "forged 2^60-element count must throw";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+  // The count was rejected before the container was sized: no OOM, and the
+  // caller's vector is untouched.
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 0u);
+}
+
+TEST(SnapshotHardening, TamperedLengthPrefixOfRealVectorIsCaught) {
+  SnapshotWriter w;
+  const std::vector<std::uint64_t> payload = {1, 2, 3, 4};
+  w.PodVec(payload);
+  std::vector<std::uint8_t> bytes = w.Take();
+  // The length prefix sits right after the 8-byte header; forge it huge.
+  const std::uint64_t huge = ~std::uint64_t{0} / 8;
+  std::memcpy(bytes.data() + 8, &huge, 8);
+
+  SnapshotReader r(bytes);
+  std::vector<std::uint64_t> v;
+  EXPECT_THROW(r.PodVec(v), SnapshotError);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SnapshotHardening, CountValidatesAgainstRemainingBytes) {
+  SnapshotWriter w;
+  w.Size(3);
+  w.U64(0);  // only 8 payload bytes follow the count
+  const std::vector<std::uint8_t> bytes = w.Take();
+  SnapshotReader r(bytes);
+  EXPECT_THROW((void)r.Count(16), SnapshotError);
+
+  // Exact fit passes: 1 element x 8 bytes against 8 remaining.
+  SnapshotWriter w2;
+  w2.Size(1);
+  w2.U64(42);
+  const std::vector<std::uint8_t> ok = w2.Take();
+  SnapshotReader r2(ok);
+  EXPECT_EQ(r2.Count(8), 1u);
+  EXPECT_EQ(r2.U64(), 42u);
+}
+
+TEST(SnapshotHardening, TruncationErrorNamesSectionAndOffset) {
+  SnapshotWriter w;
+  w.Section(snap::kKvTable);
+  w.U64(7);
+  std::vector<std::uint8_t> bytes = w.Take();
+  bytes.resize(bytes.size() - 4);  // cut into the u64
+
+  SnapshotReader r(bytes);
+  r.Section(snap::kKvTable);
+  try {
+    (void)r.U64();
+    FAIL() << "reading past a truncation must throw";
+  } catch (const SnapshotError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("in section 0x1B"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("offset"), std::string::npos) << msg;
+  }
+}
+
+// --- KeyValueTable::Load strong exception guarantee -------------------------
+
+TEST(KvTableHardening, CapacityMismatchLeavesTableUntouchedAndUsable) {
+  KeyValueTable src(64);
+  Fill(src, 10, /*with_tombstones=*/false);
+  const std::vector<std::uint8_t> bytes = SaveBytes(src, KvSnapshotMode::kAuto);
+
+  KeyValueTable dst(128);
+  Fill(dst, 5, /*with_tombstones=*/false);
+  KeyValueTable before(128);
+  Fill(before, 5, /*with_tombstones=*/false);
+
+  EXPECT_THROW(LoadInto(dst, bytes), SnapshotError);
+  EXPECT_TRUE(BackingEqual(dst, before)) << "failed Load mutated the table";
+  EXPECT_EQ(dst.size(), 5u);
+  // The table must remain fully usable after the rejected restore.
+  ASSERT_NE(dst.Find(Key(3)), nullptr);
+  EXPECT_EQ(dst.Find(Key(3))->attrs[0], 103u);
+  bool created = false;
+  dst.FindOrInsert(Key(999), created);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(dst.size(), 6u);
+}
+
+TEST(KvTableHardening, TruncatedStreamLeavesTableUntouchedAndUsable) {
+  KeyValueTable src(64);
+  Fill(src, 12, /*with_tombstones=*/true);
+  std::vector<std::uint8_t> bytes = SaveBytes(src, KvSnapshotMode::kSparse);
+  bytes.resize(bytes.size() - 40);  // cut into the trailing tallies/entries
+
+  KeyValueTable dst(64);
+  Fill(dst, 5, /*with_tombstones=*/false);
+  KeyValueTable before(64);
+  Fill(before, 5, /*with_tombstones=*/false);
+
+  EXPECT_THROW(LoadInto(dst, bytes), SnapshotError);
+  EXPECT_TRUE(BackingEqual(dst, before)) << "failed Load mutated the table";
+  bool created = false;
+  dst.FindOrInsert(Key(31), created);
+  EXPECT_TRUE(created);
+}
+
+TEST(KvTableHardening, TamperedTallyIsCaughtBeforeCommit) {
+  KeyValueTable src(64);
+  Fill(src, 9, /*with_tombstones=*/false);
+  std::vector<std::uint8_t> bytes = SaveBytes(src, KvSnapshotMode::kSparse);
+  // Trailing fields are live(8) | used(8) | rejected(8); bump `live` so the
+  // stream's tally disagrees with the slots it describes.
+  bytes[bytes.size() - 24] ^= 0x01;
+
+  KeyValueTable dst(64);
+  try {
+    LoadInto(dst, bytes);
+    FAIL() << "tally mismatch must throw";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("live slots"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(dst.size(), 0u);  // untouched: still the fresh empty table
+  bool created = false;
+  dst.FindOrInsert(Key(1), created);
+  EXPECT_TRUE(created);
+}
+
+TEST(KvTableHardening, InvalidSlotStateByteIsRejected) {
+  KeyValueTable src(64);
+  Fill(src, 4, /*with_tombstones=*/false);
+  std::vector<std::uint8_t> bytes = SaveBytes(src, KvSnapshotMode::kDense);
+  // Overwrite slot 0's state byte with a value no enumerator names.
+  bytes[kKvHeaderBytes + offsetof(KvSlot, state)] = 0x77;
+
+  KeyValueTable dst(64);
+  try {
+    LoadInto(dst, bytes);
+    FAIL() << "invalid state byte must throw";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("invalid slot state"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(KvTableHardening, SparseIndexOutOfOrderOrBeyondCapacityRejected) {
+  KeyValueTable src(64);
+  Fill(src, 2, /*with_tombstones=*/false);
+  std::vector<std::uint8_t> bytes = SaveBytes(src, KvSnapshotMode::kSparse);
+  // First sparse entry starts right after the occupied count: forge its
+  // slot index beyond the capacity.
+  const std::uint64_t beyond = 64;
+  std::memcpy(bytes.data() + kKvHeaderBytes + 8, &beyond, 8);
+
+  KeyValueTable dst(64);
+  EXPECT_THROW(LoadInto(dst, bytes), SnapshotError);
+}
+
+// --- dense <-> sparse equivalence -------------------------------------------
+
+TEST(KvTableHardening, DenseSparseRoundTripAcrossOccupancies) {
+  // Capacity 64 => sparse threshold 32, insert ceiling 56 (7/8 load).
+  const std::size_t threshold = KeyValueTable::SparseSaveThreshold(64);
+  ASSERT_EQ(threshold, 32u);
+  for (const std::uint32_t occupancy : {0u, 1u, 31u, 32u, 56u}) {
+    SCOPED_TRACE("occupancy=" + std::to_string(occupancy));
+    KeyValueTable src(64);
+    Fill(src, occupancy, /*with_tombstones=*/occupancy >= 8);
+
+    for (const KvSnapshotMode mode :
+         {KvSnapshotMode::kDense, KvSnapshotMode::kSparse}) {
+      const std::vector<std::uint8_t> bytes = SaveBytes(src, mode);
+      KeyValueTable dst(64);
+      LoadInto(dst, bytes);
+      EXPECT_TRUE(BackingEqual(src, dst))
+          << "slot array diverged after round-trip";
+      EXPECT_EQ(src.size(), dst.size());
+      EXPECT_EQ(src.load_factor(), dst.load_factor());
+      EXPECT_EQ(src.rejected_inserts(), dst.rejected_inserts());
+      // Both encodings must re-save to byte-identical streams.
+      EXPECT_EQ(SaveBytes(dst, mode), bytes);
+    }
+
+    // kAuto picks sparse strictly below the threshold, dense at and above.
+    const std::vector<std::uint8_t> bytes =
+        SaveBytes(src, KvSnapshotMode::kAuto);
+    EXPECT_EQ(bytes[kKvModeByteOffset], occupancy < threshold ? 1 : 0);
+  }
+}
+
+TEST(KvTableHardening, SparseEncodingShrinksLowOccupancyCheckpoints) {
+  KeyValueTable table(1 << 12);
+  Fill(table, 64, /*with_tombstones=*/false);
+  const std::size_t sparse = SaveBytes(table, KvSnapshotMode::kSparse).size();
+  const std::size_t dense = SaveBytes(table, KvSnapshotMode::kDense).size();
+  EXPECT_GE(dense / sparse, 10u)
+      << "sparse=" << sparse << " dense=" << dense
+      << ": the sparse encoding must shrink a 64/4096 table >= 10x";
+}
+
+// --- durable file framing ---------------------------------------------------
+
+class TempFile {
+ public:
+  explicit TempFile(std::string path) : path_(std::move(path)) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void WriteRaw(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(b.data()), std::streamsize(b.size()));
+  ASSERT_TRUE(out.good());
+}
+
+std::vector<std::uint8_t> ReadRaw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  std::vector<std::uint8_t> b(std::size_t(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(b.data()), std::streamsize(b.size()));
+  return b;
+}
+
+/// A small two-section checkpoint; returns the payload and the stream
+/// offset at which the second section starts.
+SnapshotWriter TwoSectionWriter(std::size_t* second_section_offset) {
+  SnapshotWriter w;
+  KeyValueTable table(64);
+  Fill(table, 10, /*with_tombstones=*/true);
+  table.Save(w, KvSnapshotMode::kSparse);
+  *second_section_offset = w.buffer().size();
+  w.Section(snap::kController);
+  for (std::uint64_t i = 0; i < 32; ++i) w.U64(i * 3);
+  return w;
+}
+
+TEST(SnapshotFile, WriteReadRoundTrip) {
+  TempFile tmp("snapshot_hardening_roundtrip.owsnap");
+  std::size_t second = 0;
+  SnapshotWriter w = TwoSectionWriter(&second);
+  const std::vector<std::uint8_t> payload = w.buffer();
+  w.WriteFile(tmp.path());
+
+  const std::vector<std::uint8_t> back = ReadSnapshotFile(tmp.path());
+  EXPECT_EQ(back, payload);
+
+  // The payload restores: both sections parse to the saved contents.
+  SnapshotReader r(back);
+  KeyValueTable table(64);
+  table.Load(r);
+  EXPECT_EQ(table.size(), 8u);  // 10 inserts, 2 tombstoned (4 and 8)
+  r.Section(snap::kController);
+  for (std::uint64_t i = 0; i < 32; ++i) EXPECT_EQ(r.U64(), i * 3);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SnapshotFile, EveryBitFlipIsCaught) {
+  TempFile tmp("snapshot_hardening_bitflip.owsnap");
+  std::size_t second = 0;
+  TwoSectionWriter(&second).WriteFile(tmp.path());
+  const std::vector<std::uint8_t> good = ReadRaw(tmp.path());
+  ASSERT_GT(good.size(), 0u);
+
+  // Flip one bit at EVERY byte of the file — payload, per-section index and
+  // footer alike — and each corrupted file must fail to load. This is the
+  // no-silent-misload guarantee the durable framing exists for.
+  for (std::size_t off = 0; off < good.size(); ++off) {
+    std::vector<std::uint8_t> bad = good;
+    bad[off] ^= 0x40;
+    WriteRaw(tmp.path(), bad);
+    EXPECT_THROW((void)ReadSnapshotFile(tmp.path()), SnapshotError)
+        << "bit flip at file offset " << off << " loaded successfully";
+  }
+}
+
+TEST(SnapshotFile, EveryTruncationIsCaught) {
+  TempFile tmp("snapshot_hardening_trunc.owsnap");
+  std::size_t second = 0;
+  TwoSectionWriter(&second).WriteFile(tmp.path());
+  const std::vector<std::uint8_t> good = ReadRaw(tmp.path());
+
+  for (std::size_t len = 0; len < good.size(); len += 13) {
+    std::vector<std::uint8_t> bad(good.begin(), good.begin() + len);
+    WriteRaw(tmp.path(), bad);
+    EXPECT_THROW((void)ReadSnapshotFile(tmp.path()), SnapshotError)
+        << "truncation to " << len << " bytes loaded successfully";
+  }
+  // And the off-by-one cut right before the footer's last byte.
+  std::vector<std::uint8_t> bad(good.begin(), good.end() - 1);
+  WriteRaw(tmp.path(), bad);
+  EXPECT_THROW((void)ReadSnapshotFile(tmp.path()), SnapshotError);
+}
+
+TEST(SnapshotFile, CorruptionIsLocalizedToSectionAndOffsets) {
+  TempFile tmp("snapshot_hardening_localize.owsnap");
+  std::size_t second = 0;
+  SnapshotWriter w = TwoSectionWriter(&second);
+  const std::size_t payload_len = w.buffer().size();
+  w.WriteFile(tmp.path());
+  const std::vector<std::uint8_t> good = ReadRaw(tmp.path());
+
+  // A bad byte inside the SECOND section must be blamed on it by tag, with
+  // the absolute file offset range.
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[second + 6] ^= 0x01;
+    WriteRaw(tmp.path(), bad);
+    try {
+      (void)ReadSnapshotFile(tmp.path());
+      FAIL() << "corrupt section must throw";
+    } catch (const SnapshotError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("section 0x1C"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("[" + std::to_string(second) + ", " +
+                         std::to_string(payload_len) + ")"),
+                std::string::npos)
+          << msg;
+    }
+  }
+  // A bad byte in the index region with an INTACT payload is still a
+  // corrupt checkpoint — and says so rather than blaming the payload.
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[payload_len + 2] ^= 0x01;
+    WriteRaw(tmp.path(), bad);
+    try {
+      (void)ReadSnapshotFile(tmp.path());
+      FAIL() << "corrupt section index must throw";
+    } catch (const SnapshotError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("section index corrupt"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("payload CRC intact"), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(SnapshotFile, MissingFileThrows) {
+  EXPECT_THROW((void)ReadSnapshotFile("snapshot_hardening_nonexistent.owsnap"),
+               SnapshotError);
+}
+
+// --- delta checkpoints ------------------------------------------------------
+
+std::vector<std::uint8_t> Pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::uint8_t(seed + i * 31 + (i >> 5));
+  }
+  return v;
+}
+
+TEST(SnapshotDelta, RoundTripAcrossShapes) {
+  const std::vector<std::uint8_t> base = Pattern(4096, 7);
+
+  std::vector<std::vector<std::uint8_t>> nexts;
+  nexts.push_back(base);  // identical
+  {
+    std::vector<std::uint8_t> v = base;  // scattered small edits
+    v[10] ^= 0xFF;
+    v[1000] = 0;
+    v[1001] = 1;
+    v[4000] ^= 0x80;
+    nexts.push_back(std::move(v));
+  }
+  {
+    std::vector<std::uint8_t> v = base;  // grown tail
+    v.insert(v.end(), 512, 0xAB);
+    nexts.push_back(std::move(v));
+  }
+  nexts.push_back({base.begin(), base.begin() + 100});  // shrunk
+  nexts.push_back({});                                  // emptied
+  nexts.push_back(Pattern(4096, 99));                   // fully rewritten
+
+  for (std::size_t i = 0; i < nexts.size(); ++i) {
+    SCOPED_TRACE("case=" + std::to_string(i));
+    const std::vector<std::uint8_t> delta = EncodeSnapshotDelta(base, nexts[i]);
+    EXPECT_EQ(ApplySnapshotDelta(base, delta), nexts[i]);
+  }
+
+  // From an empty base (the standby's first keyframe-less state).
+  const std::vector<std::uint8_t> from_empty = EncodeSnapshotDelta({}, base);
+  EXPECT_EQ(ApplySnapshotDelta({}, from_empty), base);
+
+  // Localized edits must ship far fewer bytes than the full snapshot.
+  const std::vector<std::uint8_t> small = EncodeSnapshotDelta(base, nexts[1]);
+  EXPECT_LT(small.size(), base.size() / 4);
+}
+
+TEST(SnapshotDelta, WrongBaseThrows) {
+  const std::vector<std::uint8_t> base = Pattern(1024, 1);
+  std::vector<std::uint8_t> next = base;
+  next[77] ^= 0x0F;
+  const std::vector<std::uint8_t> delta = EncodeSnapshotDelta(base, next);
+
+  std::vector<std::uint8_t> other = base;
+  other[500] ^= 0x01;
+  try {
+    (void)ApplySnapshotDelta(other, delta);
+    FAIL() << "applying a delta to the wrong base must throw";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("wrong base"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SnapshotDelta, EveryBitFlipAndTruncationIsCaught) {
+  const std::vector<std::uint8_t> base = Pattern(512, 3);
+  std::vector<std::uint8_t> next = base;
+  next[5] ^= 0xFF;
+  next[200] = 0;
+  next[510] ^= 0x01;
+  next.insert(next.end(), 64, 0x5C);
+  const std::vector<std::uint8_t> delta = EncodeSnapshotDelta(base, next);
+  ASSERT_EQ(ApplySnapshotDelta(base, delta), next);
+
+  for (std::size_t off = 0; off < delta.size(); ++off) {
+    std::vector<std::uint8_t> bad = delta;
+    bad[off] ^= 0x20;
+    EXPECT_THROW((void)ApplySnapshotDelta(base, bad), SnapshotError)
+        << "delta bit flip at offset " << off << " applied successfully";
+  }
+  for (std::size_t len = 0; len < delta.size(); ++len) {
+    const std::vector<std::uint8_t> bad(delta.begin(), delta.begin() + len);
+    EXPECT_THROW((void)ApplySnapshotDelta(base, bad), SnapshotError)
+        << "delta truncated to " << len << " bytes applied successfully";
+  }
+}
+
+}  // namespace
+}  // namespace ow

@@ -15,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -330,6 +332,56 @@ TEST(SnapshotRestore, ShapeMismatchThrows) {
   std::vector<std::uint8_t> cut(bytes.begin(),
                                 bytes.begin() + bytes.size() / 2);
   EXPECT_THROW(same.Restore(cut), SnapshotError);
+}
+
+TEST(SnapshotRestore, FileRoundTripResumesBitIdentically) {
+  // The durable path: SnapshotToFile at the kill point, RestoreFromFile in
+  // a "fresh process" (a new session), splice — identical to the
+  // uninterrupted run. Then corrupt one payload byte on disk and the
+  // restore must throw instead of resuming from damaged state.
+  const Trace trace = FabricTrace(8107);
+  const NetworkRunConfig cfg = LeafSpineConfig(2, 2);
+  const std::string path = "snapshot_restore_file_test.owsnap";
+
+  const Fingerprint ref =
+      FingerprintOf(RunOmniWindowFabric(trace, MakeCountApp, cfg));
+
+  FabricSession killed(trace, MakeCountApp, cfg);
+  killed.DriveUntil(175 * kMilli);
+  killed.SnapshotToFile(path);
+  const NetworkRunResult pre = killed.partial_result();
+
+  FabricSession restored(trace, MakeCountApp, cfg);
+  restored.RestoreFromFile(path);
+  NetworkRunResult post = restored.Finish();
+  ASSERT_EQ(pre.per_switch.size(), post.per_switch.size());
+  for (std::size_t i = 0; i < post.per_switch.size(); ++i) {
+    auto& dst = post.per_switch[i];
+    const auto& src = pre.per_switch[i];
+    dst.windows.insert(dst.windows.begin(), src.windows.begin(),
+                       src.windows.end());
+    dst.counts.insert(src.counts.begin(), src.counts.end());
+  }
+  EXPECT_EQ(ref, FingerprintOf(post))
+      << "file-based kill/restore diverged from uninterrupted run";
+
+  // Flip one payload byte in place; the framing must catch it.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    f.seekp(size / 3);
+    char b = 0;
+    f.seekg(size / 3);
+    f.read(&b, 1);
+    b ^= 0x10;
+    f.seekp(size / 3);
+    f.write(&b, 1);
+  }
+  FabricSession fresh(trace, MakeCountApp, cfg);
+  EXPECT_THROW(fresh.RestoreFromFile(path), SnapshotError);
+  std::remove(path.c_str());
 }
 
 TEST(SnapshotRestore, RdmaConfigRefusesSnapshot) {

@@ -412,11 +412,17 @@ FabricSnap SnapFabricKillRestore(const Trace& trace,
 
   FabricSession killed(trace, make_app, cfg, detect);
   killed.DriveUntil(kill_t);
-  const std::vector<std::uint8_t> bytes = killed.Snapshot();
+  // Round-trip through the durable file form, not just the in-memory
+  // buffer: this chaos class then also exercises the CRC framing and
+  // untrusted-size decode paths under the sanitizer.
+  const std::string ckpt = "chaos_kill_restore_" + std::to_string(seed) + "_" +
+                           std::to_string(armed_link) + ".owsnap";
+  killed.SnapshotToFile(ckpt, KvSnapshotMode::kAuto);
   const NetworkRunResult pre = killed.partial_result();
 
   FabricSession restored(trace, make_app, cfg, detect);
-  restored.Restore(bytes);
+  restored.RestoreFromFile(ckpt);
+  std::remove(ckpt.c_str());
 
   FabricSnap out;
   out.net = restored.Finish();

@@ -3,8 +3,8 @@
 
 Compares a freshly produced bench JSON (BENCH_pipeline.json /
 BENCH_merge.json schema family: top-level "results" list of row objects)
-against the committed baseline in bench/results/. Two metric families are
-gated, both lower-is-better:
+against the committed baseline in bench/results/. Three metric families
+are gated, all lower-is-better (shrinking is always good):
 
   * latency: any row field whose name contains "ns_per", gated
     relatively (--warn-pct / --fail-pct).
@@ -16,6 +16,12 @@ gated, both lower-is-better:
     allocs fields are skipped (normal builds don't emit them) unless
     --require-allocs is set, which the CI alloc-gate job uses so a
     silently untraced build cannot pass.
+  * byte sizes: any row field whose name contains "bytes" — checkpoint
+    and snapshot footprints, which are deterministic for a fixed trace.
+    Gated relatively like latency; growth beyond --fail-pct fails, any
+    shrink passes (and is the direction the encodings optimize for).
+    NOT in the default --metrics set: only jobs whose byte metrics are
+    deterministic (lifetime-smoke) opt in with --metrics=bytes.
 
 Throughput fields ride along informationally.
 
@@ -81,12 +87,15 @@ def main():
                          "from the fresh row (alloc-gate CI job)")
     ap.add_argument("--metrics", default="latency,allocs",
                     help="comma list of metric families to gate: latency "
-                         "(ns_per) and/or allocs (allocs_per). The alloc-gate "
-                         "job passes --metrics=allocs so a traced build on a "
-                         "noisy runner is not double-gated on wall time.")
+                         "(ns_per), allocs (allocs_per) and/or bytes "
+                         "(checkpoint/snapshot sizes; shrink-is-good, "
+                         "deterministic — opt-in). The alloc-gate job passes "
+                         "--metrics=allocs so a traced build on a noisy "
+                         "runner is not double-gated on wall time; the "
+                         "lifetime-smoke job passes --metrics=bytes.")
     args = ap.parse_args()
     families = set(args.metrics.split(","))
-    unknown = families - {"latency", "allocs"}
+    unknown = families - {"latency", "allocs", "bytes"}
     if unknown:
         sys.exit(f"error: unknown --metrics families: {sorted(unknown)}")
 
@@ -103,11 +112,14 @@ def main():
         for field, base_val in base_row.items():
             is_allocs = "allocs_per" in field
             is_latency = "ns_per" in field and not is_allocs
+            is_bytes = "bytes" in field and not (is_allocs or is_latency)
             if is_latency and "latency" not in families:
                 continue
             if is_allocs and "allocs" not in families:
                 continue
-            if not (is_latency or is_allocs):
+            if is_bytes and "bytes" not in families:
+                continue
+            if not (is_latency or is_allocs or is_bytes):
                 continue
             fresh_val = fresh_row.get(field)
             if not isinstance(fresh_val, (int, float)):
@@ -156,7 +168,7 @@ def main():
                 print("  ok " + line)
 
     if compared == 0:
-        sys.exit("error: no ns_per/allocs_per metrics compared — "
+        sys.exit("error: no ns_per/allocs_per/bytes metrics compared — "
                  "schema mismatch?")
     print(f"compared {compared} metrics: {failures} fail, {warnings} warn "
           f"(warn >{args.warn_pct:g}%, fail >{args.fail_pct:g}%)")
